@@ -1,0 +1,91 @@
+// Reproduces Table 2: scheduling overheads with simultaneous jobs
+// launched through the full Fuxi job framework (submission ->
+// FuxiMaster -> agent starts the JobMaster process -> incremental
+// resource protocol -> agents start workers with a 400 MB package
+// download).
+//
+// Paper values (1,000 simultaneous jobs):
+//   Job Running Time            359.89 s
+//   JobMaster Start Overhead      1.91 s
+//   Worker Start Overhead        11.84 s   (400 MB worker binaries)
+//   Instance Running Overhead     0.33 s
+//   Total overhead                 3.9 %
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "common/metrics.h"
+#include "job/job_runtime.h"
+
+int main() {
+  using namespace fuxi;
+  SetLogLevel(LogLevel::kError);
+  bool full = std::getenv("FUXI_BENCH_FULL") != nullptr &&
+              std::getenv("FUXI_BENCH_FULL")[0] == '1';
+  int machines = full ? 5000 : 200;
+  int jobs = full ? 1000 : 40;
+
+  runtime::SimClusterOptions cluster_options =
+      bench::BenchClusterOptions(machines);
+  // Model the paper's worker binaries: ~400 MB download before a worker
+  // can start (dominates the worker start overhead).
+  cluster_options.agent.worker_start_seconds = 11.0;
+  cluster_options.agent.app_master_start_seconds = 1.5;
+  runtime::SimCluster cluster(cluster_options);
+  job::JobRuntime runtime(&cluster);
+  cluster.Start();
+  cluster.RunFor(2.0);
+
+  trace::SyntheticWorkloadOptions workload_options;
+  workload_options.instance_scale = full ? 1.0 : 0.02;
+  workload_options.min_instance_seconds = 20;
+  workload_options.max_instance_seconds = full ? 600 : 240;
+  trace::SyntheticWorkload workload(11, workload_options);
+
+  std::vector<job::JobMaster*> submitted;
+  for (int i = 0; i < jobs; ++i) {
+    auto job = runtime.Submit(workload.NextJobDescription());
+    FUXI_CHECK(job.ok()) << job.status();
+    submitted.push_back(*job);
+  }
+  bool all_done = runtime.RunUntilAllFinished(full ? 36000 : 7200);
+
+  Histogram job_time, am_start, worker_start, instance_overhead;
+  for (job::JobMaster* job : submitted) {
+    if (!job->finished()) continue;
+    const job::JobMaster::Stats& stats = job->stats();
+    job_time.Add(stats.finished_at - stats.am_started_at);
+    am_start.Add(stats.am_started_at - stats.submitted_at);
+    if (stats.worker_start_count > 0) {
+      worker_start.Add(stats.worker_start_latency_sum /
+                       static_cast<double>(stats.worker_start_count));
+    }
+    if (stats.instance_overhead_count > 0) {
+      instance_overhead.Add(
+          stats.instance_overhead_sum /
+          static_cast<double>(stats.instance_overhead_count));
+    }
+  }
+  double total_overhead_pct =
+      100.0 * (am_start.mean() + worker_start.mean() +
+               instance_overhead.mean()) /
+      (job_time.mean() > 0 ? job_time.mean() : 1);
+
+  std::printf(
+      "=== Table 2: scheduling overhead (%d machines, %d simultaneous "
+      "jobs, all finished: %s) ===\n\n",
+      machines, jobs, all_done ? "yes" : "NO");
+  std::printf("%-30s %10s %12s\n", "Type", "measured", "paper");
+  std::printf("%-30s %9.2fs %12s\n", "Job Running Time", job_time.mean(),
+              "359.89s");
+  std::printf("%-30s %9.2fs %12s\n", "JobMaster Start Overhead",
+              am_start.mean(), "1.91s");
+  std::printf("%-30s %9.2fs %12s\n", "Worker Start Overhead",
+              worker_start.mean(), "11.84s");
+  std::printf("%-30s %9.2fs %12s\n", "Instance Running Overhead",
+              instance_overhead.mean(), "0.33s");
+  std::printf("%-30s %9.1f%% %12s\n", "Total overhead", total_overhead_pct,
+              "3.9%");
+  return 0;
+}

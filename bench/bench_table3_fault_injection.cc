@@ -1,0 +1,142 @@
+// Reproduces Table 3 / §5.4: fault-injection overhead on a 300-node
+// cluster. The same GraySort-shaped job runs (a) fault-free, (b) under
+// the 5% mix (2 NodeDown + 2 PartialWorkerFailure + 11 SlowMachine),
+// (c) under the 10% mix (2 + 4 + 23), and (d) 5% plus a FuxiMaster
+// kill.
+//
+// Paper: normal 1,437 s -> 1,662 s at 5% (+15.7%) -> 1,762 s at 10%
+// (+19.6%); the extra master kill costs only ~13 s more.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "job/job_runtime.h"
+#include "trace/workloads.h"
+
+namespace {
+
+using namespace fuxi;
+
+struct RunResult {
+  double elapsed = 0;
+  int64_t backups = 0;
+  int64_t failures = 0;
+  bool finished = false;
+};
+
+/// The workload of the §5.4 runs: a two-phase sort-like job big enough
+/// that every machine stays busy for hundreds of virtual seconds.
+job::JobDescription FaultWorkload(int machines) {
+  job::JobDescription desc;
+  desc.name = "fault-injection-sort";
+  job::TaskConfig map;
+  map.name = "map";
+  map.instances = machines * 48;
+  map.max_workers = machines * 4;
+  map.unit = cluster::ResourceVector(200, 12 * 1024);
+  map.instance_seconds = 40;
+  map.backup_normal_seconds = 120;
+  job::TaskConfig reduce;
+  reduce.name = "reduce";
+  reduce.instances = machines * 16;
+  reduce.max_workers = machines * 4;
+  reduce.unit = cluster::ResourceVector(200, 12 * 1024);
+  reduce.instance_seconds = 60;
+  reduce.backup_normal_seconds = 180;
+  desc.tasks = {map, reduce};
+  desc.pipes.push_back({"map", "reduce", ""});
+  return desc;
+}
+
+RunResult RunScenario(int machines, double fault_ratio, bool kill_master,
+                      uint64_t seed) {
+  runtime::SimCluster cluster(bench::BenchClusterOptions(machines));
+  job::JobRuntime runtime(&cluster);
+  cluster.Start();
+  cluster.RunFor(2.0);
+
+  auto job = runtime.Submit(FaultWorkload(machines));
+  FUXI_CHECK(job.ok()) << job.status();
+  double start = cluster.sim().Now();
+
+  if (fault_ratio > 0) {
+    trace::FaultPlan plan = trace::MakeFaultPlan(
+        fault_ratio, static_cast<size_t>(machines), seed);
+    // Spread the injections over the first half of the expected run.
+    double at = 30;
+    for (MachineId m : plan.node_down) {
+      cluster.sim().Schedule(at, [&cluster, m] { cluster.HaltMachine(m); });
+      at += 25;
+    }
+    for (MachineId m : plan.partial_worker_failure) {
+      // Disk corrupted: processes cannot be (re)launched and running
+      // ones keep dying.
+      cluster.sim().Schedule(at, [&cluster, m] {
+        for (const agent::Process* p : cluster.host(m)->Alive()) {
+          cluster.agent(m)->InjectWorkerCrash(p->id);
+        }
+        cluster.SetMachineHealth(m, 0.1);  // plugin sees the sick disk
+      });
+      at += 25;
+    }
+    for (MachineId m : plan.slow_machine) {
+      cluster.sim().Schedule(at, [&cluster, m] {
+        cluster.SetMachineSlowdown(m, 3.0);
+      });
+      at += 10;
+    }
+  }
+  if (kill_master) {
+    cluster.sim().Schedule(200, [&cluster] { cluster.KillPrimaryMaster(); });
+  }
+
+  RunResult result;
+  result.finished = runtime.RunUntilAllFinished(start + 30000);
+  result.elapsed =
+      ((*job)->finished() ? (*job)->stats().finished_at
+                          : cluster.sim().Now()) -
+      start;
+  result.backups = (*job)->stats().backups_launched;
+  result.failures = (*job)->stats().instance_failures;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fuxi;
+  SetLogLevel(LogLevel::kError);
+  bool full = std::getenv("FUXI_BENCH_FULL") != nullptr &&
+              std::getenv("FUXI_BENCH_FULL")[0] == '1';
+  int machines = full ? 300 : 100;
+
+  std::printf("=== Table 3 / §5.4: fault-injection overhead (%d nodes) "
+              "===\n\n",
+              machines);
+  RunResult normal = RunScenario(machines, 0.0, false, 1);
+  RunResult five = RunScenario(machines, 0.05, false, 2);
+  RunResult ten = RunScenario(machines, 0.10, false, 3);
+  RunResult five_master = RunScenario(machines, 0.05, true, 2);
+
+  auto row = [&](const char* name, const RunResult& r,
+                 const char* paper) {
+    double overhead =
+        normal.elapsed > 0
+            ? 100.0 * (r.elapsed - normal.elapsed) / normal.elapsed
+            : 0;
+    std::printf("%-28s %9.0fs %8.1f%% %9lld %9lld %5s   %s\n", name,
+                r.elapsed, overhead, static_cast<long long>(r.backups),
+                static_cast<long long>(r.failures),
+                r.finished ? "yes" : "NO", paper);
+  };
+  std::printf("%-28s %10s %9s %9s %9s %5s   %s\n", "scenario", "elapsed",
+              "overhead", "backups", "failures", "done", "paper");
+  row("no faults", normal, "1437s baseline");
+  row("5% faults", five, "1662s (+15.7%)");
+  row("10% faults", ten, "1762s (+19.6%)");
+  row("5% + FuxiMaster kill", five_master, "+~13s vs 5%");
+  std::printf("\nmaster-kill extra vs 5%%: %+.0fs (paper: ~13s)\n",
+              five_master.elapsed - five.elapsed);
+  return 0;
+}

@@ -1,0 +1,229 @@
+// Scenario runner: drives a full simulated Fuxi cluster from a JSON
+// scenario file — cluster shape, jobs (in the paper's job-description
+// format) and a fault schedule — and prints a run report. This is the
+// "command line tools for users to manipulate the job" surface of §4.2
+// adapted to the simulator.
+//
+//   ./build/examples/scenario_runner examples/scenario_demo.json
+//   ./build/examples/scenario_runner --demo     # built-in scenario
+//
+// Scenario format:
+// {
+//   "Cluster": {"Racks": 2, "MachinesPerRack": 5,
+//               "CpuCentiCores": 1200, "MemoryMB": 98304},
+//   "Jobs": [ {"SubmitAt": 0, "Description": { ...Figure 6 format... }} ],
+//   "Faults": [
+//     {"At": 20, "Type": "NodeDown",     "Machine": 3},
+//     {"At": 30, "Type": "SlowMachine",  "Machine": 4, "Factor": 4.0},
+//     {"At": 40, "Type": "KillMaster"},
+//     {"At": 50, "Type": "KillJobMaster","Job": 0, "RestartAfter": 5}
+//   ],
+//   "Deadline": 600
+// }
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "job/job_runtime.h"
+#include "runtime/sim_cluster.h"
+
+namespace {
+
+using namespace fuxi;
+
+const char* kDemoScenario = R"({
+  "Cluster": {"Racks": 2, "MachinesPerRack": 5},
+  "Jobs": [
+    {"SubmitAt": 0, "Description": {
+      "Name": "etl",
+      "Tasks": {
+        "extract": {"Instances": 30, "MaxWorkers": 10,
+                    "InstanceSeconds": 2.0},
+        "load":    {"Instances": 10, "MaxWorkers": 5,
+                    "InstanceSeconds": 3.0}
+      },
+      "Pipes": [{"Source": {"AccessPoint": "extract:out"},
+                 "Destination": {"AccessPoint": "load:in"}}]
+    }},
+    {"SubmitAt": 5, "Description": {
+      "Name": "report",
+      "Tasks": {"crunch": {"Instances": 20, "MaxWorkers": 8,
+                           "InstanceSeconds": 2.5}},
+      "Pipes": []
+    }}
+  ],
+  "Faults": [
+    {"At": 10, "Type": "NodeDown", "Machine": 2},
+    {"At": 15, "Type": "SlowMachine", "Machine": 5, "Factor": 4.0},
+    {"At": 20, "Type": "KillMaster"}
+  ],
+  "Deadline": 400
+})";
+
+int Run(const Json& scenario) {
+  const Json* cluster_spec = scenario.Find("Cluster");
+  runtime::SimClusterOptions options;
+  if (cluster_spec != nullptr) {
+    options.topology.racks =
+        static_cast<int>(cluster_spec->GetInt("Racks", 2));
+    options.topology.machines_per_rack =
+        static_cast<int>(cluster_spec->GetInt("MachinesPerRack", 5));
+    options.topology.machine_capacity = cluster::ResourceVector(
+        cluster_spec->GetInt("CpuCentiCores", 1200),
+        cluster_spec->GetInt("MemoryMB", 96 * 1024));
+  }
+  runtime::SimCluster cluster(options);
+  job::JobRuntime runtime(&cluster);
+  cluster.Start();
+  cluster.RunFor(2.0);
+  std::printf("cluster up: %zu machines in %zu racks\n",
+              cluster.topology().machine_count(),
+              cluster.topology().rack_count());
+
+  // Submit jobs at their scheduled times.
+  std::vector<job::JobMaster*> jobs;
+  double last_submit_at = 0;
+  const Json* jobs_spec = scenario.Find("Jobs");
+  if (jobs_spec != nullptr && jobs_spec->is_array()) {
+    for (const Json& entry : jobs_spec->as_array()) {
+      const Json* desc_json = entry.Find("Description");
+      if (desc_json == nullptr) continue;
+      auto desc = job::JobDescription::FromJson(*desc_json);
+      if (!desc.ok()) {
+        std::printf("bad job description: %s\n",
+                    desc.status().ToString().c_str());
+        return 1;
+      }
+      double at = entry.GetNumber("SubmitAt", 0);
+      last_submit_at = std::max(last_submit_at, at);
+      // Submission happens inside the simulation timeline.
+      size_t index = jobs.size();
+      jobs.push_back(nullptr);
+      job::JobDescription description = *desc;
+      cluster.sim().Schedule(at, [&runtime, &jobs, index, description] {
+        auto job = runtime.Submit(description);
+        if (job.ok()) {
+          jobs[index] = *job;
+          std::printf("t=%6.1f submitted '%s'\n",
+                      (*job)->stats().submitted_at,
+                      description.name.c_str());
+        }
+      });
+    }
+  }
+
+  // Fault schedule.
+  const Json* faults = scenario.Find("Faults");
+  if (faults != nullptr && faults->is_array()) {
+    for (const Json& fault : faults->as_array()) {
+      double at = fault.GetNumber("At", 0);
+      std::string type = fault.GetString("Type");
+      if (type == "NodeDown") {
+        MachineId machine(fault.GetInt("Machine", 0));
+        cluster.sim().Schedule(at, [&cluster, machine, at] {
+          std::printf("t=%6.1f FAULT NodeDown machine %lld\n", at,
+                      static_cast<long long>(machine.value()));
+          cluster.HaltMachine(machine);
+        });
+      } else if (type == "SlowMachine") {
+        MachineId machine(fault.GetInt("Machine", 0));
+        double factor = fault.GetNumber("Factor", 4.0);
+        cluster.sim().Schedule(at, [&cluster, machine, factor, at] {
+          std::printf("t=%6.1f FAULT SlowMachine machine %lld x%.1f\n",
+                      at, static_cast<long long>(machine.value()), factor);
+          cluster.SetMachineSlowdown(machine, factor);
+        });
+      } else if (type == "KillMaster") {
+        cluster.sim().Schedule(at, [&cluster, at] {
+          std::printf("t=%6.1f FAULT KillMaster (standby takes over)\n",
+                      at);
+          cluster.KillPrimaryMaster();
+        });
+      } else if (type == "KillJobMaster") {
+        size_t job_index = static_cast<size_t>(fault.GetInt("Job", 0));
+        double restart_after = fault.GetNumber("RestartAfter", 5.0);
+        cluster.sim().Schedule(at, [&jobs, job_index, at, restart_after,
+                                    &cluster] {
+          if (job_index >= jobs.size() || jobs[job_index] == nullptr) {
+            return;
+          }
+          std::printf("t=%6.1f FAULT KillJobMaster job %zu\n", at,
+                      job_index);
+          jobs[job_index]->CrashMaster();
+          cluster.sim().Schedule(restart_after, [&jobs, job_index] {
+            if (jobs[job_index] != nullptr) {
+              jobs[job_index]->RestartMaster();
+            }
+          });
+        });
+      } else {
+        std::printf("unknown fault type '%s' ignored\n", type.c_str());
+      }
+    }
+  }
+
+  double deadline = scenario.GetNumber("Deadline", 600);
+  // Let every scheduled submission fire before polling for completion
+  // (an empty job set would otherwise count as "all finished").
+  cluster.RunFor(last_submit_at + 0.5);
+  runtime.RunUntilAllFinished(deadline);
+
+  std::printf("\n=== report (t=%.1f) ===\n", cluster.sim().Now());
+  bool all_finished = true;
+  for (job::JobMaster* job : jobs) {
+    if (job == nullptr) continue;
+    const job::JobMaster::Stats& stats = job->stats();
+    std::printf(
+        "job '%s': %s, %lld instances done, %lld workers started, "
+        "%lld failures absorbed, %lld backups, elapsed %.1f s\n",
+        job->description().name.c_str(),
+        job->finished() ? "finished" : "INCOMPLETE",
+        static_cast<long long>(stats.instances_done),
+        static_cast<long long>(stats.workers_started),
+        static_cast<long long>(stats.instance_failures),
+        static_cast<long long>(stats.backups_launched),
+        (job->finished() ? stats.finished_at : cluster.sim().Now()) -
+            stats.am_started_at);
+    all_finished &= job->finished();
+  }
+  master::FuxiMaster* primary = cluster.primary();
+  std::printf("FuxiMaster generation: %llu (1 = no failover happened)\n",
+              static_cast<unsigned long long>(
+                  primary != nullptr ? primary->generation() : 0));
+  const net::NetworkStats& net = cluster.network().stats();
+  std::printf("network: %llu messages, %llu dropped, %s sent\n",
+              static_cast<unsigned long long>(net.messages_sent),
+              static_cast<unsigned long long>(net.messages_dropped),
+              FormatBytes(static_cast<double>(net.bytes_sent)).c_str());
+  return all_finished ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text;
+  if (argc < 2 || std::string(argv[1]) == "--demo") {
+    text = kDemoScenario;
+    std::printf("running the built-in demo scenario "
+                "(pass a JSON file to run your own)\n\n");
+  } else {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  auto scenario = fuxi::Json::Parse(text);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario parse error: %s\n",
+                 scenario.status().ToString().c_str());
+    return 2;
+  }
+  return Run(*scenario);
+}

@@ -1,0 +1,92 @@
+// TeraSort — a GraySort-style distributed sort, twice over:
+//  1. the real data plane with Streamline operators: sample boundaries,
+//     map-side sort + range partition, reduce-side merge; verified
+//     sorted output; and
+//  2. the cluster-scale sort scheduled through the full Fuxi stack with
+//     the modelled data plane (the Table 4 experiment in miniature).
+//
+//   ./build/examples/terasort
+
+#include <cstdio>
+
+#include "dataflow/streamline.h"
+#include "job/job_runtime.h"
+#include "sort/graysort.h"
+
+int main() {
+  using namespace fuxi;
+  using namespace fuxi::dataflow;
+
+  // ---------------------------------------------------------------
+  // Part 1: really sort 200k random 100-byte records, GraySort style.
+  // ---------------------------------------------------------------
+  constexpr size_t kRecords = 200000;
+  constexpr size_t kMappers = 8;
+  constexpr size_t kReducers = 6;
+  Records input = streamline::GenerateRandomRecords(kRecords, 2024);
+  std::printf("generated %zu records (%zu MB)\n", input.size(),
+              input.size() * 100 / (1024 * 1024));
+
+  auto boundaries =
+      streamline::SampleBoundaries(input, kReducers, 10000, 7);
+  std::printf("sampled %zu boundary keys for %zu reducers\n",
+              boundaries.size(), kReducers);
+
+  // Map side: each mapper sorts its slice and range-partitions it.
+  std::vector<std::vector<Records>> shuffle(kMappers);
+  size_t slice = input.size() / kMappers;
+  for (size_t m = 0; m < kMappers; ++m) {
+    Records part(
+        input.begin() + static_cast<long>(m * slice),
+        m + 1 == kMappers ? input.end()
+                          : input.begin() + static_cast<long>((m + 1) * slice));
+    streamline::Sort(&part);
+    shuffle[m] = streamline::RangePartition(part, boundaries);
+  }
+  // Reduce side: merge the runs per range and concatenate.
+  Records output;
+  output.reserve(input.size());
+  for (size_t r = 0; r <= boundaries.size(); ++r) {
+    std::vector<Records> runs;
+    for (size_t m = 0; m < kMappers; ++m) runs.push_back(shuffle[m][r]);
+    Records merged = streamline::MergeSorted(runs);
+    output.insert(output.end(), merged.begin(), merged.end());
+  }
+  bool sorted = streamline::IsSorted(output) &&
+                output.size() == input.size();
+  std::printf("distributed sort: %zu records out, sorted: %s\n\n",
+              output.size(), sorted ? "YES" : "NO");
+  if (!sorted) return 1;
+
+  // ---------------------------------------------------------------
+  // Part 2: the cluster-scale sort through the Fuxi control plane.
+  // ---------------------------------------------------------------
+  runtime::SimClusterOptions options;
+  options.topology.racks = 2;
+  options.topology.machines_per_rack = 10;
+  options.topology.machine_capacity =
+      cluster::ResourceVector(1200, 96 * 1024);
+  runtime::SimCluster cluster(options);
+  job::JobRuntime runtime(&cluster);
+  cluster.Start();
+  cluster.RunFor(2.0);
+
+  sort::GraySortConfig config;
+  config.data_bytes = 100LL << 30;  // 100 GB over 20 machines
+  config.map_bytes_per_instance = 512LL << 20;
+  config.workers_per_machine = 4;
+  auto report = sort::RunGraySort(&cluster, &runtime, config, 20000);
+  if (!report.ok()) {
+    std::printf("graysort failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("cluster sort of %.0f GB on 20 nodes: %.0f s "
+              "(%.3f TB/min), %lld map + %lld reduce instances, "
+              "finished: %s\n",
+              static_cast<double>(report->data_bytes) / (1 << 30),
+              report->elapsed_seconds, report->tb_per_minute,
+              static_cast<long long>(report->map_instances),
+              static_cast<long long>(report->reduce_instances),
+              report->finished ? "yes" : "no");
+  return report->finished ? 0 : 1;
+}

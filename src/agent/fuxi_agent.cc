@@ -1,0 +1,359 @@
+#include "agent/fuxi_agent.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "master/fuxi_master.h"
+
+namespace fuxi::agent {
+
+FuxiAgent::FuxiAgent(sim::Simulator* simulator, net::Network* network,
+                     coord::LockService* locks, ProcessHost* host,
+                     const cluster::ClusterTopology* topology, NodeId self,
+                     FuxiAgentOptions options)
+    : Actor(simulator),
+      network_(network),
+      locks_(locks),
+      host_(host),
+      topology_(topology),
+      self_(self),
+      options_(options) {
+  endpoint_.Handle<master::AgentCapacityRpc>(
+      [this](const net::Envelope&, const master::AgentCapacityRpc& rpc) {
+        if (alive_) OnCapacity(rpc);
+      });
+  endpoint_.Handle<master::StartWorkerRpc>(
+      [this](const net::Envelope& env, const master::StartWorkerRpc& rpc) {
+        if (alive_) OnStartWorker(env, rpc);
+      });
+  endpoint_.Handle<master::StopWorkerRpc>(
+      [this](const net::Envelope&, const master::StopWorkerRpc& rpc) {
+        if (alive_) OnStopWorker(rpc);
+      });
+  endpoint_.Handle<master::AdoptReplyRpc>(
+      [this](const net::Envelope&, const master::AdoptReplyRpc& rpc) {
+        if (alive_) OnAdoptReply(rpc);
+      });
+  endpoint_.Handle<master::AgentHeartbeatAckRpc>(
+      [this](const net::Envelope&, const master::AgentHeartbeatAckRpc& rpc) {
+        if (alive_) OnHeartbeatAck(rpc);
+      });
+  endpoint_.Handle<master::StartAppMasterRpc>(
+      [this](const net::Envelope&, const master::StartAppMasterRpc& rpc) {
+        if (alive_) OnStartAppMaster(rpc);
+      });
+}
+
+void FuxiAgent::Start() {
+  FUXI_CHECK(!alive_);
+  alive_ = true;
+  ++life_;
+  network_->Register(self_, &endpoint_);
+  send_allocations_next_ = true;
+  HeartbeatTick();
+}
+
+void FuxiAgent::Crash() {
+  if (!alive_) return;
+  alive_ = false;
+  ++life_;
+  network_->Unregister(self_);
+  // Soft state lost with the daemon; processes keep running in the
+  // ProcessHost (user-transparent agent failover, §4.3.1).
+  capacity_.clear();
+  pending_launches_.clear();
+  restart_counts_.clear();
+}
+
+void FuxiAgent::Restart() {
+  if (alive_) return;
+  alive_ = true;
+  ++life_;
+  network_->Register(self_, &endpoint_);
+  // 1. Adopt running processes.
+  std::map<std::pair<AppId, NodeId>, std::vector<WorkerId>> by_owner;
+  for (const Process* process : host_->Alive()) {
+    by_owner[{process->app, process->owner_am}].push_back(process->id);
+  }
+  // 2. Ask each application master for its authoritative worker list.
+  for (const auto& [owner, workers] : by_owner) {
+    master::AdoptQueryRpc query;
+    query.app = owner.first;
+    query.machine = machine();
+    query.agent_node = self_;
+    query.workers = workers;
+    network_->Send(self_, owner.second, query);
+  }
+  // 3. Re-learn the capacity table from FuxiMaster and resume
+  // heartbeating (allocations included so a failed-over master can
+  // restore soft state too).
+  need_capacity_ = true;
+  send_allocations_next_ = true;
+  HeartbeatTick();
+}
+
+void FuxiAgent::HaltMachine() {
+  // NodeDown: the whole machine dies — daemon and every process.
+  std::vector<WorkerId> to_kill;
+  for (const Process* process : host_->Alive()) {
+    to_kill.push_back(process->id);
+  }
+  for (WorkerId id : to_kill) host_->Kill(id);
+  Crash();
+}
+
+NodeId FuxiAgent::MasterNode() const {
+  return locks_->Holder(master::FuxiMaster::kMasterLock);
+}
+
+void FuxiAgent::HeartbeatTick() {
+  if (!alive_) return;
+  EnforceOverload();
+  SendHeartbeat(send_allocations_next_);
+  send_allocations_next_ = false;
+  uint64_t life = life_;
+  After(options_.heartbeat_interval, [this, life] {
+    if (alive_ && life == life_) HeartbeatTick();
+  });
+}
+
+void FuxiAgent::SendHeartbeat(bool with_allocations) {
+  NodeId primary = MasterNode();
+  if (!primary.valid()) return;  // election in progress; try next tick
+  master::AgentHeartbeatRpc hb;
+  hb.machine = machine();
+  hb.agent_node = self_;
+  hb.seq = ++heartbeat_seq_;
+  hb.health_score = health_score_;
+  hb.capacity = topology_->machine(machine()).capacity;
+  hb.need_capacity = need_capacity_;
+  if (with_allocations) {
+    hb.carries_allocations = true;
+    // Report from the capacity table when we have one (authoritative),
+    // otherwise from adopted processes (post-restart).
+    if (!capacity_.empty()) {
+      for (const auto& [key, entry] : capacity_) {
+        if (entry.count <= 0) continue;
+        hb.allocations.push_back(
+            {key.first, key.second, entry.def, entry.count});
+      }
+    } else {
+      std::map<CapacityKey, master::AgentAllocation> merged;
+      for (const Process* process : host_->Alive()) {
+        CapacityKey key{process->app, process->slot_id};
+        auto [it, inserted] = merged.emplace(
+            key, master::AgentAllocation{process->app, process->slot_id,
+                                         resource::ScheduleUnitDef{}, 0});
+        if (inserted) {
+          it->second.def.slot_id = process->slot_id;
+          it->second.def.resources = process->limit;
+        }
+        it->second.count += 1;
+      }
+      for (const auto& [key, alloc] : merged) {
+        hb.allocations.push_back(alloc);
+      }
+    }
+  }
+  network_->Send(self_, primary, hb, 48 + hb.allocations.size() * 48);
+}
+
+void FuxiAgent::OnHeartbeatAck(const master::AgentHeartbeatAckRpc& rpc) {
+  (void)rpc;
+  if (rpc.need_allocations) send_allocations_next_ = true;
+}
+
+void FuxiAgent::OnCapacity(const master::AgentCapacityRpc& rpc) {
+  if (rpc.full) {
+    capacity_.clear();
+    need_capacity_ = false;
+  }
+  for (const master::AgentCapacityRpc::Entry& entry : rpc.entries) {
+    CapacityKey key{entry.app, entry.slot_id};
+    CapacityEntry& cap = capacity_[key];
+    cap.def = entry.def;
+    if (rpc.full) {
+      cap.count = entry.delta;
+    } else {
+      cap.count += entry.delta;
+    }
+    if (cap.count < 0) cap.count = 0;
+    EnforceCapacity(entry.app, entry.slot_id);
+    if (cap.count == 0 &&
+        host_->AliveOf(entry.app, entry.slot_id).empty()) {
+      capacity_.erase(key);
+    }
+  }
+}
+
+void FuxiAgent::EnforceCapacity(AppId app, uint32_t slot_id) {
+  CapacityKey key{app, slot_id};
+  int64_t allowed = 0;
+  if (auto it = capacity_.find(key); it != capacity_.end()) {
+    allowed = it->second.count;
+  }
+  std::vector<const Process*> running = host_->AliveOf(app, slot_id);
+  // Resource capacity ensurance (§2.2): when capacity decreases and the
+  // application master did not stop a process itself, the agent kills
+  // compulsorily — newest first, so long-running work survives.
+  while (static_cast<int64_t>(running.size()) > allowed) {
+    const Process* victim = running.back();
+    running.pop_back();
+    NodeId owner = victim->owner_am;
+    master::WorkerCrashedRpc note;
+    note.app = app;
+    note.slot_id = slot_id;
+    note.worker = victim->id;
+    note.machine = machine();
+    note.restarted = false;
+    host_->Kill(victim->id);
+    ++workers_killed_for_capacity_;
+    network_->Send(self_, owner, note);
+  }
+}
+
+void FuxiAgent::EnforceOverload() {
+  const cluster::ResourceVector& capacity =
+      topology_->machine(machine()).capacity;
+  while (true) {
+    cluster::ResourceVector actual = host_->TotalActualUsage();
+    if (actual.FitsIn(capacity)) return;
+    // Pick the process whose real usage exceeds its own limit the most
+    // (paper §2.2: "select the process whose real resource usage
+    // exceeds its own resource usage most").
+    const Process* victim = nullptr;
+    double worst_excess = 0;
+    for (const Process* process : host_->Alive()) {
+      cluster::ResourceVector over = process->usage - process->limit;
+      double excess = over.ClampNonNegative().DominantShare(capacity);
+      if (victim == nullptr || excess > worst_excess) {
+        victim = process;
+        worst_excess = excess;
+      }
+    }
+    if (victim == nullptr) return;
+    master::WorkerCrashedRpc note;
+    note.app = victim->app;
+    note.slot_id = victim->slot_id;
+    note.worker = victim->id;
+    note.machine = machine();
+    note.restarted = false;
+    NodeId owner = victim->owner_am;
+    host_->Kill(victim->id);
+    ++workers_killed_for_overload_;
+    network_->Send(self_, owner, note);
+  }
+}
+
+void FuxiAgent::OnStartWorker(const net::Envelope& env,
+                              const master::StartWorkerRpc& rpc) {
+  (void)env;
+  master::WorkerStartedRpc reply;
+  reply.plan_id = rpc.plan_id;
+  reply.machine = machine();
+  CapacityKey key{rpc.app, rpc.slot_id};
+  auto it = capacity_.find(key);
+  int64_t allowed = it == capacity_.end() ? 0 : it->second.count;
+  int64_t running =
+      static_cast<int64_t>(host_->AliveOf(rpc.app, rpc.slot_id).size());
+  int64_t launching = pending_launches_[key];
+  if (running + launching >= allowed) {
+    // The agent only starts processes backed by granted capacity
+    // (process isolation rule 1, §2.2).
+    reply.ok = false;
+    reply.error = "no capacity granted for this app/slot on the machine";
+    network_->Send(self_, rpc.am_node, reply);
+    return;
+  }
+  // Worker start is not free: the package must be fetched and the
+  // process brought up (Table 2's worker start overhead).
+  pending_launches_[key] += 1;
+  uint64_t life = life_;
+  cluster::ResourceVector limit = it->second.def.resources;
+  master::StartWorkerRpc plan = rpc;
+  After(options_.worker_start_seconds, [this, life, key, limit, plan] {
+    if (!alive_ || life != life_) return;
+    pending_launches_[key] -= 1;
+    if (pending_launches_[key] <= 0) pending_launches_.erase(key);
+    master::WorkerStartedRpc late_reply;
+    late_reply.plan_id = plan.plan_id;
+    late_reply.machine = machine();
+    // Re-check capacity: it may have been revoked during the download.
+    auto cap_it = capacity_.find(key);
+    int64_t now_allowed = cap_it == capacity_.end() ? 0 : cap_it->second.count;
+    int64_t now_running = static_cast<int64_t>(
+        host_->AliveOf(plan.app, plan.slot_id).size());
+    if (now_running >= now_allowed) {
+      late_reply.ok = false;
+      late_reply.error = "capacity revoked during worker start";
+      network_->Send(self_, plan.am_node, late_reply);
+      return;
+    }
+    WorkerId worker = host_->Launch(plan.app, plan.slot_id, plan.am_node,
+                                    limit, plan.plan, Now());
+    ++workers_started_;
+    late_reply.ok = true;
+    late_reply.worker = worker;
+    network_->Send(self_, plan.am_node, late_reply);
+  });
+}
+
+void FuxiAgent::OnStopWorker(const master::StopWorkerRpc& rpc) {
+  host_->Kill(rpc.worker);
+  restart_counts_.erase(rpc.worker);
+}
+
+void FuxiAgent::OnAdoptReply(const master::AdoptReplyRpc& rpc) {
+  // Kill adopted workers of this app that its master no longer wants.
+  std::set<WorkerId> keep(rpc.keep.begin(), rpc.keep.end());
+  std::vector<WorkerId> to_kill;
+  for (const Process* process : host_->Alive()) {
+    if (process->app == rpc.app && keep.count(process->id) == 0) {
+      to_kill.push_back(process->id);
+    }
+  }
+  for (WorkerId id : to_kill) host_->Kill(id);
+}
+
+void FuxiAgent::InjectWorkerCrash(WorkerId worker) {
+  const Process* process = host_->Find(worker);
+  if (process == nullptr || !alive_) return;
+  Process copy = *process;
+  host_->Kill(worker);
+
+  master::WorkerCrashedRpc note;
+  note.app = copy.app;
+  note.slot_id = copy.slot_id;
+  note.worker = worker;
+  note.machine = machine();
+
+  int& restarts = restart_counts_[worker];
+  if (restarts < options_.worker_restart_limit) {
+    ++restarts;
+    // Restart in place under the same grant (paper: the agent watches
+    // the worker's status and restarts it if it crashes).
+    WorkerId replacement = host_->Launch(copy.app, copy.slot_id,
+                                         copy.owner_am, copy.limit,
+                                         copy.plan, Now());
+    ++workers_started_;
+    note.restarted = true;
+    note.replacement = replacement;
+  }
+  network_->Send(self_, copy.owner_am, note);
+}
+
+int64_t FuxiAgent::CapacityOf(AppId app, uint32_t slot_id) const {
+  auto it = capacity_.find({app, slot_id});
+  return it == capacity_.end() ? 0 : it->second.count;
+}
+
+void FuxiAgent::OnStartAppMaster(const master::StartAppMasterRpc& rpc) {
+  // Starting the JobMaster process also takes time (Table 2: ~1.9 s).
+  uint64_t life = life_;
+  After(options_.app_master_start_seconds, [this, life, rpc] {
+    if (!alive_ || life != life_) return;
+    if (am_launcher_) am_launcher_(rpc, machine());
+  });
+}
+
+}  // namespace fuxi::agent

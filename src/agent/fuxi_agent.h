@@ -1,0 +1,155 @@
+#ifndef FUXI_AGENT_FUXI_AGENT_H_
+#define FUXI_AGENT_FUXI_AGENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/process_host.h"
+#include "cluster/topology.h"
+#include "common/ids.h"
+#include "coord/lock_service.h"
+#include "master/messages.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace fuxi::agent {
+
+struct FuxiAgentOptions {
+  double heartbeat_interval = 1.0;
+  /// How many times a crashed worker is restarted in place before the
+  /// failure is only reported to the application master.
+  int worker_restart_limit = 2;
+  /// Time to bring a worker process up (package download + exec). The
+  /// paper measures 11.84 s with 400 MB worker binaries (Table 2); the
+  /// default models a warm package cache. This cost is exactly why
+  /// container reuse (§3.2.3) matters.
+  double worker_start_seconds = 2.0;
+  /// Time to start an application master process (Table 2: 1.91 s).
+  double app_master_start_seconds = 1.0;
+};
+
+/// The per-machine daemon (paper §2.2): reports machine status to
+/// FuxiMaster, starts/stops application workers on behalf of
+/// application masters, and enforces resource capacity — if the granted
+/// capacity shrinks below what is running, it kills processes
+/// compulsorily ("resource capacity ensurance"); if the machine
+/// overloads, the Cgroup policy kills the process exceeding its limit
+/// the most.
+///
+/// Supports transparent failover: on restart it adopts the processes
+/// still running in the machine's ProcessHost, re-learns its capacity
+/// table from FuxiMaster, and asks each application master which
+/// adopted workers to keep (§4.3.1).
+class FuxiAgent : public sim::Actor {
+ public:
+  /// Asked to start an application master for a submitted app; wired by
+  /// the job runtime (or test harness).
+  using AppMasterLauncher =
+      std::function<void(const master::StartAppMasterRpc&, MachineId)>;
+
+  FuxiAgent(sim::Simulator* simulator, net::Network* network,
+            coord::LockService* locks, ProcessHost* host,
+            const cluster::ClusterTopology* topology, NodeId self,
+            FuxiAgentOptions options = {});
+
+  void Start();
+
+  /// Simulated daemon crash: heartbeats stop, capacity table is lost.
+  /// Running processes keep running (they live in the ProcessHost).
+  void Crash();
+
+  /// Restart after a crash: adopts running processes and rebuilds state
+  /// from FuxiMaster and the application masters.
+  void Restart();
+
+  /// Machine halt (NodeDown fault): every process dies with the host.
+  void HaltMachine();
+
+  bool is_alive() const { return alive_; }
+  NodeId node() const { return self_; }
+  MachineId machine() const { return host_->machine(); }
+
+  /// Fault injection: the health score reported in heartbeats
+  /// (SlowMachine scenarios lower it).
+  void set_health_score(double score) { health_score_ = score; }
+  double health_score() const { return health_score_; }
+
+  void set_app_master_launcher(AppMasterLauncher launcher) {
+    am_launcher_ = std::move(launcher);
+  }
+
+  /// Capacity granted to (app, slot) according to the agent's table.
+  int64_t CapacityOf(AppId app, uint32_t slot_id) const;
+
+  /// Simulates a worker process crash (PartialWorkerFailure injection):
+  /// the agent notices and applies its restart-in-place policy.
+  void InjectWorkerCrash(WorkerId worker);
+
+  uint64_t workers_started() const { return workers_started_; }
+  uint64_t workers_killed_for_capacity() const {
+    return workers_killed_for_capacity_;
+  }
+  uint64_t workers_killed_for_overload() const {
+    return workers_killed_for_overload_;
+  }
+
+ private:
+  struct CapacityEntry {
+    resource::ScheduleUnitDef def;
+    int64_t count = 0;
+  };
+  using CapacityKey = std::pair<AppId, uint32_t>;
+
+  void OnCapacity(const master::AgentCapacityRpc& rpc);
+  void OnStartWorker(const net::Envelope& env,
+                     const master::StartWorkerRpc& rpc);
+  void OnStopWorker(const master::StopWorkerRpc& rpc);
+  void OnAdoptReply(const master::AdoptReplyRpc& rpc);
+  void OnHeartbeatAck(const master::AgentHeartbeatAckRpc& rpc);
+  void OnStartAppMaster(const master::StartAppMasterRpc& rpc);
+
+  void HeartbeatTick();
+  void SendHeartbeat(bool with_allocations);
+  /// Cgroup soft/hard-limit policy (§2.2 isolation rule 2): when the
+  /// machine's actual usage exceeds its capacity, kill the process
+  /// whose real usage exceeds its own limit the most, until the load is
+  /// acceptable again.
+  void EnforceOverload();
+  /// Kills processes of (app, slot) until the running count fits the
+  /// granted capacity (resource capacity ensurance).
+  void EnforceCapacity(AppId app, uint32_t slot_id);
+  NodeId MasterNode() const;
+
+  net::Network* network_;
+  coord::LockService* locks_;
+  ProcessHost* host_;
+  const cluster::ClusterTopology* topology_;
+  NodeId self_;
+  FuxiAgentOptions options_;
+
+  bool alive_ = false;
+  uint64_t life_ = 0;
+  double health_score_ = 1.0;
+  uint64_t heartbeat_seq_ = 0;
+  bool send_allocations_next_ = true;  ///< first contact reports state
+  bool need_capacity_ = false;
+
+  net::Endpoint endpoint_;
+  std::map<CapacityKey, CapacityEntry> capacity_;
+  /// Launches in progress (accepted, still "downloading the package").
+  std::map<CapacityKey, int64_t> pending_launches_;
+  /// Restart-in-place counters per worker lineage.
+  std::map<WorkerId, int> restart_counts_;
+  AppMasterLauncher am_launcher_;
+
+  uint64_t workers_started_ = 0;
+  uint64_t workers_killed_for_capacity_ = 0;
+  uint64_t workers_killed_for_overload_ = 0;
+};
+
+}  // namespace fuxi::agent
+
+#endif  // FUXI_AGENT_FUXI_AGENT_H_

@@ -1,0 +1,149 @@
+#ifndef FUXI_AGENT_PROCESS_HOST_H_
+#define FUXI_AGENT_PROCESS_HOST_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cluster/resource_vector.h"
+#include "common/ids.h"
+#include "common/json.h"
+
+namespace fuxi::agent {
+
+/// One OS process the machine is running (an application worker or an
+/// application master).
+struct Process {
+  WorkerId id;
+  AppId app;
+  uint32_t slot_id = 0;
+  NodeId owner_am;  ///< the application master controlling it
+  cluster::ResourceVector limit;  ///< Cgroup limit (the grant's unit size)
+  /// Actual consumption (soft-limit model); defaults to the limit. The
+  /// harness raises it to simulate memory-leaking / bursting processes.
+  cluster::ResourceVector usage;
+  Json plan;
+  double started_at = 0;
+  bool alive = true;
+};
+
+/// The machine's process table. Deliberately owned by the *machine*
+/// (the harness), not by the FuxiAgent: when the agent crashes and
+/// restarts, "existing running tasks will be adopted rather than being
+/// killed" (§1) — so the processes must survive the agent. Launch/kill
+/// callbacks let the job runtime attach real worker behaviour.
+class ProcessHost {
+ public:
+  /// Invoked when a process starts; the job runtime spawns the worker
+  /// actor here.
+  using LaunchHook = std::function<void(const Process&)>;
+  /// Invoked when a process is killed or dies.
+  using KillHook = std::function<void(const Process&)>;
+
+  /// Worker ids are namespaced by machine so they are unique across the
+  /// cluster (id = machine * 1e6 + local counter).
+  explicit ProcessHost(MachineId machine)
+      : machine_(machine), next_id_(machine.value() * 1000000 + 1) {}
+
+  void set_launch_hook(LaunchHook hook) { launch_hook_ = std::move(hook); }
+  void set_kill_hook(KillHook hook) { kill_hook_ = std::move(hook); }
+
+  MachineId machine() const { return machine_; }
+
+  /// Starts a process and returns its id.
+  WorkerId Launch(AppId app, uint32_t slot_id, NodeId owner_am,
+                  const cluster::ResourceVector& limit, Json plan,
+                  double now) {
+    WorkerId id = next_id_;
+    next_id_ = WorkerId(next_id_.value() + 1);
+    Process process{id,    app, slot_id, owner_am, limit, limit,
+                    std::move(plan), now, true};
+    auto [it, inserted] = processes_.emplace(id, std::move(process));
+    if (launch_hook_) launch_hook_(it->second);
+    return id;
+  }
+
+  /// Kills a process. Returns false when unknown or already dead.
+  bool Kill(WorkerId id) {
+    auto it = processes_.find(id);
+    if (it == processes_.end() || !it->second.alive) return false;
+    it->second.alive = false;
+    if (kill_hook_) kill_hook_(it->second);
+    processes_.erase(it);
+    return true;
+  }
+
+  const Process* Find(WorkerId id) const {
+    auto it = processes_.find(id);
+    return it == processes_.end() ? nullptr : &it->second;
+  }
+
+  /// All live processes, in id order.
+  std::vector<const Process*> Alive() const {
+    std::vector<const Process*> out;
+    for (const auto& [id, process] : processes_) {
+      if (process.alive) out.push_back(&process);
+    }
+    return out;
+  }
+
+  /// Live processes of one application (newest last).
+  std::vector<const Process*> AliveOf(AppId app, uint32_t slot_id) const {
+    std::vector<const Process*> out;
+    for (const auto& [id, process] : processes_) {
+      if (process.alive && process.app == app &&
+          process.slot_id == slot_id) {
+        out.push_back(&process);
+      }
+    }
+    return out;
+  }
+
+  /// Sum of the resource limits of live processes (the machine "load"
+  /// the Cgroup controller compares against capacity).
+  cluster::ResourceVector TotalUsage() const {
+    cluster::ResourceVector total;
+    for (const auto& [id, process] : processes_) {
+      if (process.alive) total += process.limit;
+    }
+    return total;
+  }
+
+  /// Sum of the ACTUAL usage of live processes (soft-limit model).
+  cluster::ResourceVector TotalActualUsage() const {
+    cluster::ResourceVector total;
+    for (const auto& [id, process] : processes_) {
+      if (process.alive) total += process.usage;
+    }
+    return total;
+  }
+
+  /// Overrides a process's actual usage (fault injection: runaway
+  /// worker). Returns false for unknown/dead processes.
+  bool SetProcessUsage(WorkerId id, const cluster::ResourceVector& usage) {
+    auto it = processes_.find(id);
+    if (it == processes_.end() || !it->second.alive) return false;
+    it->second.usage = usage;
+    return true;
+  }
+
+  size_t alive_count() const {
+    size_t n = 0;
+    for (const auto& [id, process] : processes_) {
+      if (process.alive) ++n;
+    }
+    return n;
+  }
+
+ private:
+  MachineId machine_;
+  WorkerId next_id_;
+  std::map<WorkerId, Process> processes_;
+  LaunchHook launch_hook_;
+  KillHook kill_hook_;
+};
+
+}  // namespace fuxi::agent
+
+#endif  // FUXI_AGENT_PROCESS_HOST_H_

@@ -1,0 +1,216 @@
+#include "baseline/yarn_like.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fuxi::baseline {
+
+YarnLikeScheduler::YarnLikeScheduler(
+    const cluster::ClusterTopology* topology)
+    : topology_(topology) {
+  machines_.resize(topology->machine_count());
+  for (const cluster::Machine& machine : topology->machines()) {
+    machines_[static_cast<size_t>(machine.id.value())].free =
+        machine.capacity;
+  }
+}
+
+Status YarnLikeScheduler::RegisterApp(
+    AppId app, const cluster::ResourceVector& container) {
+  if (apps_.count(app) > 0) {
+    return Status::AlreadyExists("app exists: " + app.ToString());
+  }
+  AppState state;
+  state.app = app;
+  state.container = container;
+  state.enqueue_seq = next_seq_++;
+  apps_.emplace(app, state);
+  fifo_.push_back(app);
+  return Status::Ok();
+}
+
+Status YarnLikeScheduler::UnregisterApp(AppId app) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) return Status::NotFound("no app");
+  for (MachineState& machine : machines_) {
+    auto mit = machine.containers.find(app);
+    if (mit != machine.containers.end()) {
+      machine.free += it->second.container * mit->second;
+      machine.containers.erase(mit);
+    }
+  }
+  apps_.erase(it);
+  fifo_.erase(std::remove(fifo_.begin(), fifo_.end(), app), fifo_.end());
+  return Status::Ok();
+}
+
+Status YarnLikeScheduler::Heartbeat(AppId app, int64_t outstanding) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) return Status::NotFound("no app");
+  // The whole ask is re-asserted every heartbeat — this is exactly the
+  // repetitive full-demand messaging Fuxi's incremental protocol avoids.
+  ++stats_.ask_messages;
+  stats_.ask_entries += static_cast<uint64_t>(outstanding);
+  it->second.outstanding = outstanding;
+  return Status::Ok();
+}
+
+void YarnLikeScheduler::Tick(resource::SchedulingResult* result) {
+  // Node-heartbeat-driven assignment: walk every machine and hand free
+  // space to applications in FIFO order.
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    MachineState& machine = machines_[m];
+    for (AppId app : fifo_) {
+      AppState& state = apps_[app];
+      while (state.outstanding > 0 &&
+             state.container.FitsIn(machine.free)) {
+        machine.free -= state.container;
+        machine.containers[app] += 1;
+        --state.outstanding;
+        ++state.granted;
+        ++stats_.containers_granted;
+        result->assignments.push_back(resource::Assignment{
+            app, 0, MachineId(static_cast<int64_t>(m)), 1});
+      }
+    }
+  }
+}
+
+Status YarnLikeScheduler::CompleteContainer(
+    AppId app, MachineId machine, resource::SchedulingResult* result) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) return Status::NotFound("no app");
+  MachineState& state = machines_[static_cast<size_t>(machine.value())];
+  auto mit = state.containers.find(app);
+  if (mit == state.containers.end() || mit->second == 0) {
+    return Status::NotFound("no container on machine");
+  }
+  // Node manager reclaims the container immediately; the application
+  // master must go through another scheduling round for its next task.
+  mit->second -= 1;
+  if (mit->second == 0) state.containers.erase(mit);
+  state.free += it->second.container;
+  it->second.granted -= 1;
+  ++stats_.containers_reclaimed;
+  result->revocations.push_back(resource::Revocation{
+      app, 0, machine, 1, resource::RevocationReason::kAppRelease});
+  return Status::Ok();
+}
+
+void YarnLikeScheduler::FailoverLosesEverything(
+    resource::SchedulingResult* result) {
+  for (auto& [app, state] : apps_) {
+    if (state.granted > 0) {
+      ++stats_.restarts_on_failover;
+    }
+    state.granted = 0;
+    state.outstanding = 0;
+  }
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    MachineState& machine = machines_[m];
+    for (const auto& [app, count] : machine.containers) {
+      result->revocations.push_back(resource::Revocation{
+          app, 0, MachineId(static_cast<int64_t>(m)), count,
+          resource::RevocationReason::kMachineDown});
+    }
+    machine.containers.clear();
+    machine.free =
+        topology_->machine(MachineId(static_cast<int64_t>(m))).capacity;
+  }
+}
+
+cluster::ResourceVector YarnLikeScheduler::TotalGranted() const {
+  cluster::ResourceVector total;
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    total += topology_->machine(MachineId(static_cast<int64_t>(m)))
+                 .capacity -
+             machines_[m].free;
+  }
+  return total;
+}
+
+int64_t YarnLikeScheduler::GrantedCount(AppId app) const {
+  auto it = apps_.find(app);
+  return it == apps_.end() ? 0 : it->second.granted;
+}
+
+MesosLikeScheduler::MesosLikeScheduler(
+    const cluster::ClusterTopology* topology)
+    : topology_(topology) {
+  machines_.resize(topology->machine_count());
+  for (const cluster::Machine& machine : topology->machines()) {
+    machines_[static_cast<size_t>(machine.id.value())].free =
+        machine.capacity;
+  }
+}
+
+Status MesosLikeScheduler::RegisterFramework(
+    AppId app, const cluster::ResourceVector& container) {
+  if (frameworks_.count(app) > 0) {
+    return Status::AlreadyExists("framework exists");
+  }
+  FrameworkState state;
+  state.app = app;
+  state.container = container;
+  frameworks_.emplace(app, state);
+  round_robin_.push_back(app);
+  return Status::Ok();
+}
+
+Status MesosLikeScheduler::SetDemand(AppId app, int64_t outstanding) {
+  auto it = frameworks_.find(app);
+  if (it == frameworks_.end()) return Status::NotFound("no framework");
+  it->second.outstanding = outstanding;
+  return Status::Ok();
+}
+
+void MesosLikeScheduler::OfferRound(resource::SchedulingResult* result) {
+  if (round_robin_.empty()) return;
+  // Everything free is offered to ONE framework; the others wait their
+  // turn even if this one needs nothing (the §1 criticism).
+  AppId app = round_robin_[cursor_ % round_robin_.size()];
+  ++cursor_;
+  FrameworkState& framework = frameworks_[app];
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    MachineState& machine = machines_[m];
+    if (machine.free.IsZero()) continue;
+    ++stats_.offers_made;
+    bool used = false;
+    while (framework.outstanding > 0 &&
+           framework.container.FitsIn(machine.free)) {
+      machine.free -= framework.container;
+      machine.containers[app] += 1;
+      --framework.outstanding;
+      ++framework.granted;
+      ++stats_.containers_granted;
+      used = true;
+      result->assignments.push_back(resource::Assignment{
+          app, 0, MachineId(static_cast<int64_t>(m)), 1});
+    }
+    if (!used) ++stats_.offers_declined;
+  }
+}
+
+Status MesosLikeScheduler::Release(AppId app, MachineId machine,
+                                   int64_t count) {
+  auto it = frameworks_.find(app);
+  if (it == frameworks_.end()) return Status::NotFound("no framework");
+  MachineState& state = machines_[static_cast<size_t>(machine.value())];
+  auto mit = state.containers.find(app);
+  if (mit == state.containers.end() || mit->second < count) {
+    return Status::InvalidArgument("release exceeds held containers");
+  }
+  mit->second -= count;
+  if (mit->second == 0) state.containers.erase(mit);
+  state.free += it->second.container * count;
+  it->second.granted -= count;
+  return Status::Ok();
+}
+
+int64_t MesosLikeScheduler::GrantedCount(AppId app) const {
+  auto it = frameworks_.find(app);
+  return it == frameworks_.end() ? 0 : it->second.granted;
+}
+
+}  // namespace fuxi::baseline

@@ -1,0 +1,137 @@
+#ifndef FUXI_BASELINE_YARN_LIKE_H_
+#define FUXI_BASELINE_YARN_LIKE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "resource/request.h"
+
+namespace fuxi::baseline {
+
+/// A deliberately faithful model of the Hadoop/YARN-1.x resource
+/// manager behaviours the paper contrasts Fuxi against (§1, §3.2.3,
+/// §6):
+///   * applications re-assert their full outstanding ask on every
+///     heartbeat instead of sending deltas (message volume!);
+///   * assignment happens on periodic node-heartbeat ticks, not
+///     event-driven on resource free-up;
+///   * a container is tied to one task: when the task completes the node
+///     manager reclaims it and the application must request a fresh one
+///     (no container reuse);
+///   * resource-manager failover forgets the cluster state and restarts
+///     every application.
+/// Used by the comparison/ablation benchmarks.
+class YarnLikeScheduler {
+ public:
+  struct Stats {
+    uint64_t ask_messages = 0;   ///< full-ask heartbeats processed
+    uint64_t ask_entries = 0;    ///< total (re-)asserted ask entries
+    uint64_t containers_granted = 0;
+    uint64_t containers_reclaimed = 0;
+    uint64_t restarts_on_failover = 0;
+  };
+
+  explicit YarnLikeScheduler(const cluster::ClusterTopology* topology);
+
+  Status RegisterApp(AppId app, const cluster::ResourceVector& container);
+  Status UnregisterApp(AppId app);
+
+  /// The application's heartbeat: re-asserts its absolute outstanding
+  /// container count (YARN AMs resend the full ask each round).
+  Status Heartbeat(AppId app, int64_t outstanding);
+
+  /// One scheduling round (node heartbeats): walks machines and hands
+  /// free space to applications FIFO. Appends grants to `result`.
+  void Tick(resource::SchedulingResult* result);
+
+  /// Task completed: the container is reclaimed by the node manager —
+  /// the application cannot keep it (§3.2.3's contrast).
+  Status CompleteContainer(AppId app, MachineId machine,
+                           resource::SchedulingResult* result);
+
+  /// Resource-manager crash: all state is forgotten and every running
+  /// application restarts from zero (§1's YARN fault-tolerance gap).
+  void FailoverLosesEverything(resource::SchedulingResult* result);
+
+  cluster::ResourceVector TotalGranted() const;
+  int64_t GrantedCount(AppId app) const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct AppState {
+    AppId app;
+    cluster::ResourceVector container;
+    int64_t outstanding = 0;
+    int64_t granted = 0;
+    uint64_t enqueue_seq = 0;
+  };
+  struct MachineState {
+    cluster::ResourceVector free;
+    std::map<AppId, int64_t> containers;
+  };
+
+  const cluster::ClusterTopology* topology_;
+  std::map<AppId, AppState> apps_;
+  std::vector<MachineState> machines_;
+  std::deque<AppId> fifo_;
+  uint64_t next_seq_ = 0;
+  Stats stats_;
+};
+
+/// The Mesos-style offer model (§6): the master offers ALL free
+/// resources to one framework at a time; the framework accepts what it
+/// can use and declines the rest, and the next framework must wait for
+/// the next offer round. Captures the paper's criticism that waiting
+/// time depends on the offer order and on other frameworks' behaviour.
+class MesosLikeScheduler {
+ public:
+  struct Stats {
+    uint64_t offers_made = 0;
+    uint64_t offers_declined = 0;  ///< offered machines left unused
+    uint64_t containers_granted = 0;
+  };
+
+  explicit MesosLikeScheduler(const cluster::ClusterTopology* topology);
+
+  Status RegisterFramework(AppId app,
+                           const cluster::ResourceVector& container);
+  /// Sets the framework's current unmet demand (containers).
+  Status SetDemand(AppId app, int64_t outstanding);
+
+  /// One offer round: the next framework in turn sees every free
+  /// machine and takes what fits its demand.
+  void OfferRound(resource::SchedulingResult* result);
+
+  Status Release(AppId app, MachineId machine, int64_t count);
+
+  int64_t GrantedCount(AppId app) const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct FrameworkState {
+    AppId app;
+    cluster::ResourceVector container;
+    int64_t outstanding = 0;
+    int64_t granted = 0;
+  };
+  struct MachineState {
+    cluster::ResourceVector free;
+    std::map<AppId, int64_t> containers;
+  };
+
+  const cluster::ClusterTopology* topology_;
+  std::vector<AppId> round_robin_;
+  size_t cursor_ = 0;
+  std::map<AppId, FrameworkState> frameworks_;
+  std::vector<MachineState> machines_;
+  Stats stats_;
+};
+
+}  // namespace fuxi::baseline
+
+#endif  // FUXI_BASELINE_YARN_LIKE_H_

@@ -1,0 +1,84 @@
+#include "cluster/resource_vector.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace fuxi::cluster {
+
+DimensionRegistry::DimensionRegistry() : names_{"cpu", "memory"} {}
+
+DimensionRegistry& DimensionRegistry::Global() {
+  static DimensionRegistry* registry = new DimensionRegistry();
+  return *registry;
+}
+
+Result<DimensionId> DimensionRegistry::Register(const std::string& name) {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<DimensionId>(i);
+  }
+  if (names_.size() >= kMaxDimensions) {
+    return Status::ResourceExhausted("dimension registry full (" +
+                                     std::to_string(kMaxDimensions) + ")");
+  }
+  names_.push_back(name);
+  return static_cast<DimensionId>(names_.size() - 1);
+}
+
+Result<DimensionId> DimensionRegistry::Find(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<DimensionId>(i);
+  }
+  return Status::NotFound("unknown resource dimension: " + name);
+}
+
+const std::string& DimensionRegistry::Name(DimensionId id) const {
+  static const std::string kUnknown = "?";
+  if (id >= names_.size()) return kUnknown;
+  return names_[id];
+}
+
+void DimensionRegistry::ResetForTest() {
+  names_ = {"cpu", "memory"};
+}
+
+int64_t ResourceVector::DivideBy(const ResourceVector& unit) const {
+  int64_t copies = std::numeric_limits<int64_t>::max();
+  for (size_t i = 0; i < kMaxDimensions; ++i) {
+    int64_t demand = unit.values_[i];
+    if (demand <= 0) continue;
+    int64_t have = values_[i];
+    if (have <= 0) return 0;
+    copies = std::min(copies, have / demand);
+  }
+  return copies;
+}
+
+double ResourceVector::DominantShare(const ResourceVector& capacity) const {
+  double share = 0;
+  for (size_t i = 0; i < kMaxDimensions; ++i) {
+    if (capacity.values_[i] <= 0) continue;
+    share = std::max(share, static_cast<double>(values_[i]) /
+                                static_cast<double>(capacity.values_[i]));
+  }
+  return share;
+}
+
+std::string ResourceVector::ToString() const {
+  std::string out;
+  const DimensionRegistry& registry = DimensionRegistry::Global();
+  for (size_t i = 0; i < kMaxDimensions; ++i) {
+    if (values_[i] == 0) continue;
+    if (!out.empty()) out += " ";
+    std::string name =
+        i < registry.size() ? registry.Name(static_cast<DimensionId>(i))
+                            : "dim" + std::to_string(i);
+    out += StrFormat("%s=%lld", name.c_str(),
+                     static_cast<long long>(values_[i]));
+  }
+  return out.empty() ? "0" : out;
+}
+
+}  // namespace fuxi::cluster

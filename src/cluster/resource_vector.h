@@ -1,0 +1,148 @@
+#ifndef FUXI_CLUSTER_RESOURCE_VECTOR_H_
+#define FUXI_CLUSTER_RESOURCE_VECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fuxi::cluster {
+
+/// Dimension index into a ResourceVector. Dimensions 0 (CPU, in
+/// centi-cores so 0.5 core = 50) and 1 (memory, in MB) are always
+/// present; further dimensions are named *virtual resources* (paper
+/// §3.2.1), e.g. an "ASortResource" that caps per-node concurrency of a
+/// particular application. Production Fuxi ran with 7 dimensions; we
+/// allow up to 8.
+using DimensionId = uint32_t;
+
+inline constexpr DimensionId kCpu = 0;
+inline constexpr DimensionId kMemory = 1;
+inline constexpr size_t kMaxDimensions = 8;
+
+/// Process-wide registry of dimension names. CPU and memory are
+/// pre-registered; virtual resources are added by name and resolve to a
+/// stable DimensionId.
+class DimensionRegistry {
+ public:
+  static DimensionRegistry& Global();
+
+  /// Returns the id for `name`, registering it if new. Fails with
+  /// ResourceExhausted once kMaxDimensions names exist.
+  Result<DimensionId> Register(const std::string& name);
+
+  /// Looks up an existing dimension by name.
+  Result<DimensionId> Find(const std::string& name) const;
+
+  const std::string& Name(DimensionId id) const;
+  size_t size() const { return names_.size(); }
+
+  /// Drops all virtual dimensions (test isolation); CPU and memory stay.
+  void ResetForTest();
+
+ private:
+  DimensionRegistry();
+  std::vector<std::string> names_;
+};
+
+/// A point in multi-dimensional resource space. All scheduling
+/// decisions require every dimension to fit simultaneously (§3.2.1).
+/// Values are signed so the same type expresses *deltas* (the
+/// incremental protocol sends positive and negative quantities).
+class ResourceVector {
+ public:
+  /// Zero on every dimension.
+  ResourceVector() : values_{} {}
+
+  /// Convenience constructor for the two physical dimensions.
+  /// `cpu_centicores`: 100 == 1 core. `memory_mb`: mebibytes.
+  ResourceVector(int64_t cpu_centicores, int64_t memory_mb) : values_{} {
+    values_[kCpu] = cpu_centicores;
+    values_[kMemory] = memory_mb;
+  }
+
+  int64_t Get(DimensionId dim) const { return values_[dim]; }
+  void Set(DimensionId dim, int64_t amount) { values_[dim] = amount; }
+
+  int64_t cpu() const { return values_[kCpu]; }
+  int64_t memory() const { return values_[kMemory]; }
+
+  ResourceVector& operator+=(const ResourceVector& other) {
+    for (size_t i = 0; i < kMaxDimensions; ++i) values_[i] += other.values_[i];
+    return *this;
+  }
+  ResourceVector& operator-=(const ResourceVector& other) {
+    for (size_t i = 0; i < kMaxDimensions; ++i) values_[i] -= other.values_[i];
+    return *this;
+  }
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) {
+    a += b;
+    return a;
+  }
+  friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) {
+    a -= b;
+    return a;
+  }
+  /// Per-dimension scaling; expresses "n ScheduleUnits".
+  friend ResourceVector operator*(ResourceVector a, int64_t count) {
+    for (auto& v : a.values_) v *= count;
+    return a;
+  }
+
+  friend bool operator==(const ResourceVector& a, const ResourceVector& b) {
+    return a.values_ == b.values_;
+  }
+
+  /// True when every dimension of *this fits inside `capacity`.
+  bool FitsIn(const ResourceVector& capacity) const {
+    for (size_t i = 0; i < kMaxDimensions; ++i) {
+      if (values_[i] > capacity.values_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True when any dimension is negative (an invalid absolute amount).
+  bool AnyNegative() const {
+    for (int64_t v : values_) {
+      if (v < 0) return true;
+    }
+    return false;
+  }
+
+  /// True when every dimension is zero.
+  bool IsZero() const {
+    for (int64_t v : values_) {
+      if (v != 0) return false;
+    }
+    return true;
+  }
+
+  /// How many copies of `unit` fit into *this (min over dimensions with
+  /// unit demand > 0). Returns a large number when `unit` is zero.
+  int64_t DivideBy(const ResourceVector& unit) const;
+
+  /// Per-dimension max(0, value): clamps a delta into a valid amount.
+  ResourceVector ClampNonNegative() const {
+    ResourceVector out = *this;
+    for (auto& v : out.values_) {
+      if (v < 0) v = 0;
+    }
+    return out;
+  }
+
+  /// Dominant utilization share of *this against `capacity` in [0,1]
+  /// (DRF-style; used for load-balance scoring and overload detection).
+  double DominantShare(const ResourceVector& capacity) const;
+
+  /// "cpu=50 mem=2048 asort=1" — only non-zero dimensions are printed.
+  std::string ToString() const;
+
+ private:
+  std::array<int64_t, kMaxDimensions> values_;
+};
+
+}  // namespace fuxi::cluster
+
+#endif  // FUXI_CLUSTER_RESOURCE_VECTOR_H_

@@ -1,0 +1,91 @@
+#include "cluster/topology.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace fuxi::cluster {
+
+ClusterTopology ClusterTopology::Build(const Options& options) {
+  ClusterTopology topo;
+  for (int r = 0; r < options.racks; ++r) {
+    std::string rack_name = StrFormat("r%02d", r);
+    for (int m = 0; m < options.machines_per_rack; ++m) {
+      topo.AddMachine(rack_name, options.machine_capacity);
+    }
+  }
+  return topo;
+}
+
+MachineId ClusterTopology::AddMachine(const std::string& rack_name,
+                                      const ResourceVector& capacity) {
+  RackId rack_id;
+  auto it = rack_by_name_.find(rack_name);
+  if (it == rack_by_name_.end()) {
+    rack_id = RackId(static_cast<int64_t>(racks_.size()));
+    racks_.push_back(Rack{rack_id, rack_name, {}});
+    rack_by_name_[rack_name] = rack_id;
+  } else {
+    rack_id = it->second;
+  }
+  Rack& rack = racks_[static_cast<size_t>(rack_id.value())];
+
+  MachineId id(static_cast<int64_t>(machines_.size()));
+  Machine machine;
+  machine.id = id;
+  machine.rack = rack_id;
+  machine.hostname =
+      StrFormat("%sg%05d", rack.name.c_str(),
+                static_cast<int>(rack.machines.size()));
+  machine.capacity = capacity;
+  by_hostname_[machine.hostname] = id;
+  rack.machines.push_back(id);
+  machines_.push_back(std::move(machine));
+  return id;
+}
+
+const Machine& ClusterTopology::machine(MachineId id) const {
+  FUXI_CHECK(id.valid());
+  FUXI_CHECK_LT(static_cast<size_t>(id.value()), machines_.size());
+  return machines_[static_cast<size_t>(id.value())];
+}
+
+Machine& ClusterTopology::mutable_machine(MachineId id) {
+  FUXI_CHECK(id.valid());
+  FUXI_CHECK_LT(static_cast<size_t>(id.value()), machines_.size());
+  return machines_[static_cast<size_t>(id.value())];
+}
+
+const Rack& ClusterTopology::rack(RackId id) const {
+  FUXI_CHECK(id.valid());
+  FUXI_CHECK_LT(static_cast<size_t>(id.value()), racks_.size());
+  return racks_[static_cast<size_t>(id.value())];
+}
+
+Result<MachineId> ClusterTopology::FindByHostname(
+    const std::string& hostname) const {
+  auto it = by_hostname_.find(hostname);
+  if (it == by_hostname_.end()) {
+    return Status::NotFound("no machine named " + hostname);
+  }
+  return it->second;
+}
+
+Result<RackId> ClusterTopology::FindRackByName(const std::string& name) const {
+  auto it = rack_by_name_.find(name);
+  if (it == rack_by_name_.end()) {
+    return Status::NotFound("no rack named " + name);
+  }
+  return it->second;
+}
+
+ResourceVector ClusterTopology::TotalCapacity() const {
+  ResourceVector total;
+  for (const Machine& m : machines_) total += m.capacity;
+  return total;
+}
+
+bool ClusterTopology::SameRack(MachineId a, MachineId b) const {
+  return machine(a).rack == machine(b).rack;
+}
+
+}  // namespace fuxi::cluster

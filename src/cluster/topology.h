@@ -1,0 +1,81 @@
+#ifndef FUXI_CLUSTER_TOPOLOGY_H_
+#define FUXI_CLUSTER_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/resource_vector.h"
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace fuxi::cluster {
+
+/// Static description of one server. Mutable runtime state (free
+/// resources, health) lives in the scheduler / agent layers.
+struct Machine {
+  MachineId id;
+  RackId rack;
+  std::string hostname;
+  ResourceVector capacity;
+  /// Hardware performance model for the data plane (GraySort etc.).
+  double disk_bandwidth_mbps = 12 * 100.0;  ///< 12 disks x ~100 MB/s
+  double nic_bandwidth_mbps = 2 * 125.0;    ///< 2 x GbE
+  int disk_count = 12;
+};
+
+struct Rack {
+  RackId id;
+  std::string name;
+  std::vector<MachineId> machines;
+};
+
+/// Machine/rack/cluster three-level hierarchy (paper §3.2.2). Machines
+/// get Alibaba-style hostnames ("r42g04021") so locality hints in job
+/// descriptions look like the paper's Figure 4.
+class ClusterTopology {
+ public:
+  struct Options {
+    int racks = 5;
+    int machines_per_rack = 4;
+    /// Default per-machine capacity: paper testbed is 2x 6-core Xeon
+    /// (=12 cores = 1200 centicores) with 96 GB.
+    ResourceVector machine_capacity{1200, 96 * 1024};
+  };
+
+  /// Builds a uniform topology.
+  static ClusterTopology Build(const Options& options);
+
+  /// Adds one machine to `rack` (created on demand). Returns its id.
+  MachineId AddMachine(const std::string& rack_name,
+                       const ResourceVector& capacity);
+
+  const Machine& machine(MachineId id) const;
+  Machine& mutable_machine(MachineId id);
+  const Rack& rack(RackId id) const;
+
+  Result<MachineId> FindByHostname(const std::string& hostname) const;
+  Result<RackId> FindRackByName(const std::string& name) const;
+
+  size_t machine_count() const { return machines_.size(); }
+  size_t rack_count() const { return racks_.size(); }
+  const std::vector<Machine>& machines() const { return machines_; }
+  const std::vector<Rack>& racks() const { return racks_; }
+
+  /// Sum of all machine capacities.
+  ResourceVector TotalCapacity() const;
+
+  /// True when both machines are in the same rack.
+  bool SameRack(MachineId a, MachineId b) const;
+
+ private:
+  std::vector<Machine> machines_;
+  std::vector<Rack> racks_;
+  std::unordered_map<std::string, MachineId> by_hostname_;
+  std::unordered_map<std::string, RackId> rack_by_name_;
+};
+
+}  // namespace fuxi::cluster
+
+#endif  // FUXI_CLUSTER_TOPOLOGY_H_

@@ -1,0 +1,68 @@
+#ifndef FUXI_COMMON_IDS_H_
+#define FUXI_COMMON_IDS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fuxi {
+
+/// Strongly-typed integer identifiers. Each Tag instantiation is a
+/// distinct type, so a MachineId cannot be passed where an AppId is
+/// expected.
+template <typename Tag>
+class TypedId {
+ public:
+  constexpr TypedId() : value_(kInvalid) {}
+  constexpr explicit TypedId(int64_t value) : value_(value) {}
+
+  constexpr int64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(TypedId a, TypedId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(TypedId a, TypedId b) {
+    return a.value_ < b.value_;
+  }
+
+  std::string ToString() const { return std::to_string(value_); }
+
+  static constexpr int64_t kInvalid = -1;
+
+ private:
+  int64_t value_;
+};
+
+struct MachineIdTag {};
+struct RackIdTag {};
+struct AppIdTag {};
+struct JobIdTag {};
+struct TaskIdTag {};
+struct InstanceIdTag {};
+struct WorkerIdTag {};
+struct NodeIdTag {};  // simulation actor address
+
+using MachineId = TypedId<MachineIdTag>;
+using RackId = TypedId<RackIdTag>;
+using AppId = TypedId<AppIdTag>;
+using JobId = TypedId<JobIdTag>;
+using TaskId = TypedId<TaskIdTag>;
+using InstanceId = TypedId<InstanceIdTag>;
+using WorkerId = TypedId<WorkerIdTag>;
+using NodeId = TypedId<NodeIdTag>;
+
+}  // namespace fuxi
+
+namespace std {
+template <typename Tag>
+struct hash<fuxi::TypedId<Tag>> {
+  size_t operator()(fuxi::TypedId<Tag> id) const {
+    return std::hash<int64_t>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // FUXI_COMMON_IDS_H_

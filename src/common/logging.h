@@ -1,0 +1,86 @@
+#ifndef FUXI_COMMON_LOGGING_H_
+#define FUXI_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fuxi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3,
+                      kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+/// Benchmarks raise this to kError to keep measurement loops clean.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log sink that emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// glog-style void-caster: gives the ternary in FUXI_LOG a common void
+/// type and avoids dangling-else when the macro is used unbraced.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define FUXI_LOG_ENABLED(level) \
+  (::fuxi::LogLevel::level >= ::fuxi::GetLogLevel())
+
+#define FUXI_LOG(level)                                                \
+  !FUXI_LOG_ENABLED(level)                                             \
+      ? (void)0                                                        \
+      : ::fuxi::internal_logging::Voidify() &                          \
+            ::fuxi::internal_logging::LogMessage(::fuxi::LogLevel::level, \
+                                                 __FILE__, __LINE__)   \
+                .stream()
+
+/// Invariant check, active in all build types. Use for conditions whose
+/// violation means internal corruption, never for user input.
+#define FUXI_CHECK(cond)                                                    \
+  (cond)                                                                    \
+      ? (void)0                                                             \
+      : ::fuxi::internal_logging::Voidify() &                               \
+            ::fuxi::internal_logging::LogMessage(::fuxi::LogLevel::kFatal,  \
+                                                 __FILE__, __LINE__)        \
+                    .stream()                                               \
+                << "Check failed: " #cond " "
+
+#define FUXI_CHECK_EQ(a, b) FUXI_CHECK((a) == (b))
+#define FUXI_CHECK_NE(a, b) FUXI_CHECK((a) != (b))
+#define FUXI_CHECK_GE(a, b) FUXI_CHECK((a) >= (b))
+#define FUXI_CHECK_GT(a, b) FUXI_CHECK((a) > (b))
+#define FUXI_CHECK_LE(a, b) FUXI_CHECK((a) <= (b))
+#define FUXI_CHECK_LT(a, b) FUXI_CHECK((a) < (b))
+
+}  // namespace fuxi
+
+#endif  // FUXI_COMMON_LOGGING_H_

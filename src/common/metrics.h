@@ -1,0 +1,84 @@
+#ifndef FUXI_COMMON_METRICS_H_
+#define FUXI_COMMON_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace fuxi {
+
+/// Streaming summary statistics (count/mean/min/max/variance) plus an
+/// exact sample buffer for percentile queries. The benchmark harnesses
+/// use this to report the same aggregates the paper's tables carry.
+class Histogram {
+ public:
+  void Add(double value) {
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    // Welford's online variance update.
+    double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    samples_.push_back(value);
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const;
+
+  /// Exact percentile (q in [0,100]) over all added samples.
+  double Percentile(double q) const;
+
+  /// "count=N mean=X p50=... p99=... max=..." summary line.
+  std::string Summary() const;
+
+  void Clear();
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// (time, value) series, used to emit the Figure 9 / Figure 10 curves.
+class TimeSeries {
+ public:
+  struct Point {
+    double time;
+    double value;
+  };
+
+  void Add(double time, double value) { points_.push_back({time, value}); }
+  const std::vector<Point>& points() const { return points_; }
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  double MeanValue() const;
+  double MaxValue() const;
+
+  /// Downsamples to at most `buckets` points by averaging within equal
+  /// time windows; keeps figure output readable.
+  TimeSeries Downsample(size_t buckets) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace fuxi
+
+#endif  // FUXI_COMMON_METRICS_H_

@@ -1,0 +1,121 @@
+#ifndef FUXI_COMMON_RNG_H_
+#define FUXI_COMMON_RNG_H_
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace fuxi {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded through
+/// SplitMix64). All randomness in the simulator flows from instances of
+/// this class so that every experiment is replayable from a single seed.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds produce identical streams on all
+  /// platforms (no use of std:: distribution objects, whose outputs are
+  /// implementation-defined).
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the 64-bit seed into 256 bits of state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean) {
+    double u = NextDouble();
+    if (u >= 1.0) u = 0.9999999999;
+    return -mean * std::log(1.0 - u);
+  }
+
+  /// Standard-normal via Box-Muller (single value; no caching so the
+  /// stream stays a pure function of call order).
+  double Normal(double mean, double stddev) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) u1 = 1e-12;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * 3.14159265358979323846 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Log-normal value: exp(Normal(mu, sigma)). Useful for heavy-tailed
+  /// task-duration and job-size distributions when fitting Table 1.
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Normal(mu, sigma));
+  }
+
+  /// Pareto (power-law) value with scale xm > 0, shape alpha > 0.
+  double Pareto(double xm, double alpha) {
+    double u = NextDouble();
+    if (u >= 1.0) u = 0.9999999999;
+    return xm / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  /// Samples an index from an (unnormalized) weight vector.
+  /// Precondition: at least one weight > 0.
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double target = NextDouble() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (target < acc) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  /// Returns a child generator with an independent stream; used to give
+  /// each simulated component its own deterministic randomness.
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace fuxi
+
+#endif  // FUXI_COMMON_RNG_H_

@@ -1,0 +1,168 @@
+#ifndef FUXI_COMMON_STATUS_H_
+#define FUXI_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace fuxi {
+
+/// Error codes used across all Fuxi public APIs. Following the
+/// RocksDB/Arrow idiom, no exceptions cross library boundaries; every
+/// fallible operation returns a Status (or Result<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kTimeout,
+  kCorruption,
+  kInternal,
+  kNotLeader,
+  kCancelled,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("Ok",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy in the OK case
+/// (no allocation); error states carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotLeader(std::string msg) {
+    return Status(StatusCode::kNotLeader, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsNotLeader() const { return code_ == StatusCode::kNotLeader; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// A value-or-error holder. Result<T> either contains a T (status OK)
+/// or a non-OK Status explaining why the value is absent.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::NotFound(...)`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {
+    // A Result constructed from a Status must not be OK; normalize a
+    // misuse into an internal error instead of silently holding no value.
+    if (std::get<Status>(value_).ok()) {
+      value_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  /// Precondition: ok(). Accessing the value of an error Result aborts.
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(value_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK status to the caller: `FUXI_RETURN_IF_ERROR(DoIt());`
+#define FUXI_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::fuxi::Status _fuxi_status = (expr);         \
+    if (!_fuxi_status.ok()) return _fuxi_status;  \
+  } while (false)
+
+/// Unwraps a Result into `lhs` or propagates its error status.
+#define FUXI_ASSIGN_OR_RETURN(lhs, expr)                    \
+  auto FUXI_CONCAT_(_fuxi_result_, __LINE__) = (expr);      \
+  if (!FUXI_CONCAT_(_fuxi_result_, __LINE__).ok())          \
+    return FUXI_CONCAT_(_fuxi_result_, __LINE__).status();  \
+  lhs = std::move(FUXI_CONCAT_(_fuxi_result_, __LINE__)).value()
+
+#define FUXI_CONCAT_(a, b) FUXI_CONCAT_IMPL_(a, b)
+#define FUXI_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace fuxi
+
+#endif  // FUXI_COMMON_STATUS_H_

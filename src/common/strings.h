@@ -1,0 +1,35 @@
+#ifndef FUXI_COMMON_STRINGS_H_
+#define FUXI_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fuxi {
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count ("1.5 GB").
+std::string FormatBytes(double bytes);
+
+/// Fixed-precision double formatting ("12.34").
+std::string FormatDouble(double value, int precision = 2);
+
+}  // namespace fuxi
+
+#endif  // FUXI_COMMON_STRINGS_H_

@@ -1,0 +1,33 @@
+#include "coord/checkpoint_store.h"
+
+#include "common/strings.h"
+
+namespace fuxi::coord {
+
+void CheckpointStore::Put(const std::string& key, Json value) {
+  ++write_count_;
+  bytes_written_ += value.Dump().size();
+  data_[key] = std::move(value);
+}
+
+Result<Json> CheckpointStore::Get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    return Status::NotFound("no checkpoint under key " + key);
+  }
+  return it->second;
+}
+
+void CheckpointStore::Delete(const std::string& key) { data_.erase(key); }
+
+std::vector<std::string> CheckpointStore::ListKeys(
+    const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+    if (!StartsWith(it->first, prefix)) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+}  // namespace fuxi::coord

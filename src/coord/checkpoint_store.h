@@ -1,0 +1,53 @@
+#ifndef FUXI_COORD_CHECKPOINT_STORE_H_
+#define FUXI_COORD_CHECKPOINT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace fuxi::coord {
+
+/// Durable key→JSON store standing in for the reliable storage Fuxi
+/// checkpoints hard state into (§4.3.1): job descriptions, cluster-level
+/// blacklists, JobMaster instance snapshots. It survives any simulated
+/// process failure because it is owned by the test harness, not by the
+/// failing component. Write/byte counters let benchmarks show that
+/// "light-weighted checkpoint" stays light.
+class CheckpointStore {
+ public:
+  /// Stores `value` under `key`, replacing any previous version.
+  void Put(const std::string& key, Json value);
+
+  /// Loads the value under `key`.
+  Result<Json> Get(const std::string& key) const;
+
+  /// Removes `key`. Missing keys are fine (idempotent delete).
+  void Delete(const std::string& key);
+
+  bool Contains(const std::string& key) const {
+    return data_.count(key) > 0;
+  }
+  size_t size() const { return data_.size(); }
+
+  uint64_t write_count() const { return write_count_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  void ResetStats() {
+    write_count_ = 0;
+    bytes_written_ = 0;
+  }
+
+  /// Keys with the given prefix, in lexicographic order.
+  std::vector<std::string> ListKeys(const std::string& prefix) const;
+
+ private:
+  std::map<std::string, Json> data_;
+  uint64_t write_count_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace fuxi::coord
+
+#endif  // FUXI_COORD_CHECKPOINT_STORE_H_

@@ -1,0 +1,139 @@
+#include "dataflow/streamline.h"
+
+#include <algorithm>
+#include <cctype>
+#include <queue>
+
+namespace fuxi::dataflow::streamline {
+
+void Sort(Records* records) {
+  std::stable_sort(records->begin(), records->end());
+}
+
+bool IsSorted(const Records& records) {
+  return std::is_sorted(records.begin(), records.end());
+}
+
+Records MergeSorted(const std::vector<Records>& runs) {
+  // Heap-based k-way merge, as a reducer would merge map spills.
+  struct Cursor {
+    const Records* run;
+    size_t index;
+  };
+  auto greater = [](const Cursor& a, const Cursor& b) {
+    return (*b.run)[b.index] < (*a.run)[a.index];
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap(
+      greater);
+  size_t total = 0;
+  for (const Records& run : runs) {
+    if (!run.empty()) heap.push({&run, 0});
+    total += run.size();
+  }
+  Records out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    Cursor cursor = heap.top();
+    heap.pop();
+    out.push_back((*cursor.run)[cursor.index]);
+    if (++cursor.index < cursor.run->size()) heap.push(cursor);
+  }
+  return out;
+}
+
+std::vector<Records> HashPartition(const Records& records,
+                                   size_t partitions) {
+  std::vector<Records> out(partitions == 0 ? 1 : partitions);
+  std::hash<std::string> hasher;
+  for (const Record& record : records) {
+    out[hasher(record.key) % out.size()].push_back(record);
+  }
+  return out;
+}
+
+std::vector<Records> RangePartition(const Records& records,
+                                    const std::vector<std::string>& keys) {
+  std::vector<Records> out(keys.size() + 1);
+  for (const Record& record : records) {
+    size_t bucket = static_cast<size_t>(
+        std::upper_bound(keys.begin(), keys.end(), record.key) -
+        keys.begin());
+    out[bucket].push_back(record);
+  }
+  return out;
+}
+
+std::vector<std::string> SampleBoundaries(const Records& records,
+                                          size_t partitions, size_t samples,
+                                          uint64_t seed) {
+  std::vector<std::string> boundaries;
+  if (partitions <= 1 || records.empty()) return boundaries;
+  Rng rng(seed);
+  std::vector<std::string> sample;
+  sample.reserve(samples);
+  for (size_t i = 0; i < samples; ++i) {
+    sample.push_back(records[rng.Uniform(records.size())].key);
+  }
+  std::sort(sample.begin(), sample.end());
+  for (size_t p = 1; p < partitions; ++p) {
+    boundaries.push_back(sample[p * sample.size() / partitions]);
+  }
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  return boundaries;
+}
+
+Records Reduce(
+    const Records& sorted,
+    const std::function<Record(const std::string& key,
+                               const std::vector<std::string>& values)>& fn) {
+  Records out;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    const std::string& key = sorted[i].key;
+    std::vector<std::string> values;
+    while (i < sorted.size() && sorted[i].key == key) {
+      values.push_back(sorted[i].value);
+      ++i;
+    }
+    out.push_back(fn(key, values));
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      words.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  return words;
+}
+
+Records GenerateRandomRecords(size_t count, uint64_t seed, size_t key_bytes,
+                              size_t value_bytes) {
+  static const char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  Rng rng(seed);
+  Records out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Record record;
+    record.key.reserve(key_bytes);
+    for (size_t k = 0; k < key_bytes; ++k) {
+      record.key.push_back(kAlphabet[rng.Uniform(sizeof(kAlphabet) - 1)]);
+    }
+    record.value.assign(value_bytes, 'x');
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+}  // namespace fuxi::dataflow::streamline

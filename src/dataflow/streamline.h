@@ -1,0 +1,80 @@
+#ifndef FUXI_DATAFLOW_STREAMLINE_H_
+#define FUXI_DATAFLOW_STREAMLINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fuxi::dataflow {
+
+/// A key/value record, the unit of data flowing through Streamline
+/// operators. Keys compare lexicographically (GraySort semantics).
+struct Record {
+  std::string key;
+  std::string value;
+
+  friend bool operator<(const Record& a, const Record& b) {
+    return a.key < b.key;
+  }
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+};
+
+using Records = std::vector<Record>;
+
+/// The common data operators Fuxi ships with its SDK ("we encapsulate
+/// the common data operators like sort, merge-sort, reduce into a
+/// library named Streamline", §4.1). These run on real in-memory data
+/// and power the runnable WordCount/TeraSort examples.
+namespace streamline {
+
+/// Stable sort by key.
+void Sort(Records* records);
+
+/// True when `records` is sorted by key.
+bool IsSorted(const Records& records);
+
+/// K-way merge of individually sorted runs into one sorted output.
+Records MergeSorted(const std::vector<Records>& runs);
+
+/// Splits records into `partitions` buckets by key hash (the shuffle of
+/// a WordCount-style job).
+std::vector<Records> HashPartition(const Records& records,
+                                   size_t partitions);
+
+/// Splits *sorted-destined* records into range partitions using the
+/// boundary keys (TeraSort-style). `boundaries` must be sorted;
+/// output has boundaries.size()+1 partitions.
+std::vector<Records> RangePartition(const Records& records,
+                                    const std::vector<std::string>& keys);
+
+/// Samples `count` keys (deterministically, seeded) and derives
+/// `partitions - 1` balanced boundary keys — GraySort's sampling pass.
+std::vector<std::string> SampleBoundaries(const Records& records,
+                                          size_t partitions, size_t samples,
+                                          uint64_t seed);
+
+/// Group-by-key reduction: calls `fn(key, values)` per distinct key of
+/// a *sorted* input and collects its returned record.
+Records Reduce(
+    const Records& sorted,
+    const std::function<Record(const std::string& key,
+                               const std::vector<std::string>& values)>& fn);
+
+/// Splits free text into lowercase words (the WordCount mapper).
+std::vector<std::string> Tokenize(const std::string& text);
+
+/// Generates `count` uniformly random fixed-width records (TeraGen).
+Records GenerateRandomRecords(size_t count, uint64_t seed,
+                              size_t key_bytes = 10,
+                              size_t value_bytes = 90);
+
+}  // namespace streamline
+}  // namespace fuxi::dataflow
+
+#endif  // FUXI_DATAFLOW_STREAMLINE_H_

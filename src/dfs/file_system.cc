@@ -1,0 +1,119 @@
+#include "dfs/file_system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace fuxi::dfs {
+
+Result<const FileInfo*> FileSystem::CreateFile(const std::string& path,
+                                               int64_t size_bytes,
+                                               int64_t block_size,
+                                               int replication) {
+  if (files_.count(path) > 0) {
+    return Status::AlreadyExists("file exists: " + path);
+  }
+  if (size_bytes < 0 || block_size <= 0 || replication < 1) {
+    return Status::InvalidArgument("bad size/block/replication for " + path);
+  }
+  size_t machine_count = topology_->machine_count();
+  if (machine_count == 0) {
+    return Status::FailedPrecondition("empty cluster");
+  }
+  replication = std::min<int>(replication, static_cast<int>(machine_count));
+
+  FileInfo info;
+  info.path = path;
+  info.size_bytes = size_bytes;
+  int64_t remaining = size_bytes;
+  while (remaining > 0) {
+    Block block;
+    block.id = next_block_id_++;
+    block.size_bytes = std::min(remaining, block_size);
+    remaining -= block.size_bytes;
+
+    // Primary replica on a random machine; second in the same rack when
+    // possible; remaining replicas on other racks.
+    MachineId primary(static_cast<int64_t>(rng_.Uniform(machine_count)));
+    block.replicas.push_back(primary);
+    const cluster::Rack& rack = topology_->rack(topology_->machine(primary).rack);
+    if (replication >= 2 && rack.machines.size() > 1) {
+      MachineId buddy = primary;
+      while (buddy == primary) {
+        buddy = rack.machines[rng_.Uniform(rack.machines.size())];
+      }
+      block.replicas.push_back(buddy);
+    }
+    while (block.replicas.size() < static_cast<size_t>(replication)) {
+      MachineId candidate(
+          static_cast<int64_t>(rng_.Uniform(machine_count)));
+      if (std::find(block.replicas.begin(), block.replicas.end(),
+                    candidate) == block.replicas.end()) {
+        block.replicas.push_back(candidate);
+      }
+    }
+    info.blocks.push_back(std::move(block));
+  }
+
+  auto [it, inserted] = files_.emplace(path, std::move(info));
+  FUXI_CHECK(inserted);
+  return &it->second;
+}
+
+Result<const FileInfo*> FileSystem::Stat(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no file: " + path);
+  return &it->second;
+}
+
+Status FileSystem::DeleteFile(const std::string& path) {
+  if (files_.erase(path) == 0) return Status::NotFound("no file: " + path);
+  return Status::Ok();
+}
+
+std::vector<const FileInfo*> FileSystem::Glob(
+    const std::string& pattern) const {
+  std::vector<const FileInfo*> out;
+  if (!pattern.empty() && pattern.back() == '*') {
+    std::string prefix = pattern.substr(0, pattern.size() - 1);
+    for (const auto& [path, info] : files_) {
+      if (StartsWith(path, prefix)) out.push_back(&info);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FileInfo* a, const FileInfo* b) {
+                return a->path < b->path;
+              });
+  } else {
+    auto it = files_.find(pattern);
+    if (it != files_.end()) out.push_back(&it->second);
+  }
+  return out;
+}
+
+Locality FileSystem::ClosestLocality(MachineId reader,
+                                     const Block& block) const {
+  Locality best = Locality::kRemote;
+  for (MachineId replica : block.replicas) {
+    if (IsDead(replica)) continue;
+    if (replica == reader) return Locality::kLocal;
+    if (topology_->SameRack(replica, reader)) best = Locality::kRack;
+  }
+  return best;
+}
+
+std::unordered_map<MachineId, int64_t> FileSystem::LocalityMap(
+    const std::string& path) const {
+  std::unordered_map<MachineId, int64_t> bytes_by_machine;
+  auto it = files_.find(path);
+  if (it == files_.end()) return bytes_by_machine;
+  for (const Block& block : it->second.blocks) {
+    for (MachineId replica : block.replicas) {
+      if (IsDead(replica)) continue;
+      bytes_by_machine[replica] += block.size_bytes;
+    }
+  }
+  return bytes_by_machine;
+}
+
+}  // namespace fuxi::dfs

@@ -1,0 +1,85 @@
+#ifndef FUXI_DFS_FILE_SYSTEM_H_
+#define FUXI_DFS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fuxi::dfs {
+
+/// Where a reader sits relative to a block replica. Drives both the
+/// locality hints in resource requests (Figure 4) and the data-plane
+/// read-bandwidth model.
+enum class Locality { kLocal, kRack, kRemote };
+
+/// One replicated block of a file.
+struct Block {
+  uint64_t id = 0;
+  int64_t size_bytes = 0;
+  std::vector<MachineId> replicas;
+};
+
+struct FileInfo {
+  std::string path;
+  int64_t size_bytes = 0;
+  std::vector<Block> blocks;
+};
+
+/// Simulated replicated block store — our stand-in for Pangu, the
+/// Apsara DFS that backs Fuxi jobs ("pangu://..." in Figure 6). It only
+/// models what the scheduler needs: block→machine placement for
+/// locality-aware scheduling, and replica choice for read-bandwidth
+/// estimation. Data contents are never materialized.
+class FileSystem {
+ public:
+  FileSystem(const cluster::ClusterTopology* topology, uint64_t seed = 7)
+      : topology_(topology), rng_(seed) {}
+
+  /// Creates `path` with `size_bytes` split into `block_size` chunks,
+  /// placing `replication` replicas per block: the first on a random
+  /// machine, the second in the same rack, the rest on remote racks
+  /// (HDFS/Pangu-style placement).
+  Result<const FileInfo*> CreateFile(const std::string& path,
+                                     int64_t size_bytes, int64_t block_size,
+                                     int replication = 3);
+
+  Result<const FileInfo*> Stat(const std::string& path) const;
+
+  Status DeleteFile(const std::string& path);
+
+  /// All files whose path starts with `pattern` up to a trailing '*',
+  /// or the exact path when no wildcard — mirrors "FilePattern" inputs.
+  std::vector<const FileInfo*> Glob(const std::string& pattern) const;
+
+  /// Relationship between `reader` and the closest replica of `block`.
+  Locality ClosestLocality(MachineId reader, const Block& block) const;
+
+  /// Machines that hold any block of `path`, with the total bytes each
+  /// holds — the input for building locality hints.
+  std::unordered_map<MachineId, int64_t> LocalityMap(
+      const std::string& path) const;
+
+  /// Marks a machine dead: its replicas no longer count for locality.
+  void MarkMachineDead(MachineId machine) { dead_.insert(machine); }
+  void MarkMachineAlive(MachineId machine) { dead_.erase(machine); }
+
+ private:
+  bool IsDead(MachineId machine) const { return dead_.count(machine) > 0; }
+
+  const cluster::ClusterTopology* topology_;
+  Rng rng_;
+  uint64_t next_block_id_ = 1;
+  std::unordered_map<std::string, FileInfo> files_;
+  std::unordered_set<MachineId> dead_;
+};
+
+}  // namespace fuxi::dfs
+
+#endif  // FUXI_DFS_FILE_SYSTEM_H_

@@ -1,0 +1,185 @@
+#include "job/description.h"
+
+#include <map>
+#include <set>
+
+namespace fuxi::job {
+
+int JobDescription::FindTask(const std::string& task_name) const {
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i].name == task_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> JobDescription::UpstreamOf(
+    const std::string& task) const {
+  std::vector<std::string> upstream;
+  for (const Pipe& pipe : pipes) {
+    if (pipe.destination == task && !pipe.source.empty()) {
+      upstream.push_back(pipe.source);
+    }
+  }
+  return upstream;
+}
+
+Status JobDescription::Validate() const {
+  std::set<std::string> names;
+  for (const TaskConfig& task : tasks) {
+    if (task.name.empty()) {
+      return Status::InvalidArgument("task with empty name");
+    }
+    if (!names.insert(task.name).second) {
+      return Status::InvalidArgument("duplicate task name: " + task.name);
+    }
+    if (task.instances < 0 || task.max_workers <= 0) {
+      return Status::InvalidArgument("bad instance/worker counts in task " +
+                                     task.name);
+    }
+    if (task.unit.IsZero() || task.unit.AnyNegative()) {
+      return Status::InvalidArgument("bad unit size in task " + task.name);
+    }
+  }
+  for (const Pipe& pipe : pipes) {
+    if (!pipe.source.empty() && FindTask(pipe.source) < 0) {
+      return Status::InvalidArgument("pipe from unknown task: " +
+                                     pipe.source);
+    }
+    if (!pipe.destination.empty() && FindTask(pipe.destination) < 0) {
+      return Status::InvalidArgument("pipe into unknown task: " +
+                                     pipe.destination);
+    }
+    if (pipe.source.empty() && pipe.destination.empty()) {
+      return Status::InvalidArgument("pipe with neither source nor "
+                                     "destination task");
+    }
+  }
+  // Cycle detection (Kahn's algorithm over task-level edges).
+  std::map<std::string, int> indegree;
+  for (const TaskConfig& task : tasks) indegree[task.name] = 0;
+  for (const Pipe& pipe : pipes) {
+    if (!pipe.source.empty() && !pipe.destination.empty()) {
+      ++indegree[pipe.destination];
+    }
+  }
+  std::vector<std::string> frontier;
+  for (const auto& [name, degree] : indegree) {
+    if (degree == 0) frontier.push_back(name);
+  }
+  size_t visited = 0;
+  while (!frontier.empty()) {
+    std::string current = frontier.back();
+    frontier.pop_back();
+    ++visited;
+    for (const Pipe& pipe : pipes) {
+      if (pipe.source == current && !pipe.destination.empty()) {
+        if (--indegree[pipe.destination] == 0) {
+          frontier.push_back(pipe.destination);
+        }
+      }
+    }
+  }
+  if (visited != tasks.size()) {
+    return Status::InvalidArgument("job DAG contains a cycle");
+  }
+  return Status::Ok();
+}
+
+Json JobDescription::ToJson() const {
+  Json root = Json::MakeObject();
+  root["Name"] = Json(name);
+  if (!quota_group.empty()) root["QuotaGroup"] = Json(quota_group);
+  Json tasks_json = Json::MakeObject();
+  for (const TaskConfig& task : tasks) {
+    Json t = Json::MakeObject();
+    t["Instances"] = Json(task.instances);
+    t["MaxWorkers"] = Json(task.max_workers);
+    t["CpuCentiCores"] = Json(task.unit.cpu());
+    t["MemoryMB"] = Json(task.unit.memory());
+    t["Priority"] = Json(static_cast<int64_t>(task.priority));
+    t["InstanceSeconds"] = Json(task.instance_seconds);
+    t["InputBytesPerInstance"] = Json(task.input_bytes_per_instance);
+    if (!task.input_file.empty()) t["InputFile"] = Json(task.input_file);
+    if (task.backup_normal_seconds > 0) {
+      t["BackupNormalSeconds"] = Json(task.backup_normal_seconds);
+    }
+    tasks_json[task.name] = std::move(t);
+  }
+  root["Tasks"] = std::move(tasks_json);
+  Json pipes_json = Json::MakeArray();
+  for (const Pipe& pipe : pipes) {
+    Json p = Json::MakeObject();
+    Json source = Json::MakeObject();
+    if (pipe.source.empty()) {
+      source["FilePattern"] = Json(pipe.file_pattern);
+    } else {
+      source["AccessPoint"] = Json(pipe.source + ":out");
+    }
+    Json destination = Json::MakeObject();
+    if (pipe.destination.empty()) {
+      destination["FilePattern"] = Json(pipe.file_pattern);
+    } else {
+      destination["AccessPoint"] = Json(pipe.destination + ":in");
+    }
+    p["Source"] = std::move(source);
+    p["Destination"] = std::move(destination);
+    pipes_json.Append(std::move(p));
+  }
+  root["Pipes"] = std::move(pipes_json);
+  return root;
+}
+
+Result<JobDescription> JobDescription::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("job description must be a JSON object");
+  }
+  JobDescription desc;
+  desc.name = json.GetString("Name", "job");
+  desc.quota_group = json.GetString("QuotaGroup");
+  const Json* tasks = json.Find("Tasks");
+  if (tasks == nullptr || !tasks->is_object()) {
+    return Status::InvalidArgument("job description missing Tasks object");
+  }
+  for (const auto& [name, t] : tasks->as_object()) {
+    TaskConfig task;
+    task.name = name;
+    task.instances = t.GetInt("Instances", 1);
+    task.max_workers = t.GetInt("MaxWorkers", 1);
+    task.unit = cluster::ResourceVector(t.GetInt("CpuCentiCores", 50),
+                                        t.GetInt("MemoryMB", 2048));
+    task.priority =
+        static_cast<resource::Priority>(t.GetInt("Priority", 100));
+    task.instance_seconds = t.GetNumber("InstanceSeconds", 1.0);
+    task.input_bytes_per_instance = t.GetInt("InputBytesPerInstance", 0);
+    task.input_file = t.GetString("InputFile");
+    task.backup_normal_seconds = t.GetNumber("BackupNormalSeconds", 0);
+    desc.tasks.push_back(std::move(task));
+  }
+  const Json* pipes = json.Find("Pipes");
+  if (pipes != nullptr && pipes->is_array()) {
+    for (const Json& p : pipes->as_array()) {
+      Pipe pipe;
+      if (const Json* source = p.Find("Source")) {
+        std::string access = source->GetString("AccessPoint");
+        if (!access.empty()) {
+          pipe.source = access.substr(0, access.find(':'));
+        } else {
+          pipe.file_pattern = source->GetString("FilePattern");
+        }
+      }
+      if (const Json* destination = p.Find("Destination")) {
+        std::string access = destination->GetString("AccessPoint");
+        if (!access.empty()) {
+          pipe.destination = access.substr(0, access.find(':'));
+        } else if (pipe.file_pattern.empty()) {
+          pipe.file_pattern = destination->GetString("FilePattern");
+        }
+      }
+      desc.pipes.push_back(std::move(pipe));
+    }
+  }
+  FUXI_RETURN_IF_ERROR(desc.Validate());
+  return desc;
+}
+
+}  // namespace fuxi::job

@@ -1,0 +1,68 @@
+#ifndef FUXI_JOB_DESCRIPTION_H_
+#define FUXI_JOB_DESCRIPTION_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/resource_vector.h"
+#include "common/ids.h"
+#include "common/json.h"
+#include "resource/request.h"
+
+namespace fuxi::job {
+
+/// One task (vertex) of a Fuxi DAG job. A task runs `instances` work
+/// items over at most `max_workers` concurrently granted containers.
+struct TaskConfig {
+  std::string name;
+  int64_t instances = 1;
+  int64_t max_workers = 1;
+  /// One container's size (the ScheduleUnit).
+  cluster::ResourceVector unit{50, 2048};
+  resource::Priority priority = 100;
+  /// Baseline seconds of compute per instance on a healthy machine.
+  double instance_seconds = 1.0;
+  /// Bytes each instance reads; with a DFS input this drives locality
+  /// preferences and the read-bandwidth part of the duration.
+  int64_t input_bytes_per_instance = 0;
+  /// Optional DFS file pattern feeding this task ("pangu://...").
+  /// Empty for tasks fed purely by upstream pipes.
+  std::string input_file;
+  /// User-declared normal runtime for the backup-instance scheme
+  /// (paper §4.3.2 third criterion); 0 disables backups for the task.
+  double backup_normal_seconds = 0;
+};
+
+/// A data shuffle edge between two tasks (Figure 6's "Pipes"). Only
+/// task-level edges matter for scheduling: a task becomes runnable when
+/// all its upstream tasks finished.
+struct Pipe {
+  std::string source;       ///< task name, or "" when reading a file
+  std::string destination;  ///< task name, or "" when writing a file
+  std::string file_pattern; ///< set when source/destination is the DFS
+};
+
+/// A Fuxi DAG job description (Figure 6). Serializes to/from the JSON
+/// job-description format.
+struct JobDescription {
+  std::string name;
+  std::string quota_group;
+  std::vector<TaskConfig> tasks;
+  std::vector<Pipe> pipes;
+
+  /// Index of the named task, or -1.
+  int FindTask(const std::string& name) const;
+
+  /// Task names that feed `task` (via pipes).
+  std::vector<std::string> UpstreamOf(const std::string& task) const;
+
+  /// Validates the DAG: known task names, no cycles.
+  Status Validate() const;
+
+  Json ToJson() const;
+  static Result<JobDescription> FromJson(const Json& json);
+};
+
+}  // namespace fuxi::job
+
+#endif  // FUXI_JOB_DESCRIPTION_H_

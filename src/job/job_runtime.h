@@ -1,0 +1,63 @@
+#ifndef FUXI_JOB_JOB_RUNTIME_H_
+#define FUXI_JOB_JOB_RUNTIME_H_
+
+#include <map>
+#include <memory>
+
+#include "job/job_master.h"
+#include "job/task_worker.h"
+#include "runtime/sim_cluster.h"
+
+namespace fuxi::job {
+
+/// Wires the Fuxi job framework into a SimCluster: process-host launch
+/// hooks turn agent-started processes into TaskWorker actors, the
+/// application-master launcher starts (or fails over) JobMasters, and
+/// Submit() drives the §4.2 job-submission workflow end to end.
+class JobRuntime {
+ public:
+  explicit JobRuntime(runtime::SimCluster* cluster,
+                      JobMasterOptions options = JobMasterOptions());
+  ~JobRuntime();
+
+  JobRuntime(const JobRuntime&) = delete;
+  JobRuntime& operator=(const JobRuntime&) = delete;
+
+  /// Submits a job: allocates an AppId, registers the JobMaster shell,
+  /// and sends the submission (with its JSON description) to
+  /// FuxiMaster, which will pick an agent to start the JobMaster.
+  Result<JobMaster*> Submit(const JobDescription& description);
+
+  /// Submit with per-job options (ablation benchmarks flip container
+  /// reuse / locality per run).
+  Result<JobMaster*> Submit(const JobDescription& description,
+                            const JobMasterOptions& options);
+
+  JobMaster* job(AppId app);
+  size_t job_count() const { return jobs_.size(); }
+
+  /// True when every submitted job has finished.
+  bool AllFinished() const;
+
+  /// Runs the simulator until all jobs finish or `deadline` passes.
+  /// Returns true on completion.
+  bool RunUntilAllFinished(double deadline);
+
+  /// Live worker actors (for tests/fault injection).
+  TaskWorker* worker(WorkerId id);
+  size_t live_worker_count() const { return workers_.size(); }
+
+ private:
+  void InstallHooks();
+
+  runtime::SimCluster* cluster_;
+  JobMasterOptions options_;
+  Rng rng_{0xF00D};
+  AppId next_app_{1};
+  std::map<AppId, std::unique_ptr<JobMaster>> jobs_;
+  std::map<WorkerId, std::unique_ptr<TaskWorker>> workers_;
+};
+
+}  // namespace fuxi::job
+
+#endif  // FUXI_JOB_JOB_RUNTIME_H_

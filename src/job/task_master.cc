@@ -1,0 +1,325 @@
+#include "job/job_master.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fuxi::job {
+
+TaskMaster::TaskMaster(const TaskConfig& config, uint32_t slot_id)
+    : config_(config), slot_id_(slot_id) {
+  instances_.resize(static_cast<size_t>(config.instances));
+  for (int64_t i = 0; i < config.instances; ++i) pending_.push_back(i);
+}
+
+void TaskMaster::SetInstanceLocality(int64_t instance,
+                                     std::vector<MachineId> preferred) {
+  instances_[static_cast<size_t>(instance)].preferred =
+      std::move(preferred);
+}
+
+void TaskMaster::AddWorker(WorkerId worker, MachineId machine, NodeId node,
+                           double now) {
+  workers_[worker] = WorkerInfo{worker, machine, node, -1, false, now};
+}
+
+void TaskMaster::TouchWorker(WorkerId worker, double now) {
+  auto it = workers_.find(worker);
+  if (it != workers_.end()) it->second.last_seen = now;
+}
+
+std::vector<WorkerId> TaskMaster::SilentWorkers(double now,
+                                                double timeout) const {
+  std::vector<WorkerId> silent;
+  for (const auto& [id, info] : workers_) {
+    if (now - info.last_seen > timeout) silent.push_back(id);
+  }
+  return silent;
+}
+
+Result<TaskMaster::WorkerInfo> TaskMaster::RemoveWorker(
+    WorkerId worker, bool count_as_failure) {
+  auto it = workers_.find(worker);
+  if (it == workers_.end()) {
+    return Status::NotFound("unknown worker " + worker.ToString());
+  }
+  WorkerInfo info = it->second;
+  workers_.erase(it);
+  if (info.instance >= 0) {
+    InstanceState& instance = instances_[static_cast<size_t>(info.instance)];
+    if (instance.state == InstanceStateKind::kRunning) {
+      if (info.running_backup) {
+        // Only the backup copy died; the primary keeps running.
+        instance.backup_worker = WorkerId();
+      } else if (instance.backup_worker.valid() &&
+                 workers_.count(instance.backup_worker) > 0) {
+        // Primary died but a backup copy lives: promote it.
+        instance.worker = instance.backup_worker;
+        instance.backup_worker = WorkerId();
+        workers_[instance.worker].running_backup = false;
+      } else {
+        instance.state = InstanceStateKind::kPending;
+        instance.worker = WorkerId();
+        instance.backup_worker = WorkerId();
+        --running_count_;
+        pending_.push_front(info.instance);  // re-run soon
+      }
+      if (count_as_failure) {
+        ++instance.attempts;
+        instance.avoid.insert(info.machine);
+      }
+    }
+  }
+  return info;
+}
+
+int64_t TaskMaster::PickInstanceFor(const WorkerInfo& worker) {
+  if (pending_.empty()) return -1;
+  if (blacklist_.count(worker.machine) > 0) return -1;
+  // Bounded locality scan: prefer an instance whose input lives on this
+  // worker's machine; otherwise take the oldest dispatchable one.
+  size_t window = std::min(options.locality_scan_window, pending_.size());
+  size_t fallback = pending_.size();  // sentinel
+  for (size_t i = 0; i < window; ++i) {
+    int64_t id = pending_[i];
+    const InstanceState& instance = instances_[static_cast<size_t>(id)];
+    if (instance.avoid.count(worker.machine) > 0) continue;
+    if (std::find(instance.preferred.begin(), instance.preferred.end(),
+                  worker.machine) != instance.preferred.end()) {
+      pending_.erase(pending_.begin() + static_cast<long>(i));
+      return id;
+    }
+    if (fallback == pending_.size()) fallback = i;
+  }
+  if (fallback != pending_.size()) {
+    int64_t id = pending_[fallback];
+    pending_.erase(pending_.begin() + static_cast<long>(fallback));
+    return id;
+  }
+  // Everything in the window avoids this machine; deep-scan the rest.
+  for (size_t i = window; i < pending_.size(); ++i) {
+    int64_t id = pending_[i];
+    if (instances_[static_cast<size_t>(id)].avoid.count(worker.machine) ==
+        0) {
+      pending_.erase(pending_.begin() + static_cast<long>(i));
+      return id;
+    }
+  }
+  return -1;
+}
+
+void TaskMaster::MarkRunning(int64_t id, WorkerId worker, double now,
+                             bool is_backup) {
+  InstanceState& instance = instances_[static_cast<size_t>(id)];
+  auto wit = workers_.find(worker);
+  FUXI_CHECK(wit != workers_.end());
+  wit->second.instance = id;
+  wit->second.running_backup = is_backup;
+  if (is_backup) {
+    FUXI_CHECK(instance.state == InstanceStateKind::kRunning);
+    instance.backup_worker = worker;
+    ++backups_launched_;
+    return;
+  }
+  FUXI_CHECK(instance.state == InstanceStateKind::kPending);
+  instance.state = InstanceStateKind::kRunning;
+  instance.worker = worker;
+  instance.started_at = now;
+  ++running_count_;
+}
+
+TaskMaster::DoneResult TaskMaster::MarkDone(int64_t id, WorkerId worker,
+                                            double now) {
+  DoneResult result;
+  InstanceState& instance = instances_[static_cast<size_t>(id)];
+  // Free the reporting worker regardless.
+  auto wit = workers_.find(worker);
+  if (wit != workers_.end() && wit->second.instance == id) {
+    wit->second.instance = -1;
+    wit->second.running_backup = false;
+  }
+  if (instance.state == InstanceStateKind::kDone) return result;
+  if (instance.state == InstanceStateKind::kRunning) {
+    --running_count_;
+    done_duration_sum_ += now - instance.started_at;
+  } else {
+    // Completion report for an instance we had requeued (e.g. a worker
+    // presumed dead finished after all): take the result, drop the
+    // pending copy.
+    auto pit = std::find(pending_.begin(), pending_.end(), id);
+    if (pit != pending_.end()) pending_.erase(pit);
+  }
+  instance.state = InstanceStateKind::kDone;
+  ++done_count_;
+  result.first_completion = true;
+  // The losing copy (primary or backup) must be cancelled.
+  WorkerId other;
+  if (instance.worker.valid() && instance.worker != worker) {
+    other = instance.worker;
+  }
+  if (instance.backup_worker.valid() && instance.backup_worker != worker) {
+    other = instance.backup_worker;
+  }
+  if (other.valid()) {
+    auto oit = workers_.find(other);
+    if (oit != workers_.end() && oit->second.instance == id) {
+      result.other_worker = other;
+      oit->second.instance = -1;
+      oit->second.running_backup = false;
+    }
+  }
+  instance.worker = WorkerId();
+  instance.backup_worker = WorkerId();
+  return result;
+}
+
+void TaskMaster::AttachRunning(int64_t id, WorkerId worker, double now) {
+  InstanceState& instance = instances_[static_cast<size_t>(id)];
+  auto wit = workers_.find(worker);
+  if (wit == workers_.end()) return;
+  if (instance.state == InstanceStateKind::kPending) {
+    auto pit = std::find(pending_.begin(), pending_.end(), id);
+    if (pit != pending_.end()) pending_.erase(pit);
+    instance.state = InstanceStateKind::kRunning;
+    instance.worker = worker;
+    instance.started_at = now;
+    ++running_count_;
+    wit->second.instance = id;
+    wit->second.running_backup = false;
+  } else if (instance.state == InstanceStateKind::kRunning &&
+             instance.worker != worker && !instance.backup_worker.valid()) {
+    // Two workers claim the same instance (failover edge); keep the
+    // second as a de-facto backup copy — first completion wins.
+    instance.backup_worker = worker;
+    wit->second.instance = id;
+    wit->second.running_backup = true;
+  }
+}
+
+void TaskMaster::Requeue(int64_t id, WorkerId worker) {
+  InstanceState& instance = instances_[static_cast<size_t>(id)];
+  auto wit = workers_.find(worker);
+  if (wit != workers_.end() && wit->second.instance == id) {
+    wit->second.instance = -1;
+    wit->second.running_backup = false;
+  }
+  if (instance.state != InstanceStateKind::kRunning) return;
+  if (instance.backup_worker == worker) {
+    instance.backup_worker = WorkerId();
+    return;  // primary still runs it
+  }
+  if (instance.worker == worker) {
+    if (instance.backup_worker.valid()) {
+      instance.worker = instance.backup_worker;
+      instance.backup_worker = WorkerId();
+      return;
+    }
+    instance.state = InstanceStateKind::kPending;
+    instance.worker = WorkerId();
+    --running_count_;
+    pending_.push_front(id);
+  }
+}
+
+bool TaskMaster::RecordSlowness(MachineId machine) {
+  ++slow_counts_[machine];
+  if (blacklist_.count(machine) == 0 &&
+      slow_counts_[machine] >= options.slow_instance_threshold) {
+    blacklist_.insert(machine);
+    return true;
+  }
+  return false;
+}
+
+bool TaskMaster::RecordFailure(int64_t id, MachineId machine) {
+  InstanceState& instance = instances_[static_cast<size_t>(id)];
+  instance.avoid.insert(machine);
+  ++instance.attempts;
+  failures_by_machine_[machine].insert(id);
+  if (blacklist_.count(machine) == 0 &&
+      static_cast<int>(failures_by_machine_[machine].size()) >=
+          options.task_blacklist_threshold) {
+    blacklist_.insert(machine);
+    return true;
+  }
+  return false;
+}
+
+std::vector<int64_t> TaskMaster::FindLongTails(double now) const {
+  std::vector<int64_t> long_tails;
+  if (config_.backup_normal_seconds <= 0) return long_tails;  // disabled
+  // Criterion 1: the majority (e.g. 90%) of instances finished.
+  if (done_count_ <
+      static_cast<int64_t>(options.backup_done_fraction *
+                           static_cast<double>(config_.instances))) {
+    return long_tails;
+  }
+  if (done_count_ == 0) return long_tails;
+  double avg = done_duration_sum_ / static_cast<double>(done_count_);
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    const InstanceState& instance = instances_[i];
+    if (instance.state != InstanceStateKind::kRunning) continue;
+    if (instance.backup_worker.valid()) continue;  // already backed up
+    double elapsed = now - instance.started_at;
+    // Criterion 2: several times the average done duration.
+    if (elapsed < options.backup_slowdown_factor * avg) continue;
+    // Criterion 3: beyond the user-declared normal runtime, so genuine
+    // data skew is not mistaken for a sick machine.
+    if (elapsed < config_.backup_normal_seconds) continue;
+    long_tails.push_back(static_cast<int64_t>(i));
+  }
+  return long_tails;
+}
+
+double TaskMaster::LocalityFactor(
+    int64_t id, MachineId machine,
+    const cluster::ClusterTopology& topology) const {
+  const InstanceState& instance = instances_[static_cast<size_t>(id)];
+  if (instance.preferred.empty()) return 1.0;  // no input data
+  bool same_rack = false;
+  for (MachineId replica : instance.preferred) {
+    if (replica == machine) return 1.0;
+    if (topology.SameRack(replica, machine)) same_rack = true;
+  }
+  return same_rack ? 1.15 : 1.3;
+}
+
+std::vector<int64_t> TaskMaster::DoneInstances() const {
+  std::vector<int64_t> done;
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].state == InstanceStateKind::kDone) {
+      done.push_back(static_cast<int64_t>(i));
+    }
+  }
+  return done;
+}
+
+void TaskMaster::RestoreDone(const std::vector<int64_t>& done) {
+  std::set<int64_t> done_set(done.begin(), done.end());
+  pending_.clear();
+  done_count_ = 0;
+  running_count_ = 0;
+  workers_.clear();
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    InstanceState& instance = instances_[i];
+    instance.worker = WorkerId();
+    instance.backup_worker = WorkerId();
+    if (done_set.count(static_cast<int64_t>(i)) > 0) {
+      instance.state = InstanceStateKind::kDone;
+      ++done_count_;
+    } else {
+      instance.state = InstanceStateKind::kPending;
+      pending_.push_back(static_cast<int64_t>(i));
+    }
+  }
+}
+
+std::vector<WorkerId> TaskMaster::IdleWorkers() const {
+  std::vector<WorkerId> idle;
+  for (const auto& [id, info] : workers_) {
+    if (info.instance < 0) idle.push_back(id);
+  }
+  return idle;
+}
+
+}  // namespace fuxi::job

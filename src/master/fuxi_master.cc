@@ -1,0 +1,676 @@
+#include "master/fuxi_master.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace fuxi::master {
+
+namespace {
+
+constexpr const char* kAppKeyPrefix = "fuxi/app/";
+constexpr const char* kBlacklistKey = "fuxi/blacklist";
+constexpr const char* kGenerationKey = "fuxi/master/generation";
+
+std::string AppKey(AppId app) {
+  return kAppKeyPrefix + std::to_string(app.value());
+}
+
+}  // namespace
+
+FuxiMaster::FuxiMaster(sim::Simulator* simulator, net::Network* network,
+                       coord::LockService* locks,
+                       coord::CheckpointStore* checkpoint,
+                       const cluster::ClusterTopology* topology, NodeId self,
+                       FuxiMasterOptions options)
+    : Actor(simulator),
+      network_(network),
+      locks_(locks),
+      checkpoint_(checkpoint),
+      topology_(topology),
+      self_(self),
+      options_(options) {
+  endpoint_.Handle<SubmitAppRpc>(
+      [this](const net::Envelope& env, const SubmitAppRpc& rpc) {
+        if (alive_ && primary_) OnSubmitApp(env, rpc);
+      });
+  endpoint_.Handle<StopAppRpc>(
+      [this](const net::Envelope& env, const StopAppRpc& rpc) {
+        if (alive_ && primary_) OnStopApp(env, rpc);
+      });
+  endpoint_.Handle<RequestRpc>(
+      [this](const net::Envelope& env, const RequestRpc& rpc) {
+        if (alive_ && primary_) OnRequest(env, rpc);
+      });
+  endpoint_.Handle<ResyncRpc>(
+      [this](const net::Envelope& env, const ResyncRpc& rpc) {
+        if (alive_ && primary_) OnResync(env, rpc);
+      });
+  endpoint_.Handle<AgentHeartbeatRpc>(
+      [this](const net::Envelope& env, const AgentHeartbeatRpc& rpc) {
+        if (alive_ && primary_) OnHeartbeat(env, rpc);
+      });
+  endpoint_.Handle<BadMachineReportRpc>(
+      [this](const net::Envelope& env, const BadMachineReportRpc& rpc) {
+        if (alive_ && primary_) OnBadMachineReport(env, rpc);
+      });
+}
+
+void FuxiMaster::Start() {
+  network_->Register(self_, &endpoint_);
+  TryBecomePrimary();
+}
+
+void FuxiMaster::Crash() {
+  if (!alive_) return;
+  alive_ = false;
+  primary_ = false;
+  ++life_;
+  network_->Unregister(self_);
+  // All soft state is lost with the process (§4.3.1: it will be
+  // re-collected from agents and application masters on failover).
+  scheduler_.reset();
+  apps_.clear();
+  agents_.clear();
+  blacklist_.clear();
+  blacklist_votes_.clear();
+}
+
+void FuxiMaster::Restart() {
+  if (alive_) return;
+  alive_ = true;
+  ++life_;
+  network_->Register(self_, &endpoint_);
+  TryBecomePrimary();
+}
+
+void FuxiMaster::TryBecomePrimary() {
+  if (!alive_ || primary_) return;
+  Status acquired = locks_->TryAcquire(kMasterLock, self_,
+                                       options_.lock_lease);
+  if (acquired.ok()) {
+    BecomePrimary();
+    return;
+  }
+  // Standby: watch for the primary's lease to lapse. The callback may
+  // fire after this instance crashed, so guard with the life counter.
+  uint64_t life = life_;
+  locks_->WatchRelease(kMasterLock, [this, life]() {
+    if (alive_ && life == life_) TryBecomePrimary();
+  });
+}
+
+void FuxiMaster::BecomePrimary() {
+  primary_ = true;
+  uint64_t previous_generation = 0;
+  if (auto gen = checkpoint_->Get(kGenerationKey); gen.ok()) {
+    previous_generation = static_cast<uint64_t>(gen->as_int());
+  }
+  generation_ = previous_generation + 1;
+  checkpoint_->Put(kGenerationKey, Json(static_cast<int64_t>(generation_)));
+  FUXI_LOG(kInfo) << "FuxiMaster node " << self_.value()
+                  << " became primary, generation " << generation_;
+
+  resource::SchedulerOptions scheduler_options = options_.scheduler;
+  scheduler_options.starvation_age_after = options_.starvation_age_after;
+  scheduler_ = std::make_unique<resource::Scheduler>(topology_,
+                                                     scheduler_options);
+  for (const auto& [name, quota] : options_.quota_groups) {
+    Status s = scheduler_->CreateQuotaGroup(name, quota);
+    FUXI_CHECK(s.ok()) << s.ToString();
+  }
+  // Machines come online only when their agent reports in (with its
+  // allocation table after a failover), so restored grants can be
+  // installed before any new scheduling touches the machine.
+  resource::SchedulingResult scratch;
+  for (const cluster::Machine& machine : topology_->machines()) {
+    scheduler_->SetMachineOffline(machine.id, &scratch);
+  }
+  RecoverHardState();
+
+  uint64_t life = life_;
+  After(options_.lock_renew_every, [this, life] {
+    if (alive_ && life == life_ && primary_) RenewLease();
+  });
+  After(options_.monitor_interval, [this, life] {
+    if (alive_ && life == life_ && primary_) MonitorTick();
+  });
+  After(options_.rollup_interval, [this, life] {
+    if (alive_ && life == life_ && primary_) RollupTick();
+  });
+}
+
+void FuxiMaster::StepDown() {
+  primary_ = false;
+  scheduler_.reset();
+  apps_.clear();
+  agents_.clear();
+  TryBecomePrimary();
+}
+
+void FuxiMaster::RenewLease() {
+  Status s = locks_->Renew(kMasterLock, self_, options_.lock_lease);
+  if (!s.ok()) {
+    FUXI_LOG(kWarning) << "FuxiMaster node " << self_.value()
+                       << " lost the master lock: " << s.ToString();
+    StepDown();
+    return;
+  }
+  uint64_t life = life_;
+  After(options_.lock_renew_every, [this, life] {
+    if (alive_ && life == life_ && primary_) RenewLease();
+  });
+}
+
+void FuxiMaster::RecoverHardState() {
+  // Hard state (paper §4.3.1): only application configurations and the
+  // cluster-level blacklist are checkpointed. Everything else is soft.
+  for (const std::string& key : checkpoint_->ListKeys(kAppKeyPrefix)) {
+    auto record_json = checkpoint_->Get(key);
+    FUXI_CHECK(record_json.ok());
+    AppRecord record;
+    record.app = AppId(record_json->GetInt("app"));
+    record.quota_group = record_json->GetString("quota_group");
+    if (const Json* desc = record_json->Find("description")) {
+      record.description = *desc;
+    }
+    record.client = NodeId(record_json->GetInt("client", -1));
+    record.am_started = record_json->GetBool("am_started");
+    record.last_contact = Now();
+    Status s = scheduler_->RegisterApp(record.app, record.quota_group);
+    FUXI_CHECK(s.ok()) << s.ToString();
+    apps_.emplace(record.app, std::move(record));
+  }
+  if (auto blacklist = checkpoint_->Get(kBlacklistKey); blacklist.ok()) {
+    for (const Json& entry : blacklist->as_array()) {
+      blacklist_.insert(MachineId(entry.as_int()));
+    }
+  }
+}
+
+void FuxiMaster::OnSubmitApp(const net::Envelope& env,
+                             const SubmitAppRpc& rpc) {
+  (void)env;
+  SubmitAppReplyRpc reply;
+  reply.app = rpc.app;
+  if (apps_.count(rpc.app) > 0) {
+    reply.accepted = true;  // duplicate submission is idempotent
+    network_->Send(self_, rpc.client, reply);
+    return;
+  }
+  Status registered = scheduler_->RegisterApp(rpc.app, rpc.quota_group);
+  if (!registered.ok()) {
+    reply.accepted = false;
+    reply.error = registered.ToString();
+    network_->Send(self_, rpc.client, reply);
+    return;
+  }
+  AppRecord record;
+  record.app = rpc.app;
+  record.quota_group = rpc.quota_group;
+  record.description = rpc.description;
+  record.client = rpc.client;
+  record.last_contact = Now();
+
+  // Hard-state checkpoint: happens only on submit/stop, by design.
+  Json hard = Json::MakeObject();
+  hard["app"] = Json(rpc.app.value());
+  hard["quota_group"] = Json(rpc.quota_group);
+  hard["description"] = rpc.description;
+  hard["client"] = Json(rpc.client.value());
+  hard["am_started"] = Json(true);
+  checkpoint_->Put(AppKey(rpc.app), hard);
+
+  // Find a FuxiAgent with capacity for the application master and ask
+  // it to start one (paper §2.2 workflow).
+  record.am_started = false;
+  for (const auto& [machine, agent] : agents_) {
+    if (!agent.online || blacklist_.count(machine) > 0) continue;
+    network_->Send(self_, agent.node,
+                   StartAppMasterRpc{rpc.app, rpc.description});
+    record.am_started = true;
+    break;
+  }
+  apps_.emplace(rpc.app, std::move(record));
+  reply.accepted = true;
+  network_->Send(self_, rpc.client, reply);
+}
+
+void FuxiMaster::OnStopApp(const net::Envelope& env, const StopAppRpc& rpc) {
+  (void)env;
+  auto it = apps_.find(rpc.app);
+  if (it == apps_.end()) return;
+  resource::SchedulingResult result;
+  Status s = scheduler_->UnregisterApp(rpc.app, &result);
+  if (!s.ok()) FUXI_LOG(kWarning) << "stop app: " << s.ToString();
+  if (it->second.am_node.valid()) {
+    network_->Send(self_, it->second.am_node, StopAppRpc{rpc.app});
+  }
+  checkpoint_->Delete(AppKey(rpc.app));
+  apps_.erase(it);
+  // Freed resources flowed to other apps' queues; tell them.
+  Dispatch(result);
+}
+
+void FuxiMaster::OnRequest(const net::Envelope& env, const RequestRpc& rpc) {
+  (void)env;
+  AppRecord* record = FindApp(rpc.app);
+  if (record == nullptr) {
+    FUXI_LOG(kWarning) << "request from unknown app " << rpc.app.value();
+    return;
+  }
+  record->am_node = rpc.reply_to;
+  record->last_contact = Now();
+  if (rpc.incarnation != record->am_incarnation) {
+    // The application master restarted: both delta channels start over.
+    record->am_incarnation = rpc.incarnation;
+    record->request_receiver =
+        resource::DeltaReceiver<resource::RequestMessage>();
+    record->grant_sender = resource::DeltaSender<resource::GrantMessage>();
+  }
+  using Outcome = resource::DeltaReceiver<resource::RequestMessage>::Outcome;
+  Outcome outcome = record->request_receiver.Receive(
+      rpc.msg, [this, record](const resource::RequestMessage& msg,
+                              bool is_full) {
+        ApplyRequestMessage(record, msg, is_full);
+      });
+  if (outcome == Outcome::kNeedResync) {
+    ResyncRpc resync;
+    resync.app = rpc.app;
+    network_->Send(self_, record->am_node, resync);
+  }
+}
+
+void FuxiMaster::OnResync(const net::Envelope& env, const ResyncRpc& rpc) {
+  (void)env;
+  AppRecord* record = FindApp(rpc.app);
+  if (record == nullptr) return;
+  if (rpc.reply_to.valid()) record->am_node = rpc.reply_to;
+  record->last_contact = Now();
+  if (rpc.incarnation != 0 && rpc.incarnation != record->am_incarnation) {
+    record->am_incarnation = rpc.incarnation;
+    record->request_receiver =
+        resource::DeltaReceiver<resource::RequestMessage>();
+    record->grant_sender = resource::DeltaSender<resource::GrantMessage>();
+  }
+  SendFullGrantState(record);
+}
+
+void FuxiMaster::ApplyRequestMessage(AppRecord* record,
+                                     const resource::RequestMessage& msg,
+                                     bool is_full) {
+  std::chrono::steady_clock::time_point start;
+  if (time_decisions_) start = std::chrono::steady_clock::now();
+
+  if (is_full) {
+    ApplyFullState(record, msg);
+  } else {
+    resource::SchedulingResult result;
+    if (!msg.delta.units.empty()) {
+      resource::ResourceRequest request = msg.delta;
+      request.app = record->app;  // never trust the inner app id blindly
+      Status s = scheduler_->ApplyRequest(request, &result);
+      if (!s.ok()) {
+        FUXI_LOG(kWarning) << "request from app " << record->app.value()
+                           << " rejected: " << s.ToString();
+      }
+    }
+    for (const resource::ReleaseDelta& release : msg.releases) {
+      Status s = scheduler_->Release(record->app, release.slot_id,
+                                     release.machine, release.count,
+                                     &result);
+      if (!s.ok()) {
+        // Benign race: the master may have reconciled this grant away
+        // while the release was in flight; the full sync converges it.
+        FUXI_LOG(kDebug) << "release from app " << record->app.value()
+                         << " rejected: " << s.ToString();
+      }
+    }
+    Dispatch(result);
+  }
+
+  if (time_decisions_) {
+    auto end = std::chrono::steady_clock::now();
+    decision_micros_.push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count() /
+        1000.0);
+  }
+}
+
+void FuxiMaster::ApplyFullState(AppRecord* record,
+                                const resource::RequestMessage& msg) {
+  resource::SchedulingResult result;
+  // Snapshot the grants that existed BEFORE this reconcile: the
+  // application's held-grant view can only speak about those. Grants
+  // created by the demand reconcile below are newer than the snapshot
+  // the AM sent and must not be mistaken for lost releases.
+  std::vector<resource::Scheduler::GrantEntry> grants_before =
+      scheduler_->GrantsOf(record->app);
+  // 1. Demand side: drive the scheduler's outstanding counts to the
+  // absolute values the application asserts.
+  const resource::LocalityTree& tree = scheduler_->locality_tree();
+  resource::ResourceRequest reconcile;
+  reconcile.app = record->app;
+  std::map<uint32_t, int64_t> granted_per_slot;
+  for (const resource::Scheduler::GrantEntry& grant : grants_before) {
+    granted_per_slot[grant.slot_id] += grant.count;
+  }
+  std::set<uint32_t> mentioned;
+  for (const resource::SlotAbsoluteState& slot : msg.full_slots) {
+    mentioned.insert(slot.def.slot_id);
+    const resource::PendingDemand* demand =
+        tree.Find(resource::SlotKey{record->app, slot.def.slot_id});
+    resource::UnitRequestDelta delta;
+    delta.slot_id = slot.def.slot_id;
+    delta.has_def = true;
+    delta.def = slot.def;
+    // Reconcile desired TOTALS (outstanding + granted): in-flight grant
+    // deltas shift units between the halves on the two peers but leave
+    // the total invariant.
+    int64_t current_total = (demand ? demand->total_remaining : 0) +
+                            granted_per_slot[slot.def.slot_id];
+    delta.total_count_delta = slot.total_count - current_total;
+    // Hints: absolute -> delta against the current view.
+    std::map<std::pair<int, std::string>, int64_t> desired;
+    for (const resource::LocalityHint& hint : slot.hints) {
+      desired[{static_cast<int>(hint.level), hint.value}] += hint.count;
+    }
+    if (demand != nullptr) {
+      for (const auto& [machine, count] : demand->machine_remaining) {
+        std::string host = topology_->machine(machine).hostname;
+        desired[{static_cast<int>(resource::LocalityLevel::kMachine),
+                 host}] -= count;
+      }
+      for (const auto& [rack, count] : demand->rack_remaining) {
+        desired[{static_cast<int>(resource::LocalityLevel::kRack),
+                 topology_->rack(rack).name}] -= count;
+      }
+    }
+    for (const auto& [level_value, count] : desired) {
+      if (count == 0) continue;
+      delta.hints.push_back(
+          {static_cast<resource::LocalityLevel>(level_value.first),
+           level_value.second, count});
+    }
+    delta.avoid_add = slot.avoid;
+    reconcile.units.push_back(std::move(delta));
+  }
+  // Slots the application no longer mentions: zero them out.
+  for (const resource::PendingDemand* demand : tree.AllDemands()) {
+    if (demand->key.app != record->app) continue;
+    if (mentioned.count(demand->key.slot_id) > 0) continue;
+    if (demand->total_remaining == 0) continue;
+    resource::UnitRequestDelta delta;
+    delta.slot_id = demand->key.slot_id;
+    delta.total_count_delta = -demand->total_remaining;
+    reconcile.units.push_back(std::move(delta));
+  }
+  if (!reconcile.units.empty()) {
+    Status s = scheduler_->ApplyRequest(reconcile, &result);
+    if (!s.ok()) {
+      FUXI_LOG(kWarning) << "full-state reconcile failed for app "
+                         << record->app.value() << ": " << s.ToString();
+    }
+  }
+  // 2. Grant side: the application's held view vs ours. Grants we hold
+  // that the app does not believe it has are treated as released (lost
+  // release messages); the full grant state we send below snaps the
+  // application to our authoritative view.
+  std::map<std::pair<uint32_t, MachineId>, int64_t> held;
+  for (const resource::GrantAbsolute& grant : msg.held_grants) {
+    held[{grant.slot_id, grant.machine}] += grant.count;
+  }
+  std::map<std::pair<uint32_t, int64_t>, int64_t> still_suspected;
+  for (const resource::Scheduler::GrantEntry& grant : grants_before) {
+    int64_t app_view = 0;
+    auto it = held.find({grant.slot_id, grant.machine});
+    if (it != held.end()) app_view = it->second;
+    int64_t excess = grant.count - app_view;
+    if (excess <= 0) continue;
+    auto key = std::make_pair(grant.slot_id, grant.machine.value());
+    auto sit = record->suspected_lost.find(key);
+    int64_t confirmed = sit == record->suspected_lost.end()
+                            ? 0
+                            : std::min(sit->second, excess);
+    if (confirmed > 0) {
+      // The AM failed to acknowledge these units across two consecutive
+      // full syncs: the release message really was lost.
+      Status s = scheduler_->Release(record->app, grant.slot_id,
+                                     grant.machine, confirmed, &result,
+                                     resource::RevocationReason::kReconcile);
+      if (!s.ok()) {
+        FUXI_LOG(kWarning) << "grant reconcile release failed: "
+                           << s.ToString();
+      }
+      excess -= confirmed;
+    }
+    if (excess > 0) still_suspected[key] = excess;
+  }
+  record->suspected_lost = std::move(still_suspected);
+  Dispatch(result);
+  SendFullGrantState(record);
+}
+
+void FuxiMaster::Dispatch(const resource::SchedulingResult& result) {
+  if (result.empty()) return;
+  // Group grant changes per application and capacity changes per agent.
+  std::map<AppId, resource::GrantMessage> per_app;
+  std::map<MachineId, AgentCapacityRpc> per_machine;
+  auto def_of = [this](AppId app, uint32_t slot) {
+    return LookupDef(app, slot);
+  };
+  for (const resource::Assignment& a : result.assignments) {
+    per_app[a.app].deltas.push_back(
+        {a.slot_id, a.machine, a.count, resource::RevocationReason::kAppRelease});
+    per_machine[a.machine].entries.push_back(
+        {a.app, a.slot_id, def_of(a.app, a.slot_id), a.count});
+  }
+  for (const resource::Revocation& r : result.revocations) {
+    // App-initiated releases are not echoed back to the application:
+    // it already decremented its own view when it sent the release
+    // (echoing would double-count). Agents always hear about them.
+    if (r.reason != resource::RevocationReason::kAppRelease) {
+      per_app[r.app].deltas.push_back(
+          {r.slot_id, r.machine, -r.count, r.reason});
+    }
+    per_machine[r.machine].entries.push_back(
+        {r.app, r.slot_id, def_of(r.app, r.slot_id), -r.count});
+  }
+  for (auto& [app, message] : per_app) {
+    AppRecord* record = FindApp(app);
+    if (record == nullptr || !record->am_node.valid()) continue;
+    size_t size = resource::ApproxWireSize(message);
+    network_->Send(self_, record->am_node,
+                   GrantRpc{record->grant_sender.Stamp(std::move(message))},
+                   size);
+  }
+  for (auto& [machine, rpc] : per_machine) {
+    auto it = agents_.find(machine);
+    if (it == agents_.end() || !it->second.online) continue;
+    network_->Send(self_, it->second.node, rpc,
+                   24 + rpc.entries.size() * 48);
+  }
+}
+
+void FuxiMaster::SendFullGrantState(AppRecord* record) {
+  if (!record->am_node.valid()) return;
+  resource::GrantMessage message;
+  for (const resource::Scheduler::GrantEntry& grant :
+       scheduler_->GrantsOf(record->app)) {
+    message.full_grants.push_back(
+        {grant.slot_id, grant.machine, grant.count});
+  }
+  size_t size = resource::ApproxWireSize(message);
+  network_->Send(
+      self_, record->am_node,
+      GrantRpc{record->grant_sender.StampFull(std::move(message))}, size);
+}
+
+void FuxiMaster::OnHeartbeat(const net::Envelope& env,
+                             const AgentHeartbeatRpc& rpc) {
+  (void)env;
+  bool known = agents_.count(rpc.machine) > 0;
+  AgentRecord& agent = agents_[rpc.machine];
+  agent.machine = rpc.machine;
+  agent.node = rpc.agent_node;
+  agent.last_heartbeat = Now();
+  constexpr double kAlpha = 0.3;
+  agent.health_ewma =
+      known ? (1 - kAlpha) * agent.health_ewma + kAlpha * rpc.health_score
+            : rpc.health_score;
+
+  bool blacklisted = blacklist_.count(rpc.machine) > 0;
+  bool scheduler_online =
+      scheduler_->machine_state(rpc.machine).online;
+
+  if (rpc.carries_allocations && !scheduler_online && !blacklisted) {
+    // Failover / node-return path: restore the machine's allocations as
+    // soft state, then open it up for scheduling (Figure 7).
+    resource::SchedulingResult result;
+    scheduler_->SetMachineOnline(rpc.machine, &result, /*run_pass=*/false);
+    for (const AgentAllocation& alloc : rpc.allocations) {
+      if (apps_.count(alloc.app) == 0) continue;  // app no longer exists
+      Status s = scheduler_->RestoreGrant(alloc.app, alloc.def, rpc.machine,
+                                          alloc.count);
+      if (!s.ok()) {
+        FUXI_LOG(kWarning) << "failed to restore grant on machine "
+                           << rpc.machine.value() << ": " << s.ToString();
+      }
+    }
+    scheduler_->RunSchedulePass(rpc.machine, &result);
+    agent.online = true;
+    Dispatch(result);
+  }
+
+  AgentHeartbeatAckRpc ack;
+  ack.master_generation = generation_;
+  ack.need_allocations = !scheduler_->machine_state(rpc.machine).online &&
+                         !blacklisted;
+  network_->Send(self_, rpc.agent_node, ack);
+}
+
+void FuxiMaster::OnBadMachineReport(const net::Envelope& env,
+                                    const BadMachineReportRpc& rpc) {
+  (void)env;
+  blacklist_votes_[rpc.machine].insert(rpc.app);
+  // Vote evaluation itself is deferred to the roll-up tick (§3.4:
+  // bad-node detection is heavy-but-not-urgent work).
+}
+
+void FuxiMaster::MonitorTick() {
+  for (auto& [machine, agent] : agents_) {
+    if (!agent.online) continue;
+    if (Now() - agent.last_heartbeat > options_.heartbeat_timeout) {
+      MarkMachineDown(machine, "heartbeat timeout");
+    }
+  }
+  uint64_t life = life_;
+  After(options_.monitor_interval, [this, life] {
+    if (alive_ && life == life_ && primary_) MonitorTick();
+  });
+}
+
+void FuxiMaster::RollupTick() {
+  // Health-score based disabling (plugin scheme, §4.3.2).
+  for (auto& [machine, agent] : agents_) {
+    if (!agent.online) continue;
+    if (agent.health_ewma < options_.health_disable_threshold) {
+      if (agent.unhealthy_since < 0) agent.unhealthy_since = Now();
+      if (Now() - agent.unhealthy_since >= options_.health_disable_after) {
+        DisableMachine(machine, "sustained low health score");
+      }
+    } else {
+      agent.unhealthy_since = -1;
+    }
+  }
+  // Cross-job blacklist voting.
+  for (const auto& [machine, votes] : blacklist_votes_) {
+    if (static_cast<int>(votes.size()) >= options_.blacklist_votes &&
+        blacklist_.count(machine) == 0) {
+      DisableMachine(machine, "blacklisted by " +
+                                  std::to_string(votes.size()) + " apps");
+    }
+  }
+  // Starvation guard: long-waiting demands get an aging boost (heavy
+  // non-urgent work, handled in the roll-up like quota adjustment).
+  if (options_.starvation_age_after > 0) {
+    scheduler_->AgeWaitingDemands(Now());
+    for (resource::SchedulingResult& result :
+         scheduler_->TakeAgedResults()) {
+      Dispatch(result);
+    }
+  }
+  // Application-master liveness: restart silent AMs.
+  for (auto& [app, record] : apps_) {
+    if (Now() - record.last_contact > options_.app_master_timeout) {
+      for (const auto& [machine, agent] : agents_) {
+        if (!agent.online || blacklist_.count(machine) > 0) continue;
+        FUXI_LOG(kInfo) << "restarting application master for app "
+                        << app.value();
+        network_->Send(self_, agent.node,
+                       StartAppMasterRpc{app, record.description});
+        record.last_contact = Now();  // give the new AM time to come up
+        break;
+      }
+    }
+  }
+  uint64_t life = life_;
+  After(options_.rollup_interval, [this, life] {
+    if (alive_ && life == life_ && primary_) RollupTick();
+  });
+}
+
+void FuxiMaster::MarkMachineDown(MachineId machine, const std::string& why) {
+  auto it = agents_.find(machine);
+  if (it != agents_.end()) it->second.online = false;
+  FUXI_LOG(kInfo) << "machine " << machine.value() << " down: " << why;
+  resource::SchedulingResult result;
+  scheduler_->SetMachineOffline(machine, &result);
+  Dispatch(result);
+}
+
+void FuxiMaster::DisableMachine(MachineId machine, const std::string& why) {
+  if (blacklist_.count(machine) > 0) return;
+  size_t cap = static_cast<size_t>(options_.blacklist_cap_fraction *
+                                   static_cast<double>(
+                                       topology_->machine_count()));
+  if (blacklist_.size() >= std::max<size_t>(cap, 1)) {
+    FUXI_LOG(kWarning) << "blacklist cap reached; not disabling machine "
+                       << machine.value();
+    return;
+  }
+  FUXI_LOG(kInfo) << "disabling machine " << machine.value() << ": " << why;
+  blacklist_.insert(machine);
+  CheckpointBlacklist();
+  MarkMachineDown(machine, why);
+}
+
+void FuxiMaster::CheckpointBlacklist() {
+  Json list = Json::MakeArray();
+  for (MachineId machine : blacklist_) list.Append(Json(machine.value()));
+  checkpoint_->Put(kBlacklistKey, list);
+}
+
+FuxiMaster::AppRecord* FuxiMaster::FindApp(AppId app) {
+  auto it = apps_.find(app);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+resource::ScheduleUnitDef FuxiMaster::LookupDef(AppId app,
+                                                uint32_t slot) const {
+  const resource::PendingDemand* demand =
+      scheduler_->locality_tree().Find(resource::SlotKey{app, slot});
+  if (demand != nullptr) return demand->def;
+  resource::ScheduleUnitDef def;
+  def.slot_id = slot;
+  return def;
+}
+
+std::vector<MachineId> FuxiMaster::Blacklisted() const {
+  return std::vector<MachineId>(blacklist_.begin(), blacklist_.end());
+}
+
+}  // namespace fuxi::master

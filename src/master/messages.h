@@ -1,0 +1,201 @@
+#ifndef FUXI_MASTER_MESSAGES_H_
+#define FUXI_MASTER_MESSAGES_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/resource_vector.h"
+#include "common/ids.h"
+#include "common/json.h"
+#include "resource/protocol.h"
+
+namespace fuxi::master {
+
+// ---------------------------------------------------------------------
+// Application master <-> FuxiMaster (the incremental resource protocol)
+// ---------------------------------------------------------------------
+
+/// Application master → FuxiMaster: stamped incremental (or full-state)
+/// resource request.
+struct RequestRpc {
+  AppId app;
+  NodeId reply_to;  ///< where grant deltas should be sent
+  /// Application-master incarnation: bumps when the AM restarts, so the
+  /// master knows to reset both delta channels (the restarted AM's
+  /// sequence numbers start over).
+  uint64_t incarnation = 1;
+  resource::StampedRequest msg;
+};
+
+/// FuxiMaster → application master: stamped grant deltas / full state.
+struct GrantRpc {
+  resource::StampedGrant msg;
+};
+
+/// Either side → the other: "my receiver lost sync, send full state".
+struct ResyncRpc {
+  AppId app;
+  NodeId reply_to;  ///< valid when sent by an application master
+  uint64_t incarnation = 0;  ///< nonzero when sent by a restarted AM
+};
+
+/// Application master → FuxiMaster: report a machine it considers bad
+/// (the job-level blacklist bubbling up for cross-job judgement, §4.3.2).
+struct BadMachineReportRpc {
+  AppId app;
+  MachineId machine;
+};
+
+// ---------------------------------------------------------------------
+// FuxiAgent <-> FuxiMaster
+// ---------------------------------------------------------------------
+
+/// One application's allocation on a machine, as the agent sees it.
+struct AgentAllocation {
+  AppId app;
+  uint32_t slot_id = 0;
+  resource::ScheduleUnitDef def;
+  int64_t count = 0;
+};
+
+/// FuxiAgent → FuxiMaster: periodic heartbeat with health plug-in
+/// metrics (§4.3.2's disk statistics / machine load / network I/O score)
+/// and, on demand, the machine's full allocation state.
+struct AgentHeartbeatRpc {
+  MachineId machine;
+  NodeId agent_node;
+  uint64_t seq = 0;
+  double health_score = 1.0;  ///< 1.0 healthy .. 0.0 dead
+  cluster::ResourceVector capacity;
+  bool carries_allocations = false;
+  std::vector<AgentAllocation> allocations;
+  /// Set by a restarted agent that lost its capacity table; the master
+  /// answers with a full AgentCapacityRpc.
+  bool need_capacity = false;
+};
+
+/// FuxiMaster → FuxiAgent: authoritative per-app capacity on the
+/// machine (sent as deltas after scheduling decisions; as absolute
+/// counts with `full` set, e.g. after an agent restart).
+struct AgentCapacityRpc {
+  struct Entry {
+    AppId app;
+    uint32_t slot_id = 0;
+    resource::ScheduleUnitDef def;
+    int64_t delta = 0;  ///< delta, or absolute count when `full`
+  };
+  bool full = false;
+  std::vector<Entry> entries;
+};
+
+/// FuxiMaster → FuxiAgent: heartbeat acknowledgement. When the master
+/// has no record of the agent (fresh election, or the agent was marked
+/// down), it sets `need_allocations` and the agent's next heartbeat
+/// carries its full allocation table so the master can restore the
+/// soft state (Figure 7).
+struct AgentHeartbeatAckRpc {
+  uint64_t master_generation = 0;
+  bool need_allocations = false;
+};
+
+/// FuxiMaster (newly elected primary) → everyone: "re-send your state".
+/// Agents answer with a heartbeat carrying allocations; application
+/// masters answer with a full-state RequestRpc (paper Figure 7).
+struct MasterRecoveryAnnounceRpc {
+  NodeId new_master;
+  uint64_t master_generation = 0;
+};
+
+// ---------------------------------------------------------------------
+// Client <-> FuxiMaster (application lifecycle)
+// ---------------------------------------------------------------------
+
+/// Client → FuxiMaster: launch an application (e.g. a Fuxi job). The
+/// description is the hard state checkpointed by the master.
+struct SubmitAppRpc {
+  AppId app;
+  std::string quota_group;
+  Json description;
+  NodeId client;
+};
+
+/// FuxiMaster → client: submission outcome.
+struct SubmitAppReplyRpc {
+  AppId app;
+  bool accepted = false;
+  std::string error;
+};
+
+/// FuxiMaster → FuxiAgent: start an application master process for a
+/// submitted app on this machine.
+struct StartAppMasterRpc {
+  AppId app;
+  Json description;
+};
+
+/// Client or master → FuxiMaster: tear an application down.
+struct StopAppRpc {
+  AppId app;
+};
+
+// ---------------------------------------------------------------------
+// Application master <-> FuxiAgent (work plans, §2.2)
+// ---------------------------------------------------------------------
+
+/// Application master → FuxiAgent: start a worker process under a
+/// previously granted unit. `plan` carries package location / start-up
+/// parameters (opaque to the agent).
+struct StartWorkerRpc {
+  AppId app;
+  uint32_t slot_id = 0;
+  NodeId am_node;
+  uint64_t plan_id = 0;  ///< echo token for the reply
+  Json plan;
+};
+
+/// FuxiAgent → application master: worker launch outcome.
+struct WorkerStartedRpc {
+  uint64_t plan_id = 0;
+  WorkerId worker;
+  MachineId machine;
+  bool ok = false;
+  std::string error;
+};
+
+/// Application master → FuxiAgent: stop a worker.
+struct StopWorkerRpc {
+  WorkerId worker;
+};
+
+/// FuxiAgent → application master: a worker died; if the agent could
+/// restart it in place (paper: "FuxiAgent watches the worker's status
+/// and restarts it if it crashes"), `restarted` is set and
+/// `replacement` names the new process.
+struct WorkerCrashedRpc {
+  AppId app;
+  uint32_t slot_id = 0;
+  WorkerId worker;
+  WorkerId replacement;
+  MachineId machine;
+  bool restarted = false;
+};
+
+/// Restarted FuxiAgent → application master: "I adopted these running
+/// workers of yours; which should survive?" (agent failover, §4.3.1).
+struct AdoptQueryRpc {
+  AppId app;
+  MachineId machine;
+  NodeId agent_node;
+  std::vector<WorkerId> workers;
+};
+
+/// Application master → restarted FuxiAgent: the workers to keep.
+struct AdoptReplyRpc {
+  AppId app;
+  MachineId machine;
+  std::vector<WorkerId> keep;
+};
+
+}  // namespace fuxi::master
+
+#endif  // FUXI_MASTER_MESSAGES_H_

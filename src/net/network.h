@@ -1,0 +1,184 @@
+#ifndef FUXI_NET_NETWORK_H_
+#define FUXI_NET_NETWORK_H_
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/ids.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace fuxi::net {
+
+/// A delivered message with its routing metadata.
+struct Envelope {
+  NodeId from;
+  NodeId to;
+  uint64_t wire_seq = 0;   ///< global send order, for debugging
+  double sent_at = 0;      ///< virtual send time
+  size_t size_hint = 0;    ///< approximate wire bytes (caller supplied)
+  std::any payload;
+};
+
+/// A network attachment point for one simulated process. Handlers are
+/// registered per payload type; unhandled payload types are counted and
+/// dropped (like an unknown RPC method).
+class Endpoint {
+ public:
+  /// Registers a handler for messages whose payload holds a T.
+  template <typename T>
+  void Handle(std::function<void(const Envelope&, const T&)> fn) {
+    handlers_[std::type_index(typeid(T))] =
+        [fn = std::move(fn)](const Envelope& env) {
+          fn(env, std::any_cast<const T&>(env.payload));
+        };
+  }
+
+  /// Dispatches one envelope. Returns false when no handler matched.
+  bool Dispatch(const Envelope& env) {
+    auto it = handlers_.find(std::type_index(env.payload.type()));
+    if (it == handlers_.end()) {
+      ++unhandled_;
+      return false;
+    }
+    it->second(env);
+    return true;
+  }
+
+  uint64_t unhandled() const { return unhandled_; }
+
+ private:
+  std::unordered_map<std::type_index, std::function<void(const Envelope&)>>
+      handlers_;
+  uint64_t unhandled_ = 0;
+};
+
+/// Aggregate transport counters, used by the incremental-communication
+/// ablation benchmark to compare message/byte volumes.
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t messages_duplicated = 0;
+  uint64_t bytes_sent = 0;
+};
+
+/// Simulated datacenter network. Delivers payloads between registered
+/// endpoints with configurable latency, and can inject the failure modes
+/// the incremental protocol must survive: message loss, duplication, and
+/// (via random jitter) reordering. Nodes can be partitioned to model
+/// machine death or network disconnection.
+class Network {
+ public:
+  struct Config {
+    double latency_mean = 0.0005;    ///< 0.5 ms one-way
+    double latency_jitter = 0.0002;  ///< uniform +/- jitter; causes reordering
+    double drop_probability = 0.0;
+    double duplicate_probability = 0.0;
+  };
+
+  Network(sim::Simulator* simulator, Config config, uint64_t seed = 42)
+      : sim_(simulator), config_(config), rng_(seed) {
+    FUXI_CHECK(simulator != nullptr);
+  }
+
+  /// Attaches `endpoint` as `node`. The endpoint must outlive the
+  /// network or be detached first.
+  void Register(NodeId node, Endpoint* endpoint) {
+    FUXI_CHECK(endpoint != nullptr);
+    endpoints_[node] = endpoint;
+  }
+
+  void Unregister(NodeId node) { endpoints_.erase(node); }
+  bool IsRegistered(NodeId node) const { return endpoints_.count(node) > 0; }
+
+  /// Cuts a node off: in-flight and future messages to/from it vanish,
+  /// modelling a machine halt or link failure.
+  void Partition(NodeId node) { partitioned_.insert(node); }
+  void Heal(NodeId node) { partitioned_.erase(node); }
+  bool IsPartitioned(NodeId node) const {
+    return partitioned_.count(node) > 0;
+  }
+
+  /// Sends `payload` from `from` to `to`. `size_hint` approximates wire
+  /// bytes for the communication-volume metrics.
+  template <typename T>
+  void Send(NodeId from, NodeId to, T payload, size_t size_hint = 64) {
+    stats_.messages_sent++;
+    stats_.bytes_sent += size_hint;
+    if (IsPartitioned(from) || IsPartitioned(to)) {
+      stats_.messages_dropped++;
+      return;
+    }
+    if (config_.drop_probability > 0 &&
+        rng_.Bernoulli(config_.drop_probability)) {
+      stats_.messages_dropped++;
+      return;
+    }
+    int copies = 1;
+    if (config_.duplicate_probability > 0 &&
+        rng_.Bernoulli(config_.duplicate_probability)) {
+      ++copies;
+      stats_.messages_duplicated++;
+    }
+    for (int i = 0; i < copies; ++i) {
+      Envelope env;
+      env.from = from;
+      env.to = to;
+      env.wire_seq = next_wire_seq_++;
+      env.sent_at = sim_->Now();
+      env.size_hint = size_hint;
+      env.payload = payload;  // copy: duplicates need their own payload
+      double latency = SampleLatency();
+      sim_->Schedule(latency, [this, env = std::move(env)]() {
+        Deliver(env);
+      });
+    }
+  }
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+  Config* mutable_config() { return &config_; }
+
+ private:
+  double SampleLatency() {
+    double jitter =
+        config_.latency_jitter * (2.0 * rng_.NextDouble() - 1.0);
+    double latency = config_.latency_mean + jitter;
+    return latency > 0 ? latency : 0.0;
+  }
+
+  void Deliver(const Envelope& env) {
+    if (IsPartitioned(env.from) || IsPartitioned(env.to)) {
+      stats_.messages_dropped++;
+      return;
+    }
+    auto it = endpoints_.find(env.to);
+    if (it == endpoints_.end()) {
+      stats_.messages_dropped++;
+      return;
+    }
+    stats_.messages_delivered++;
+    it->second->Dispatch(env);
+  }
+
+  sim::Simulator* sim_;
+  Config config_;
+  Rng rng_;
+  uint64_t next_wire_seq_ = 0;
+  std::unordered_map<NodeId, Endpoint*> endpoints_;
+  std::unordered_set<NodeId> partitioned_;
+  NetworkStats stats_;
+};
+
+}  // namespace fuxi::net
+
+#endif  // FUXI_NET_NETWORK_H_

@@ -1,0 +1,169 @@
+#ifndef FUXI_RESOURCE_LOCALITY_TREE_H_
+#define FUXI_RESOURCE_LOCALITY_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/ids.h"
+#include "resource/request.h"
+
+namespace fuxi::resource {
+
+/// Identifies one application's demand stream for one ScheduleUnit.
+struct SlotKey {
+  AppId app;
+  uint32_t slot_id = 0;
+
+  friend bool operator==(const SlotKey& a, const SlotKey& b) {
+    return a.app == b.app && a.slot_id == b.slot_id;
+  }
+  friend bool operator<(const SlotKey& a, const SlotKey& b) {
+    if (a.app != b.app) return a.app < b.app;
+    return a.slot_id < b.slot_id;
+  }
+};
+
+struct SlotKeyHash {
+  size_t operator()(const SlotKey& k) const {
+    return std::hash<int64_t>()(k.app.value()) * 1000003u ^ k.slot_id;
+  }
+};
+
+/// One unsatisfied ScheduleUnit demand queued in the locality tree
+/// (Figure 5's "App1: P1, 4" entries). `total_remaining` is the
+/// cluster-level outstanding count; per-machine/rack counts cap how many
+/// units the application wants from that subtree. A grant from machine M
+/// decrements M's count, M's rack count and the total together.
+struct PendingDemand {
+  SlotKey key;
+  ScheduleUnitDef def;
+  uint64_t enqueue_seq = 0;  ///< FIFO tiebreak among equal priorities
+  /// Effective priority used for queue ordering; normally equals
+  /// def.priority, but starvation aging may raise it (§7 future work:
+  /// "guard against starvation in corner cases").
+  Priority effective_priority = 0;
+  /// When the demand last became non-empty (for starvation aging).
+  double waiting_since = 0;
+
+  int64_t total_remaining = 0;
+  std::unordered_map<MachineId, int64_t> machine_remaining;
+  std::unordered_map<RackId, int64_t> rack_remaining;
+  /// Machines this application refuses (its bad-node list).
+  std::unordered_set<MachineId> avoid;
+
+  bool Avoids(MachineId machine) const { return avoid.count(machine) > 0; }
+};
+
+/// The scheduler's waiting-queue structure (paper §3.3): one queue per
+/// machine, per rack, and for the whole cluster. An application waits in
+/// every queue it has a positive count for. When resource frees on a
+/// machine, only that machine's queue, its rack's queue and the cluster
+/// queue are consulted — this locality-scoped incremental re-scheduling
+/// is what makes decisions micro/millisecond-fast regardless of cluster
+/// size.
+class LocalityTree {
+ public:
+  explicit LocalityTree(const cluster::ClusterTopology* topology);
+
+  /// Returns the demand for `key`, creating it (with `def`) if absent.
+  PendingDemand* GetOrCreate(const SlotKey& key, const ScheduleUnitDef& def);
+
+  /// Returns the demand for `key` or nullptr.
+  PendingDemand* Find(const SlotKey& key);
+  const PendingDemand* Find(const SlotKey& key) const;
+
+  /// Applies a delta to the cluster-level outstanding count (clamped at
+  /// zero) and repositions the demand in the queues.
+  void AddTotal(PendingDemand* demand, int64_t delta);
+
+  /// Applies a delta to a machine-level preferred count.
+  void AddMachine(PendingDemand* demand, MachineId machine, int64_t delta);
+
+  /// Applies a delta to a rack-level preferred count.
+  void AddRack(PendingDemand* demand, RackId rack, int64_t delta);
+
+  /// Consumes `count` granted units out of machine `machine`:
+  /// decrements the machine / rack / total counters together and
+  /// dequeues emptied entries.
+  void ConsumeGrant(PendingDemand* demand, MachineId machine, int64_t count);
+
+  /// Changes a demand's effective priority (starvation aging): the
+  /// entry is re-keyed in every queue it waits in.
+  void SetEffectivePriority(PendingDemand* demand, Priority priority);
+
+  /// Drops the demand from all queues and destroys it.
+  void Remove(const SlotKey& key);
+
+  /// Removes every demand of `app`; returns how many were dropped.
+  size_t RemoveApp(AppId app);
+
+  /// The level at which `demand` waits for machine `machine` — machine
+  /// queue beats rack queue beats cluster queue for tie-breaking.
+  /// Returns kCluster when only the total is positive.
+  LocalityLevel WaitLevelFor(const PendingDemand& demand,
+                             MachineId machine) const;
+
+  /// Candidate visitor for a scheduling pass on `machine`.
+  /// Candidates are presented in scheduling order: priority descending,
+  /// then machine-level waiters before rack-level before cluster-level,
+  /// then enqueue order. `fn` returns how many units it granted
+  /// (0 = cannot place now, skip this demand; -1 = stop the pass).
+  /// Granted units are consumed from the tree before the next candidate
+  /// is chosen.
+  void ForEachCandidate(
+      MachineId machine,
+      const std::function<int64_t(PendingDemand*, LocalityLevel)>& fn);
+
+  /// Sum over demands of total_remaining (unit counts, not resources).
+  int64_t TotalWaitingUnits() const;
+
+  /// Demands with any outstanding count, in key order (deterministic).
+  std::vector<const PendingDemand*> AllDemands() const;
+
+  size_t demand_count() const { return demands_.size(); }
+
+  /// Validates internal queue/index consistency; used by property tests.
+  bool CheckInvariants() const;
+
+ private:
+  /// Queue entries sort by priority (desc) then enqueue_seq (asc).
+  struct QueueEntry {
+    Priority priority;
+    uint64_t seq;
+    SlotKey key;
+
+    friend bool operator<(const QueueEntry& a, const QueueEntry& b) {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      if (a.seq != b.seq) return a.seq < b.seq;
+      return a.key < b.key;
+    }
+  };
+  using Queue = std::set<QueueEntry>;
+
+  QueueEntry EntryFor(const PendingDemand& demand) const {
+    return QueueEntry{demand.effective_priority, demand.enqueue_seq,
+                      demand.key};
+  }
+
+  void SyncQueues(PendingDemand* demand);
+  void EraseFromAllQueues(const PendingDemand& demand);
+
+  const cluster::ClusterTopology* topology_;
+  uint64_t next_seq_ = 0;
+
+  std::unordered_map<SlotKey, std::unique_ptr<PendingDemand>, SlotKeyHash>
+      demands_;
+  std::unordered_map<MachineId, Queue> machine_queues_;
+  std::unordered_map<RackId, Queue> rack_queues_;
+  Queue cluster_queue_;
+};
+
+}  // namespace fuxi::resource
+
+#endif  // FUXI_RESOURCE_LOCALITY_TREE_H_

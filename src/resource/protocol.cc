@@ -1,0 +1,35 @@
+#include "resource/protocol.h"
+
+namespace fuxi::resource {
+
+namespace {
+constexpr size_t kHeaderBytes = 24;     // epoch + seq + routing
+constexpr size_t kUnitDefBytes = 40;    // slot, priority, resources
+constexpr size_t kHintBytes = 24;       // level + name ref + count
+constexpr size_t kGrantEntryBytes = 20; // slot + machine + count
+}  // namespace
+
+size_t ApproxWireSize(const RequestMessage& msg) {
+  size_t size = kHeaderBytes;
+  for (const UnitRequestDelta& unit : msg.delta.units) {
+    size += 12;  // slot id + total delta
+    if (unit.has_def) size += kUnitDefBytes;
+    size += unit.hints.size() * kHintBytes;
+    size += (unit.avoid_add.size() + unit.avoid_remove.size()) * 16;
+  }
+  size += msg.releases.size() * kGrantEntryBytes;
+  for (const SlotAbsoluteState& slot : msg.full_slots) {
+    size += kUnitDefBytes + 8;
+    size += slot.hints.size() * kHintBytes;
+    size += slot.avoid.size() * 16;
+  }
+  size += msg.held_grants.size() * kGrantEntryBytes;
+  return size;
+}
+
+size_t ApproxWireSize(const GrantMessage& msg) {
+  return kHeaderBytes + msg.deltas.size() * kGrantEntryBytes +
+         msg.full_grants.size() * kGrantEntryBytes;
+}
+
+}  // namespace fuxi::resource

@@ -1,0 +1,80 @@
+#ifndef FUXI_RESOURCE_PROTOCOL_H_
+#define FUXI_RESOURCE_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "resource/delta_channel.h"
+#include "resource/request.h"
+
+namespace fuxi::resource {
+
+/// Absolute desired state for one ScheduleUnit, carried by the periodic
+/// full-state sync (paper §3.1's "safety measurement": peers exchange
+/// full state to repair any inconsistency the deltas left behind).
+struct SlotAbsoluteState {
+  ScheduleUnitDef def;
+  int64_t total_count = 0;                ///< absolute outstanding ask
+  std::vector<LocalityHint> hints;        ///< absolute preferred counts
+  std::vector<std::string> avoid;         ///< absolute avoid list
+};
+
+/// Application master returns `count` granted units (paper: "only the
+/// unit number needs to be sent").
+struct ReleaseDelta {
+  uint32_t slot_id = 0;
+  MachineId machine;
+  int64_t count = 0;
+};
+
+/// Absolute granted count for one (slot, machine), used in full syncs.
+struct GrantAbsolute {
+  uint32_t slot_id = 0;
+  MachineId machine;
+  int64_t count = 0;
+};
+
+/// Application-master → FuxiMaster request message. When stamped
+/// `is_full`, `full_slots` + `held_grants` hold the authoritative
+/// absolute state (outstanding asks and the grants the application
+/// believes it holds) and the delta fields are ignored; otherwise
+/// `delta`/`releases` carry incremental changes.
+struct RequestMessage {
+  ResourceRequest delta;
+  std::vector<ReleaseDelta> releases;
+  std::vector<SlotAbsoluteState> full_slots;
+  std::vector<GrantAbsolute> held_grants;
+};
+
+/// One incremental grant change from FuxiMaster to an application
+/// master: positive = newly granted units, negative = revoked.
+struct GrantDelta {
+  uint32_t slot_id = 0;
+  MachineId machine;
+  int64_t delta = 0;
+  RevocationReason reason = RevocationReason::kAppRelease;
+};
+
+/// FuxiMaster → application-master grant message (delta or full).
+struct GrantMessage {
+  std::vector<GrantDelta> deltas;
+  std::vector<GrantAbsolute> full_grants;
+};
+
+using StampedRequest = Stamped<RequestMessage>;
+using StampedGrant = Stamped<GrantMessage>;
+
+/// Request for the peer to re-send its full state (emitted when a
+/// DeltaReceiver reports kNeedResync).
+struct ResyncRequest {
+  AppId app;
+};
+
+/// Approximate wire size of a message, for the communication-volume
+/// accounting used by the incremental-vs-full ablation.
+size_t ApproxWireSize(const RequestMessage& msg);
+size_t ApproxWireSize(const GrantMessage& msg);
+
+}  // namespace fuxi::resource
+
+#endif  // FUXI_RESOURCE_PROTOCOL_H_

@@ -1,0 +1,118 @@
+#include "resource/quota.h"
+
+#include <algorithm>
+
+namespace fuxi::resource {
+
+Status QuotaManager::CreateGroup(const std::string& name,
+                                 const cluster::ResourceVector& quota) {
+  if (groups_.count(name) > 0) {
+    return Status::AlreadyExists("quota group exists: " + name);
+  }
+  Group group;
+  group.name = name;
+  group.quota = quota;
+  groups_.emplace(name, std::move(group));
+  return Status::Ok();
+}
+
+Status QuotaManager::AssignApp(AppId app, const std::string& group) {
+  if (groups_.count(group) == 0) {
+    return Status::NotFound("no quota group: " + group);
+  }
+  if (app_group_.count(app) > 0) {
+    return Status::AlreadyExists("app " + app.ToString() +
+                                 " already in a quota group");
+  }
+  app_group_[app] = group;
+  return Status::Ok();
+}
+
+Status QuotaManager::RemoveApp(AppId app) {
+  if (app_group_.erase(app) == 0) {
+    return Status::NotFound("app " + app.ToString() + " not in any group");
+  }
+  return Status::Ok();
+}
+
+const QuotaManager::Group* QuotaManager::GroupOf(AppId app) const {
+  auto it = app_group_.find(app);
+  if (it == app_group_.end()) return nullptr;
+  auto git = groups_.find(it->second);
+  return git == groups_.end() ? nullptr : &git->second;
+}
+
+QuotaManager::Group* QuotaManager::MutableGroupOf(AppId app) {
+  auto it = app_group_.find(app);
+  if (it == app_group_.end()) return nullptr;
+  auto git = groups_.find(it->second);
+  return git == groups_.end() ? nullptr : &git->second;
+}
+
+void QuotaManager::OnGrant(AppId app, const cluster::ResourceVector& amount) {
+  if (Group* group = MutableGroupOf(app)) group->usage += amount;
+}
+
+void QuotaManager::OnRevoke(AppId app,
+                            const cluster::ResourceVector& amount) {
+  if (Group* group = MutableGroupOf(app)) {
+    group->usage -= amount;
+    group->usage = group->usage.ClampNonNegative();
+  }
+}
+
+void QuotaManager::OnWaitingChange(AppId app,
+                                   const cluster::ResourceVector& delta) {
+  if (Group* group = MutableGroupOf(app)) {
+    group->waiting += delta;
+    group->waiting = group->waiting.ClampNonNegative();
+  }
+}
+
+bool QuotaManager::OverQuota(const Group& group) const {
+  return !group.usage.FitsIn(group.quota);
+}
+
+bool QuotaManager::HasDeficit(const Group& group) const {
+  return !group.waiting.IsZero() && group.usage.FitsIn(group.quota) &&
+         !(group.usage == group.quota);
+}
+
+bool QuotaManager::AnyOtherGroupHasDeficit(AppId app) const {
+  const Group* own = GroupOf(app);
+  for (const auto& [name, group] : groups_) {
+    if (own != nullptr && &group == own) continue;
+    if (HasDeficit(group)) return true;
+  }
+  return false;
+}
+
+bool QuotaManager::AdmitGrant(AppId app,
+                              const cluster::ResourceVector& amount) const {
+  const Group* group = GroupOf(app);
+  if (group == nullptr) return true;  // quota not configured for this app
+  cluster::ResourceVector after = group->usage + amount;
+  if (after.FitsIn(group->quota)) return true;
+  // Borrowing beyond the guarantee is allowed only while every other
+  // group's demand is satisfied (paper: idle groups' resources can be
+  // exploited; busy groups get their minimum back).
+  return !AnyOtherGroupHasDeficit(app);
+}
+
+const QuotaManager::Group* QuotaManager::FindGroup(
+    const std::string& name) const {
+  auto it = groups_.find(name);
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+std::vector<const QuotaManager::Group*> QuotaManager::groups() const {
+  std::vector<const Group*> out;
+  out.reserve(groups_.size());
+  for (const auto& [name, group] : groups_) out.push_back(&group);
+  std::sort(out.begin(), out.end(), [](const Group* a, const Group* b) {
+    return a->name < b->name;
+  });
+  return out;
+}
+
+}  // namespace fuxi::resource

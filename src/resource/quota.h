@@ -1,0 +1,76 @@
+#ifndef FUXI_RESOURCE_QUOTA_H_
+#define FUXI_RESOURCE_QUOTA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/resource_vector.h"
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace fuxi::resource {
+
+/// Multi-tenancy quota accounting (paper §3.4). Each application
+/// belongs to exactly one quota group. A group's quota is its *minimum
+/// guarantee* when the cluster is contended: idle groups' resources can
+/// be borrowed, but a group with unmet demand below its quota may
+/// reclaim them via preemption.
+class QuotaManager {
+ public:
+  struct Group {
+    std::string name;
+    cluster::ResourceVector quota;    ///< minimum guarantee
+    cluster::ResourceVector usage;    ///< currently granted
+    cluster::ResourceVector waiting;  ///< queued unmet demand
+  };
+
+  /// Creates a group with the given minimum guarantee.
+  Status CreateGroup(const std::string& name,
+                     const cluster::ResourceVector& quota);
+
+  /// Binds `app` to `group`. Every app must be bound before requesting.
+  Status AssignApp(AppId app, const std::string& group);
+
+  Status RemoveApp(AppId app);
+
+  bool HasApp(AppId app) const { return app_group_.count(app) > 0; }
+
+  /// Group of `app`; nullptr when unbound.
+  const Group* GroupOf(AppId app) const;
+
+  /// Accounting hooks called by the scheduler.
+  void OnGrant(AppId app, const cluster::ResourceVector& amount);
+  void OnRevoke(AppId app, const cluster::ResourceVector& amount);
+  void OnWaitingChange(AppId app, const cluster::ResourceVector& delta);
+
+  /// True when the group's current usage exceeds its guarantee on some
+  /// dimension (it is borrowing).
+  bool OverQuota(const Group& group) const;
+
+  /// True when the group has queued demand and is still below its
+  /// guarantee — it is entitled to reclaim resources.
+  bool HasDeficit(const Group& group) const;
+
+  /// True when any *other* group currently has a deficit; used at grant
+  /// time to stop over-quota groups from borrowing further.
+  bool AnyOtherGroupHasDeficit(AppId app) const;
+
+  /// Whether granting `amount` to `app` is admissible under quota rules:
+  /// always if it keeps the group within quota, and otherwise only when
+  /// no other group has a deficit.
+  bool AdmitGrant(AppId app, const cluster::ResourceVector& amount) const;
+
+  const Group* FindGroup(const std::string& name) const;
+  std::vector<const Group*> groups() const;
+
+ private:
+  Group* MutableGroupOf(AppId app);
+
+  std::unordered_map<std::string, Group> groups_;
+  std::unordered_map<AppId, std::string> app_group_;
+};
+
+}  // namespace fuxi::resource
+
+#endif  // FUXI_RESOURCE_QUOTA_H_

@@ -1,0 +1,76 @@
+#include "resource/request.h"
+
+namespace fuxi::resource {
+
+std::string_view LocalityLevelName(LocalityLevel level) {
+  switch (level) {
+    case LocalityLevel::kMachine:
+      return "LT_MACHINE";
+    case LocalityLevel::kRack:
+      return "LT_RACK";
+    case LocalityLevel::kCluster:
+      return "LT_CLUSTER";
+  }
+  return "?";
+}
+
+std::string_view RevocationReasonName(RevocationReason reason) {
+  switch (reason) {
+    case RevocationReason::kAppRelease:
+      return "AppRelease";
+    case RevocationReason::kMachineDown:
+      return "MachineDown";
+    case RevocationReason::kPreemptQuota:
+      return "PreemptQuota";
+    case RevocationReason::kPreemptPriority:
+      return "PreemptPriority";
+    case RevocationReason::kCapacityShrink:
+      return "CapacityShrink";
+    case RevocationReason::kReconcile:
+      return "Reconcile";
+  }
+  return "?";
+}
+
+Json ScheduleUnitDef::ToJson() const {
+  // Mirrors the paper's Figure 4 request layout.
+  Json unit = Json::MakeObject();
+  unit["slot_id"] = Json(static_cast<int64_t>(slot_id));
+  unit["priority"] = Json(static_cast<int64_t>(priority));
+  Json resources = Json::MakeArray();
+  const auto& registry = cluster::DimensionRegistry::Global();
+  for (size_t dim = 0; dim < cluster::kMaxDimensions; ++dim) {
+    int64_t amount = this->resources.Get(static_cast<uint32_t>(dim));
+    if (amount == 0) continue;
+    Json entry = Json::MakeObject();
+    entry["resource_type"] =
+        Json(registry.Name(static_cast<uint32_t>(dim)));
+    entry["amount"] = Json(amount);
+    resources.Append(std::move(entry));
+  }
+  unit["resource"] = std::move(resources);
+  return unit;
+}
+
+Result<ScheduleUnitDef> ScheduleUnitDef::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("schedule unit must be an object");
+  }
+  ScheduleUnitDef def;
+  def.slot_id = static_cast<uint32_t>(json.GetInt("slot_id", 0));
+  def.priority = static_cast<Priority>(json.GetInt("priority", 0));
+  const Json* resources = json.Find("resource");
+  if (resources != nullptr && resources->is_array()) {
+    auto& registry = cluster::DimensionRegistry::Global();
+    for (const Json& entry : resources->as_array()) {
+      std::string type = entry.GetString("resource_type");
+      int64_t amount = entry.GetInt("amount", 0);
+      FUXI_ASSIGN_OR_RETURN(cluster::DimensionId dim,
+                            registry.Register(type));
+      def.resources.Set(dim, amount);
+    }
+  }
+  return def;
+}
+
+}  // namespace fuxi::resource

@@ -1,0 +1,123 @@
+#ifndef FUXI_RESOURCE_REQUEST_H_
+#define FUXI_RESOURCE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/resource_vector.h"
+#include "common/ids.h"
+#include "common/json.h"
+
+namespace fuxi::resource {
+
+/// Priority of a ScheduleUnit. Larger values are more urgent (the paper
+/// prints priorities like 1000; only the ordering matters).
+using Priority = int32_t;
+
+/// The three levels of the locality tree (paper §3.2.2).
+enum class LocalityLevel { kMachine, kRack, kCluster };
+
+std::string_view LocalityLevelName(LocalityLevel level);
+
+/// One locality preference inside a resource request: "count units on
+/// this machine/rack" (Figure 4's Locality_hints). Counts are deltas in
+/// incremental updates and absolutes in full-state syncs.
+struct LocalityHint {
+  LocalityLevel level = LocalityLevel::kCluster;
+  /// Hostname or rack name; empty for cluster level.
+  std::string value;
+  int64_t count = 0;
+};
+
+/// Unit-size description of a resource ask (paper §3.2.2): everything
+/// an application requests is an integer number of these units. An
+/// application may define several units (different stages have
+/// different shapes) under distinct slot ids.
+struct ScheduleUnitDef {
+  uint32_t slot_id = 0;
+  Priority priority = 0;
+  cluster::ResourceVector resources;  ///< size of ONE unit
+
+  Json ToJson() const;
+  static Result<ScheduleUnitDef> FromJson(const Json& json);
+};
+
+/// An incremental change to one ScheduleUnit's demand. All counts are
+/// signed deltas; negative values shrink the outstanding ask. The first
+/// update for a slot must carry `def`.
+struct UnitRequestDelta {
+  uint32_t slot_id = 0;
+  /// Unit definition; only needed on first submission for the slot.
+  bool has_def = false;
+  ScheduleUnitDef def;
+
+  /// Change to the total number of desired units (the cluster-level
+  /// budget; Figure 4's max_slot_count).
+  int64_t total_count_delta = 0;
+
+  /// Per-machine/rack preferred counts (deltas).
+  std::vector<LocalityHint> hints;
+
+  /// Machines to add to / remove from the avoid list (bad nodes the
+  /// application has blacklisted).
+  std::vector<std::string> avoid_add;
+  std::vector<std::string> avoid_remove;
+};
+
+/// A full resource-request message from an application master. In
+/// incremental mode it carries only changed slots; in full-state mode it
+/// carries every slot with absolute counts (the periodic safety sync of
+/// §3.1).
+struct ResourceRequest {
+  AppId app;
+  std::vector<UnitRequestDelta> units;
+};
+
+/// Why a grant was taken away.
+enum class RevocationReason {
+  kAppRelease,     ///< the application returned it voluntarily
+  kMachineDown,    ///< node died or was blacklisted
+  kPreemptQuota,   ///< quota rebalancing preemption
+  kPreemptPriority,///< higher-priority application preemption
+  kCapacityShrink, ///< machine capacity was reduced
+  kReconcile,      ///< master-side full-state reconciliation correction
+};
+
+std::string_view RevocationReasonName(RevocationReason reason);
+
+/// One positive scheduling decision: `count` units of (app, slot) now
+/// run on `machine`. Deltas from FuxiMaster to both the application
+/// master and the FuxiAgent are streams of these.
+struct Assignment {
+  AppId app;
+  uint32_t slot_id = 0;
+  MachineId machine;
+  int64_t count = 0;
+};
+
+/// One negative scheduling decision (grant revoked).
+struct Revocation {
+  AppId app;
+  uint32_t slot_id = 0;
+  MachineId machine;
+  int64_t count = 0;
+  RevocationReason reason = RevocationReason::kAppRelease;
+};
+
+/// Output of one scheduling pass: what was assigned and what was
+/// revoked. Delivered incrementally to the interested parties.
+struct SchedulingResult {
+  std::vector<Assignment> assignments;
+  std::vector<Revocation> revocations;
+
+  bool empty() const { return assignments.empty() && revocations.empty(); }
+  void Clear() {
+    assignments.clear();
+    revocations.clear();
+  }
+};
+
+}  // namespace fuxi::resource
+
+#endif  // FUXI_RESOURCE_REQUEST_H_

@@ -1,0 +1,697 @@
+#include "resource/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fuxi::resource {
+
+namespace {
+
+/// Applies `fn` to each machine id in `free_machines` starting after
+/// `cursor`, wrapping around once. `fn` returns false to stop early.
+void ForEachFreeMachineRoundRobin(
+    const std::set<MachineId>& free_machines, MachineId cursor,
+    const std::function<bool(MachineId)>& fn) {
+  // Snapshot the rotation first: grants made inside `fn` mutate the set.
+  std::vector<MachineId> rotation;
+  rotation.reserve(free_machines.size());
+  auto start = free_machines.upper_bound(cursor);
+  for (auto it = start; it != free_machines.end(); ++it) {
+    rotation.push_back(*it);
+  }
+  for (auto it = free_machines.begin(); it != start; ++it) {
+    rotation.push_back(*it);
+  }
+  for (MachineId machine : rotation) {
+    if (!fn(machine)) return;
+  }
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const cluster::ClusterTopology* topology,
+                     Options options)
+    : topology_(topology), options_(options), tree_(topology) {
+  FUXI_CHECK(topology != nullptr);
+  machines_.resize(topology->machine_count());
+  for (const cluster::Machine& machine : topology->machines()) {
+    MachineState& state = machines_[static_cast<size_t>(machine.id.value())];
+    state.online = true;
+    state.capacity = machine.capacity;
+    state.free = machine.capacity;
+    if (!state.free.IsZero()) free_machines_.insert(machine.id);
+  }
+  rr_cursor_ = MachineId(0);
+}
+
+Status Scheduler::CreateQuotaGroup(const std::string& name,
+                                   const cluster::ResourceVector& quota) {
+  return quota_.CreateGroup(name, quota);
+}
+
+Status Scheduler::RegisterApp(AppId app, const std::string& quota_group) {
+  if (apps_.count(app) > 0) {
+    return Status::AlreadyExists("app already registered: " +
+                                 app.ToString());
+  }
+  if (!quota_group.empty()) {
+    FUXI_RETURN_IF_ERROR(quota_.AssignApp(app, quota_group));
+  }
+  apps_.emplace(app, AppState{app, {}});
+  return Status::Ok();
+}
+
+Status Scheduler::UnregisterApp(AppId app, SchedulingResult* result) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) {
+    return Status::NotFound("app not registered: " + app.ToString());
+  }
+  // Revoke every grant (as releases: the app is gone, nothing to
+  // restore) and reschedule the freed machines.
+  std::vector<MachineId> touched;
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    MachineState& state = machines_[m];
+    std::vector<std::pair<SlotKey, int64_t>> to_revoke;
+    for (const auto& [key, count] : state.grants) {
+      if (key.app == app) to_revoke.emplace_back(key, count);
+    }
+    for (const auto& [key, count] : to_revoke) {
+      RevokeGrant(key, MachineId(static_cast<int64_t>(m)), count,
+                  RevocationReason::kAppRelease, result);
+    }
+    if (!to_revoke.empty()) {
+      touched.push_back(MachineId(static_cast<int64_t>(m)));
+    }
+  }
+  // Clear waiting demand accounting before dropping the demands.
+  for (uint32_t slot : it->second.slots) {
+    if (PendingDemand* demand = tree_.Find(SlotKey{app, slot})) {
+      if (demand->total_remaining > 0) {
+        quota_.OnWaitingChange(
+            app, demand->def.resources * (-demand->total_remaining));
+      }
+    }
+  }
+  tree_.RemoveApp(app);
+  if (quota_.HasApp(app)) {
+    Status s = quota_.RemoveApp(app);
+    FUXI_CHECK(s.ok()) << s.ToString();
+  }
+  apps_.erase(it);
+  for (MachineId machine : touched) SchedulePass(machine, result);
+  return Status::Ok();
+}
+
+Status Scheduler::ApplyRequest(const ResourceRequest& request,
+                               SchedulingResult* result) {
+  auto it = apps_.find(request.app);
+  if (it == apps_.end()) {
+    return Status::NotFound("app not registered: " + request.app.ToString());
+  }
+  std::vector<PendingDemand*> touched;
+  for (const UnitRequestDelta& delta : request.units) {
+    FUXI_RETURN_IF_ERROR(ApplyUnitDelta(request.app, delta, &touched));
+    it->second.slots.insert(delta.slot_id);
+  }
+  for (PendingDemand* demand : touched) {
+    if (demand->total_remaining > 0) PlaceDemand(demand, result);
+  }
+  if (options_.enable_preemption) {
+    for (PendingDemand* demand : touched) {
+      if (demand->total_remaining > 0) TryPreempt(demand, result);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Scheduler::ApplyUnitDelta(AppId app, const UnitRequestDelta& delta,
+                                 std::vector<PendingDemand*>* touched) {
+  SlotKey key{app, delta.slot_id};
+  PendingDemand* demand = tree_.Find(key);
+  if (demand == nullptr) {
+    if (!delta.has_def) {
+      return Status::InvalidArgument(
+          "first request for slot " + std::to_string(delta.slot_id) +
+          " of app " + app.ToString() + " must carry the unit definition");
+    }
+    if (delta.def.resources.AnyNegative() ||
+        delta.def.resources.IsZero()) {
+      return Status::InvalidArgument("schedule unit size must be positive");
+    }
+    demand = tree_.GetOrCreate(key, delta.def);
+  }
+
+  // Avoid-list edits first: they affect subsequent placement.
+  for (const std::string& hostname : delta.avoid_add) {
+    FUXI_ASSIGN_OR_RETURN(MachineId machine,
+                          topology_->FindByHostname(hostname));
+    demand->avoid.insert(machine);
+  }
+  for (const std::string& hostname : delta.avoid_remove) {
+    FUXI_ASSIGN_OR_RETURN(MachineId machine,
+                          topology_->FindByHostname(hostname));
+    demand->avoid.erase(machine);
+  }
+
+  // Locality hints. Under the flat-queue ablation they are ignored and
+  // everything competes in the single cluster queue.
+  if (options_.locality_tree) {
+    for (const LocalityHint& hint : delta.hints) {
+      switch (hint.level) {
+        case LocalityLevel::kMachine: {
+          FUXI_ASSIGN_OR_RETURN(MachineId machine,
+                                topology_->FindByHostname(hint.value));
+          tree_.AddMachine(demand, machine, hint.count);
+          break;
+        }
+        case LocalityLevel::kRack: {
+          FUXI_ASSIGN_OR_RETURN(RackId rack,
+                                topology_->FindRackByName(hint.value));
+          tree_.AddRack(demand, rack, hint.count);
+          break;
+        }
+        case LocalityLevel::kCluster:
+          // Cluster-level hints fold into the total below.
+          break;
+      }
+    }
+  }
+
+  if (delta.total_count_delta != 0) {
+    int64_t before = demand->total_remaining;
+    tree_.AddTotal(demand, delta.total_count_delta);
+    int64_t applied = demand->total_remaining - before;
+    if (applied != 0) {
+      quota_.OnWaitingChange(app, demand->def.resources * applied);
+    }
+    if (before == 0 && demand->total_remaining > 0) {
+      demand->waiting_since = now_hint_;
+    }
+  }
+  touched->push_back(demand);
+  return Status::Ok();
+}
+
+int64_t Scheduler::FitCount(const PendingDemand& demand,
+                            const MachineState& state, int64_t limit) const {
+  if (!state.online || limit <= 0) return 0;
+  int64_t fit = state.free.DivideBy(demand.def.resources);
+  int64_t count = std::min(fit, limit);
+  if (count <= 0) return 0;
+  if (options_.enable_quota &&
+      quota_.AnyOtherGroupHasDeficit(demand.key.app)) {
+    // The app may only grow up to its group's guarantee while another
+    // group is starved below its own guarantee.
+    const QuotaManager::Group* group = quota_.GroupOf(demand.key.app);
+    if (group != nullptr) {
+      cluster::ResourceVector headroom =
+          (group->quota - group->usage).ClampNonNegative();
+      count = std::min(count, headroom.DivideBy(demand.def.resources));
+    }
+  }
+  return std::max<int64_t>(count, 0);
+}
+
+void Scheduler::PlaceDemand(PendingDemand* demand, SchedulingResult* result) {
+  // 1. Machine-level preferences (data locality first).
+  if (options_.locality_tree && !demand->machine_remaining.empty()) {
+    std::vector<MachineId> hinted;
+    hinted.reserve(demand->machine_remaining.size());
+    for (const auto& [machine, count] : demand->machine_remaining) {
+      hinted.push_back(machine);
+    }
+    std::sort(hinted.begin(), hinted.end());
+    for (MachineId machine : hinted) {
+      if (demand->total_remaining == 0) return;
+      if (demand->Avoids(machine)) continue;
+      auto hint_it = demand->machine_remaining.find(machine);
+      if (hint_it == demand->machine_remaining.end()) continue;
+      int64_t limit = std::min(hint_it->second, demand->total_remaining);
+      int64_t count = FitCount(
+          *demand, machines_[static_cast<size_t>(machine.value())], limit);
+      if (count > 0) {
+        CommitGrant(demand, machine, count, result);
+        tree_.ConsumeGrant(demand, machine, count);
+      }
+    }
+  }
+  // 2. Rack-level preferences.
+  if (options_.locality_tree && !demand->rack_remaining.empty()) {
+    std::vector<RackId> racks;
+    racks.reserve(demand->rack_remaining.size());
+    for (const auto& [rack, count] : demand->rack_remaining) {
+      racks.push_back(rack);
+    }
+    std::sort(racks.begin(), racks.end());
+    for (RackId rack : racks) {
+      for (MachineId machine : topology_->rack(rack).machines) {
+        if (demand->total_remaining == 0) return;
+        auto rack_it = demand->rack_remaining.find(rack);
+        if (rack_it == demand->rack_remaining.end()) break;
+        if (demand->Avoids(machine)) continue;
+        int64_t limit = std::min(rack_it->second, demand->total_remaining);
+        int64_t count = FitCount(
+            *demand, machines_[static_cast<size_t>(machine.value())], limit);
+        if (count > 0) {
+          CommitGrant(demand, machine, count, result);
+          tree_.ConsumeGrant(demand, machine, count);
+        }
+      }
+    }
+  }
+  // 3. Anywhere in the cluster, round-robin over machines with free
+  // resources. Each rotation caps the per-machine grant near the fair
+  // share so units spread uniformly (load balance, §3.3); further
+  // rotations mop up the remainder on machines with headroom.
+  while (demand->total_remaining > 0 && !free_machines_.empty()) {
+    int64_t spread_cap = std::max<int64_t>(
+        1, demand->total_remaining /
+               static_cast<int64_t>(free_machines_.size()));
+    bool progressed = false;
+    MachineId last_granted = rr_cursor_;
+    ForEachFreeMachineRoundRobin(
+        free_machines_, rr_cursor_, [&](MachineId machine) {
+          if (demand->total_remaining == 0) return false;
+          if (demand->Avoids(machine)) return true;
+          int64_t limit = std::min(demand->total_remaining, spread_cap);
+          int64_t count = FitCount(
+              *demand, machines_[static_cast<size_t>(machine.value())],
+              limit);
+          if (count > 0) {
+            CommitGrant(demand, machine, count, result);
+            tree_.ConsumeGrant(demand, machine, count);
+            last_granted = machine;
+            progressed = true;
+          }
+          return true;
+        });
+    rr_cursor_ = last_granted;
+    if (!progressed) break;
+  }
+}
+
+void Scheduler::SchedulePass(MachineId machine, SchedulingResult* result) {
+  ++scheduling_passes_;
+  MachineState& state = machines_[static_cast<size_t>(machine.value())];
+  if (!state.online || state.free.IsZero()) return;
+  size_t examined = 0;
+  tree_.ForEachCandidate(
+      machine, [&](PendingDemand* demand, LocalityLevel level) -> int64_t {
+        if (options_.max_candidates_per_pass > 0 &&
+            ++examined > options_.max_candidates_per_pass) {
+          return -1;
+        }
+        int64_t limit = demand->total_remaining;
+        if (level == LocalityLevel::kMachine) {
+          auto it = demand->machine_remaining.find(machine);
+          limit = std::min(
+              limit, it == demand->machine_remaining.end() ? 0 : it->second);
+        } else if (level == LocalityLevel::kRack) {
+          RackId rack = topology_->machine(machine).rack;
+          auto it = demand->rack_remaining.find(rack);
+          limit = std::min(
+              limit, it == demand->rack_remaining.end() ? 0 : it->second);
+        }
+        int64_t count = FitCount(*demand, state, limit);
+        if (count > 0) {
+          CommitGrant(demand, machine, count, result);
+          // The tree consumes the grant after we return.
+        }
+        return count;
+      });
+}
+
+void Scheduler::CommitGrant(PendingDemand* demand, MachineId machine,
+                            int64_t count, SchedulingResult* result) {
+  FUXI_CHECK_GT(count, 0);
+  MachineState& state = machines_[static_cast<size_t>(machine.value())];
+  cluster::ResourceVector amount = demand->def.resources * count;
+  FUXI_CHECK(amount.FitsIn(state.free))
+      << "grant exceeds free pool on machine " << machine.value();
+  state.free -= amount;
+  if (state.free.IsZero()) free_machines_.erase(machine);
+  state.grants[demand->key] += count;
+  quota_.OnGrant(demand->key.app, amount);
+  quota_.OnWaitingChange(demand->key.app,
+                         demand->def.resources * (-count));
+  result->assignments.push_back(
+      Assignment{demand->key.app, demand->key.slot_id, machine, count});
+}
+
+int64_t Scheduler::RevokeGrant(const SlotKey& key, MachineId machine,
+                               int64_t count, RevocationReason reason,
+                               SchedulingResult* result) {
+  MachineState& state = machines_[static_cast<size_t>(machine.value())];
+  auto it = state.grants.find(key);
+  if (it == state.grants.end() || count <= 0) return 0;
+  int64_t revoked = std::min(count, it->second);
+  it->second -= revoked;
+  if (it->second == 0) state.grants.erase(it);
+
+  PendingDemand* demand = tree_.Find(key);
+  FUXI_CHECK(demand != nullptr) << "grant without demand record";
+  cluster::ResourceVector amount = demand->def.resources * revoked;
+  bool was_zero_free = state.free.IsZero();
+  state.free += amount;
+  if (state.online && was_zero_free && !state.free.IsZero()) {
+    free_machines_.insert(machine);
+  }
+  quota_.OnRevoke(key.app, amount);
+
+  // Involuntary revocations put the demand back in the waiting queues so
+  // the application automatically receives replacement resources.
+  // Reconcile corrections are voluntary-equivalent: the totals were
+  // already reconciled by the caller.
+  if (reason != RevocationReason::kAppRelease &&
+      reason != RevocationReason::kReconcile) {
+    tree_.AddTotal(demand, revoked);
+    quota_.OnWaitingChange(key.app, amount);
+  }
+  result->revocations.push_back(
+      Revocation{key.app, key.slot_id, machine, revoked, reason});
+  return revoked;
+}
+
+Status Scheduler::RestoreGrant(AppId app, const ScheduleUnitDef& def,
+                               MachineId machine, int64_t count) {
+  if (apps_.count(app) == 0) {
+    return Status::NotFound("app not registered: " + app.ToString());
+  }
+  if (count <= 0) return Status::InvalidArgument("count must be positive");
+  MachineState& state = machines_[static_cast<size_t>(machine.value())];
+  if (!state.online) {
+    return Status::FailedPrecondition("machine offline: " +
+                                      machine.ToString());
+  }
+  cluster::ResourceVector amount = def.resources * count;
+  if (!amount.FitsIn(state.free)) {
+    return Status::ResourceExhausted(
+        "restored grant exceeds free capacity on machine " +
+        machine.ToString());
+  }
+  SlotKey key{app, def.slot_id};
+  // Ensure the demand record exists (with zero outstanding count) so
+  // grant accounting can resolve the unit definition.
+  tree_.GetOrCreate(key, def);
+  apps_[app].slots.insert(def.slot_id);
+  state.free -= amount;
+  if (state.free.IsZero()) free_machines_.erase(machine);
+  state.grants[key] += count;
+  quota_.OnGrant(app, amount);
+  return Status::Ok();
+}
+
+Status Scheduler::Release(AppId app, uint32_t slot_id, MachineId machine,
+                          int64_t count, SchedulingResult* result,
+                          RevocationReason reason) {
+  SlotKey key{app, slot_id};
+  MachineState& state = machines_[static_cast<size_t>(machine.value())];
+  auto it = state.grants.find(key);
+  if (it == state.grants.end()) {
+    return Status::NotFound("no grant for app " + app.ToString() +
+                            " slot " + std::to_string(slot_id) +
+                            " on machine " + machine.ToString());
+  }
+  if (count > it->second) {
+    return Status::InvalidArgument("release exceeds granted count");
+  }
+  RevokeGrant(key, machine, count, reason, result);
+  // The Figure 3 cycle: freed resources are immediately offered to the
+  // waiting queues of this machine / its rack / the cluster.
+  SchedulePass(machine, result);
+  return Status::Ok();
+}
+
+void Scheduler::SetMachineOffline(MachineId machine,
+                                  SchedulingResult* result) {
+  MachineState& state = machines_[static_cast<size_t>(machine.value())];
+  if (!state.online) return;
+  std::vector<std::pair<SlotKey, int64_t>> to_revoke(state.grants.begin(),
+                                                     state.grants.end());
+  for (const auto& [key, count] : to_revoke) {
+    RevokeGrant(key, machine, count, RevocationReason::kMachineDown, result);
+  }
+  state.online = false;
+  state.free = cluster::ResourceVector();
+  free_machines_.erase(machine);
+  // Demands displaced from this machine re-entered the waiting queues;
+  // try to place them elsewhere right away.
+  std::vector<SlotKey> displaced;
+  displaced.reserve(to_revoke.size());
+  for (const auto& [key, count] : to_revoke) displaced.push_back(key);
+  for (const SlotKey& key : displaced) {
+    if (PendingDemand* demand = tree_.Find(key)) {
+      if (demand->total_remaining > 0) PlaceDemand(demand, result);
+    }
+  }
+}
+
+void Scheduler::SetMachineOnline(MachineId machine, SchedulingResult* result,
+                                 bool run_pass) {
+  MachineState& state = machines_[static_cast<size_t>(machine.value())];
+  if (state.online) return;
+  state.online = true;
+  state.free = state.capacity;
+  FUXI_CHECK(state.grants.empty());
+  if (!state.free.IsZero()) free_machines_.insert(machine);
+  if (run_pass) SchedulePass(machine, result);
+}
+
+/// Runs a deferred scheduling pass (used after failover grant
+/// restoration completes on a machine).
+void Scheduler::RunSchedulePass(MachineId machine, SchedulingResult* result) {
+  SchedulePass(machine, result);
+}
+
+void Scheduler::SetMachineCapacity(MachineId machine,
+                                   const cluster::ResourceVector& capacity,
+                                   SchedulingResult* result) {
+  MachineState& state = machines_[static_cast<size_t>(machine.value())];
+  cluster::ResourceVector granted = state.capacity - state.free;
+  state.capacity = capacity;
+  cluster::ResourceVector new_free = capacity - granted;
+  // Shrink below current usage: kill grants (deterministically by key
+  // order; the paper lets FuxiAgent pick) until usage fits again.
+  while (new_free.AnyNegative() && !state.grants.empty()) {
+    SlotKey key = state.grants.begin()->first;
+    RevokeGrant(key, machine, 1, RevocationReason::kCapacityShrink, result);
+    granted = cluster::ResourceVector();
+    for (const auto& [grant_key, count] : state.grants) {
+      const PendingDemand* demand = tree_.Find(grant_key);
+      FUXI_CHECK(demand != nullptr);
+      granted += demand->def.resources * count;
+    }
+    new_free = capacity - granted;
+    // RevokeGrant already adjusted state.free; recompute cleanly below.
+  }
+  state.free = new_free.ClampNonNegative();
+  if (state.online && !state.free.IsZero()) {
+    free_machines_.insert(machine);
+  } else {
+    free_machines_.erase(machine);
+  }
+  if (state.online) SchedulePass(machine, result);
+}
+
+void Scheduler::TryPreempt(PendingDemand* demand, SchedulingResult* result) {
+  if (demand->total_remaining <= 0) return;
+  const QuotaManager::Group* my_group = quota_.GroupOf(demand->key.app);
+
+  // Collect victim grants: (level, victim priority, machine, key).
+  // Level 0 = priority preemption within the same group; level 1 =
+  // quota preemption against over-quota groups (paper §3.4 order).
+  struct Victim {
+    int level;
+    Priority priority;
+    MachineId machine;
+    SlotKey key;
+  };
+  std::vector<Victim> victims;
+  bool my_group_deficit =
+      options_.enable_quota && my_group != nullptr &&
+      quota_.HasDeficit(*my_group);
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    MachineId machine(static_cast<int64_t>(m));
+    const MachineState& state = machines_[m];
+    if (!state.online || demand->Avoids(machine)) continue;
+    for (const auto& [key, count] : state.grants) {
+      if (key.app == demand->key.app) continue;
+      const PendingDemand* victim_demand = tree_.Find(key);
+      FUXI_CHECK(victim_demand != nullptr);
+      const QuotaManager::Group* victim_group = quota_.GroupOf(key.app);
+      bool same_group = my_group != nullptr && victim_group == my_group;
+      if (same_group &&
+          victim_demand->def.priority < demand->def.priority) {
+        victims.push_back(
+            {0, victim_demand->def.priority, machine, key});
+      } else if (my_group_deficit && victim_group != nullptr &&
+                 !same_group && quota_.OverQuota(*victim_group)) {
+        victims.push_back(
+            {1, victim_demand->def.priority, machine, key});
+      }
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) {
+              if (a.level != b.level) return a.level < b.level;
+              if (a.priority != b.priority) return a.priority < b.priority;
+              if (a.machine != b.machine) return a.machine < b.machine;
+              return a.key < b.key;
+            });
+
+  for (const Victim& victim : victims) {
+    if (demand->total_remaining <= 0) return;
+    MachineState& state =
+        machines_[static_cast<size_t>(victim.machine.value())];
+    // Revoke victim units one at a time until one of ours fits (or the
+    // victim runs out on this machine).
+    while (demand->total_remaining > 0) {
+      auto it = state.grants.find(victim.key);
+      if (it == state.grants.end()) break;
+      RevocationReason reason = victim.level == 0
+                                    ? RevocationReason::kPreemptPriority
+                                    : RevocationReason::kPreemptQuota;
+      if (RevokeGrant(victim.key, victim.machine, 1, reason, result) == 0) {
+        break;
+      }
+      int64_t count = FitCount(*demand, state, demand->total_remaining);
+      if (count > 0) {
+        CommitGrant(demand, victim.machine, count, result);
+        tree_.ConsumeGrant(demand, victim.machine, count);
+      }
+    }
+  }
+}
+
+size_t Scheduler::AgeWaitingDemands(double now) {
+  now_hint_ = now;
+  if (options_.starvation_age_after <= 0) return 0;
+  size_t boosted = 0;
+  // Collect first: re-keying mutates the queues the demands sit in.
+  std::vector<SlotKey> to_boost;
+  for (const PendingDemand* demand : tree_.AllDemands()) {
+    if (demand->total_remaining <= 0) continue;
+    if (now - demand->waiting_since < options_.starvation_age_after) {
+      continue;
+    }
+    if (demand->effective_priority - demand->def.priority >=
+        options_.starvation_max_boost) {
+      continue;
+    }
+    to_boost.push_back(demand->key);
+  }
+  for (const SlotKey& key : to_boost) {
+    PendingDemand* demand = tree_.Find(key);
+    if (demand == nullptr) continue;
+    tree_.SetEffectivePriority(demand, demand->effective_priority + 1);
+    demand->waiting_since = now;  // one boost per aging period
+    ++boosted;
+    // The boosted demand may now beat previous winners; try to place it.
+    SchedulingResult result;
+    PlaceDemand(demand, &result);
+    aged_results_.push_back(std::move(result));
+  }
+  return boosted;
+}
+
+/// Drains scheduling results produced by the last aging sweep (grants
+/// made when boosted demands found space).
+std::vector<SchedulingResult> Scheduler::TakeAgedResults() {
+  return std::move(aged_results_);
+}
+
+const MachineState& Scheduler::machine_state(MachineId machine) const {
+  FUXI_CHECK(machine.valid());
+  return machines_[static_cast<size_t>(machine.value())];
+}
+
+MachineState& Scheduler::mutable_machine_state(MachineId machine) {
+  FUXI_CHECK(machine.valid());
+  return machines_[static_cast<size_t>(machine.value())];
+}
+
+cluster::ResourceVector Scheduler::TotalCapacity() const {
+  cluster::ResourceVector total;
+  for (const MachineState& state : machines_) {
+    if (state.online) total += state.capacity;
+  }
+  return total;
+}
+
+cluster::ResourceVector Scheduler::TotalGranted() const {
+  cluster::ResourceVector total;
+  for (const MachineState& state : machines_) {
+    if (!state.online) continue;
+    total += state.capacity - state.free;
+  }
+  return total;
+}
+
+cluster::ResourceVector Scheduler::GrantedTo(AppId app) const {
+  cluster::ResourceVector total;
+  for (const MachineState& state : machines_) {
+    for (const auto& [key, count] : state.grants) {
+      if (key.app != app) continue;
+      const PendingDemand* demand = tree_.Find(key);
+      FUXI_CHECK(demand != nullptr);
+      total += demand->def.resources * count;
+    }
+  }
+  return total;
+}
+
+std::vector<Scheduler::GrantEntry> Scheduler::GrantsOf(AppId app) const {
+  std::vector<GrantEntry> out;
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    for (const auto& [key, count] : machines_[m].grants) {
+      if (key.app == app) {
+        out.push_back(
+            {key.slot_id, MachineId(static_cast<int64_t>(m)), count});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GrantEntry& a, const GrantEntry& b) {
+              if (a.slot_id != b.slot_id) return a.slot_id < b.slot_id;
+              return a.machine < b.machine;
+            });
+  return out;
+}
+
+int64_t Scheduler::GrantCount(AppId app, uint32_t slot_id,
+                              MachineId machine) const {
+  const MachineState& state =
+      machines_[static_cast<size_t>(machine.value())];
+  auto it = state.grants.find(SlotKey{app, slot_id});
+  return it == state.grants.end() ? 0 : it->second;
+}
+
+bool Scheduler::CheckInvariants() const {
+  if (!tree_.CheckInvariants()) return false;
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    const MachineState& state = machines_[m];
+    cluster::ResourceVector granted;
+    for (const auto& [key, count] : state.grants) {
+      if (count <= 0) return false;
+      const PendingDemand* demand = tree_.Find(key);
+      if (demand == nullptr) return false;
+      granted += demand->def.resources * count;
+    }
+    if (state.online) {
+      if (!(granted + state.free == state.capacity)) return false;
+      if (state.free.AnyNegative()) return false;
+      bool in_set = free_machines_.count(MachineId(
+                        static_cast<int64_t>(m))) > 0;
+      if (in_set != !state.free.IsZero()) return false;
+    } else {
+      if (!state.grants.empty()) return false;
+      if (free_machines_.count(MachineId(static_cast<int64_t>(m))) > 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace fuxi::resource

@@ -1,0 +1,231 @@
+#ifndef FUXI_RESOURCE_SCHEDULER_H_
+#define FUXI_RESOURCE_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "resource/locality_tree.h"
+#include "resource/quota.h"
+#include "resource/request.h"
+
+namespace fuxi::resource {
+
+/// Runtime state of one machine inside the scheduler: its current free
+/// pool and the grants charged against it.
+struct MachineState {
+  bool online = true;
+  cluster::ResourceVector capacity;
+  cluster::ResourceVector free;
+  /// Units granted on this machine per (app, slot).
+  std::map<SlotKey, int64_t> grants;
+};
+
+/// FuxiMaster's incremental resource scheduler (paper §3). This class
+/// is the pure decision engine: it owns the free-resource pool, the
+/// locality tree of waiting requests, quota accounting and preemption.
+/// It is deliberately independent of any messaging so that
+///   * the protocol layer (master/) can drive it from simulated RPCs, and
+///   * benchmarks can measure a single scheduling decision's real cost
+///     (Figure 9) without simulation overhead.
+///
+/// Incremental principle: every entry point touches only the machines
+/// implicated by the change (the machine a grant freed up on, the
+/// machines a new hint names, ...) — never the full cluster.
+struct SchedulerOptions {
+  bool enable_quota = true;
+  /// Two-level preemption (priority within group, then quota across
+  /// groups, §3.4).
+  bool enable_preemption = true;
+  /// Ablation switch: when false, machine/rack hints are flattened to
+  /// cluster level (a single global queue, YARN-1.0 style).
+  bool locality_tree = true;
+  /// Cap on candidates examined per scheduling pass on one machine;
+  /// 0 = unlimited. Guards worst-case latency under adversarial queues.
+  size_t max_candidates_per_pass = 0;
+  /// Starvation guard (paper §7 future work): a demand waiting longer
+  /// than this gets its effective priority bumped by one on every
+  /// AgeWaitingDemands sweep. 0 disables aging.
+  double starvation_age_after = 0;
+  /// Cap on the aging boost above the declared priority.
+  Priority starvation_max_boost = 3;
+};
+
+class Scheduler {
+ public:
+  using Options = SchedulerOptions;
+
+  explicit Scheduler(const cluster::ClusterTopology* topology,
+                     Options options = {});
+
+  // --- quota administration -------------------------------------------
+
+  Status CreateQuotaGroup(const std::string& name,
+                          const cluster::ResourceVector& quota);
+
+  // --- application lifecycle ------------------------------------------
+
+  /// Registers an application; `quota_group` may be empty when quota is
+  /// disabled or unmanaged.
+  Status RegisterApp(AppId app, const std::string& quota_group = "");
+
+  /// Removes the application: all waiting demand disappears and all its
+  /// grants are revoked (reported via `result`), then the freed machines
+  /// are rescheduled.
+  Status UnregisterApp(AppId app, SchedulingResult* result);
+
+  bool HasApp(AppId app) const { return apps_.count(app) > 0; }
+
+  // --- the incremental request path (§3.1, §3.2) -----------------------
+
+  /// Applies an incremental resource request and immediately attempts
+  /// placement. Assignments (and any preemption revocations) are
+  /// appended to `result`.
+  Status ApplyRequest(const ResourceRequest& request,
+                      SchedulingResult* result);
+
+  /// Application returns `count` granted units of `slot` on `machine`
+  /// (workers finished). The freed resources are immediately offered to
+  /// waiting applications (the Figure 3 return→assign cycle).
+  Status Release(AppId app, uint32_t slot_id, MachineId machine,
+                 int64_t count, SchedulingResult* result,
+                 RevocationReason reason = RevocationReason::kAppRelease);
+
+  // --- failover support (§4.3.1) ----------------------------------------
+
+  /// Re-installs a grant reported by a FuxiAgent during FuxiMaster
+  /// failover, without going through the waiting queues. The new master
+  /// collects these *soft states* from agents instead of checkpointing
+  /// them; existing processes keep running untouched. Fails when the
+  /// reported grant does not fit the machine's free pool (conflicting
+  /// reports).
+  Status RestoreGrant(AppId app, const ScheduleUnitDef& def,
+                      MachineId machine, int64_t count);
+
+  // --- machine lifecycle (node up/down, capacity changes) --------------
+
+  /// Marks a machine offline: every grant on it is revoked with
+  /// kMachineDown. Its capacity leaves the free pool.
+  void SetMachineOffline(MachineId machine, SchedulingResult* result);
+
+  /// Brings a machine back online with its full capacity and (unless
+  /// `run_pass` is false — e.g. during failover, before restored grants
+  /// are re-installed) runs a scheduling pass over it.
+  void SetMachineOnline(MachineId machine, SchedulingResult* result,
+                        bool run_pass = true);
+
+  /// Explicitly offers a machine's free resources to the waiting queues
+  /// (used after failover grant restoration completes).
+  void RunSchedulePass(MachineId machine, SchedulingResult* result);
+
+  /// Changes total capacity (e.g. virtual-resource reconfiguration,
+  /// §3.2.1). Shrinking below current usage revokes grants (picking the
+  /// newest first) until usage fits.
+  void SetMachineCapacity(MachineId machine,
+                          const cluster::ResourceVector& capacity,
+                          SchedulingResult* result);
+
+  // --- introspection ----------------------------------------------------
+
+  const MachineState& machine_state(MachineId machine) const;
+  const LocalityTree& locality_tree() const { return tree_; }
+  const QuotaManager& quota() const { return quota_; }
+
+  /// Total capacity over online machines (FM_total in Figure 10).
+  cluster::ResourceVector TotalCapacity() const;
+  /// Total currently granted (FM_planned in Figure 10).
+  cluster::ResourceVector TotalGranted() const;
+  /// Granted to one application (AM_obtained component).
+  cluster::ResourceVector GrantedTo(AppId app) const;
+
+  /// Units of (app, slot) currently granted on `machine`.
+  int64_t GrantCount(AppId app, uint32_t slot_id, MachineId machine) const;
+
+  /// Every grant held by `app`, in (slot, machine) order.
+  struct GrantEntry {
+    uint32_t slot_id;
+    MachineId machine;
+    int64_t count;
+  };
+  std::vector<GrantEntry> GrantsOf(AppId app) const;
+
+  uint64_t scheduling_passes() const { return scheduling_passes_; }
+
+  /// Starvation-aging sweep (invoked from FuxiMaster's roll-up tick,
+  /// §3.4's batched non-urgent work): demands waiting longer than
+  /// `starvation_age_after` get an effective-priority bump so they stop
+  /// losing every tie. Returns how many demands were boosted.
+  size_t AgeWaitingDemands(double now);
+
+  /// Grants produced by the last aging sweep, to be dispatched by the
+  /// caller.
+  std::vector<SchedulingResult> TakeAgedResults();
+
+  /// Validates cross-structure consistency (free+granted == capacity,
+  /// quota usage matches grants, tree invariants). For tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct AppState {
+    AppId app;
+    /// Slots this app has defined, for full teardown.
+    std::set<uint32_t> slots;
+  };
+
+  /// Applies one unit delta (demand bookkeeping only, no placement).
+  Status ApplyUnitDelta(AppId app, const UnitRequestDelta& delta,
+                        std::vector<PendingDemand*>* touched);
+
+  /// Attempts to place outstanding units of `demand`, preferring its
+  /// machine hints, then rack hints, then any machine (round-robin for
+  /// load balance). Appends grants to `result`.
+  void PlaceDemand(PendingDemand* demand, SchedulingResult* result);
+
+  /// Offers the free resources of `machine` to the waiting queues
+  /// (locality-tree pass). Appends grants to `result`.
+  void SchedulePass(MachineId machine, SchedulingResult* result);
+
+  /// Grants `count` units of `demand` on `machine`: updates free pool,
+  /// grant table, quota usage, waiting totals, and the locality tree.
+  void CommitGrant(PendingDemand* demand, MachineId machine, int64_t count,
+                   SchedulingResult* result);
+
+  /// Revokes up to `count` units of (key) on `machine`; returns revoked.
+  int64_t RevokeGrant(const SlotKey& key, MachineId machine, int64_t count,
+                      RevocationReason reason, SchedulingResult* result);
+
+  /// Two-level preemption for a still-unsatisfied demand (§3.4).
+  void TryPreempt(PendingDemand* demand, SchedulingResult* result);
+
+  /// How many units of `demand` machine `m` could host right now
+  /// (respecting quota admission and fit), capped by `limit`.
+  int64_t FitCount(const PendingDemand& demand, const MachineState& state,
+                   int64_t limit) const;
+
+  MachineState& mutable_machine_state(MachineId machine);
+
+  const cluster::ClusterTopology* topology_;
+  Options options_;
+  LocalityTree tree_;
+  QuotaManager quota_;
+  std::vector<MachineState> machines_;
+  /// Machines with any free resources, for cluster-level placement.
+  std::set<MachineId> free_machines_;
+  /// Round-robin cursor over free_machines_ for load balancing.
+  MachineId rr_cursor_;
+  std::unordered_map<AppId, AppState> apps_;
+  uint64_t scheduling_passes_ = 0;
+  /// Virtual "now" for waiting_since stamps, fed by AgeWaitingDemands.
+  double now_hint_ = 0;
+  std::vector<SchedulingResult> aged_results_;
+};
+
+}  // namespace fuxi::resource
+
+#endif  // FUXI_RESOURCE_SCHEDULER_H_

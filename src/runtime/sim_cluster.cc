@@ -1,0 +1,71 @@
+#include "runtime/sim_cluster.h"
+
+#include "common/logging.h"
+
+namespace fuxi::runtime {
+
+SimCluster::SimCluster(SimClusterOptions options)
+    : options_(options),
+      topology_(cluster::ClusterTopology::Build(options.topology)) {
+  network_ = std::make_unique<net::Network>(&sim_, options_.network,
+                                            options_.seed);
+  locks_ = std::make_unique<coord::LockService>(&sim_);
+  dfs_ = std::make_unique<dfs::FileSystem>(&topology_, options_.seed + 1);
+
+  for (int i = 0; i < options_.master_replicas; ++i) {
+    masters_.push_back(std::make_unique<master::FuxiMaster>(
+        &sim_, network_.get(), locks_.get(), &checkpoint_, &topology_,
+        NodeId(1 + i), options_.master));
+  }
+  slowdown_.assign(topology_.machine_count(), 1.0);
+  for (const cluster::Machine& machine : topology_.machines()) {
+    hosts_.push_back(std::make_unique<agent::ProcessHost>(machine.id));
+    agents_.push_back(std::make_unique<agent::FuxiAgent>(
+        &sim_, network_.get(), locks_.get(), hosts_.back().get(),
+        &topology_, NodeId(100 + machine.id.value()), options_.agent));
+  }
+}
+
+SimCluster::~SimCluster() = default;
+
+void SimCluster::Start() {
+  for (auto& m : masters_) m->Start();
+  for (auto& a : agents_) a->Start();
+}
+
+master::FuxiMaster* SimCluster::primary() {
+  NodeId holder = locks_->Holder(master::FuxiMaster::kMasterLock);
+  for (auto& m : masters_) {
+    if (m->node() == holder && m->is_primary()) return m.get();
+  }
+  return nullptr;
+}
+
+void SimCluster::SetAppMasterLauncher(
+    agent::FuxiAgent::AppMasterLauncher launcher) {
+  for (auto& a : agents_) a->set_app_master_launcher(launcher);
+}
+
+void SimCluster::KillPrimaryMaster() {
+  master::FuxiMaster* p = primary();
+  if (p != nullptr) p->Crash();
+}
+
+void SimCluster::HaltMachine(MachineId machine) {
+  agent(machine)->HaltMachine();
+}
+
+void SimCluster::ReviveMachine(MachineId machine) {
+  agent::FuxiAgent* a = agent(machine);
+  if (!a->is_alive()) a->Restart();
+}
+
+void SimCluster::SetMachineHealth(MachineId machine, double score) {
+  agent(machine)->set_health_score(score);
+}
+
+void SimCluster::SetMachineSlowdown(MachineId machine, double factor) {
+  slowdown_[static_cast<size_t>(machine.value())] = factor;
+}
+
+}  // namespace fuxi::runtime

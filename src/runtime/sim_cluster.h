@@ -1,0 +1,120 @@
+#ifndef FUXI_RUNTIME_SIM_CLUSTER_H_
+#define FUXI_RUNTIME_SIM_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "agent/fuxi_agent.h"
+#include "agent/process_host.h"
+#include "cluster/topology.h"
+#include "coord/checkpoint_store.h"
+#include "coord/lock_service.h"
+#include "dfs/file_system.h"
+#include "master/fuxi_master.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace fuxi::runtime {
+
+struct SimClusterOptions {
+  cluster::ClusterTopology::Options topology;
+  net::Network::Config network;
+  master::FuxiMasterOptions master;
+  agent::FuxiAgentOptions agent;
+  int master_replicas = 2;  ///< hot-standby pair by default
+  uint64_t seed = 42;
+};
+
+/// Assembles a complete simulated Fuxi cluster: the shared simulator,
+/// network, lock service and checkpoint store; a hot-standby FuxiMaster
+/// pair; one ProcessHost + FuxiAgent per machine; and a simulated DFS.
+/// Fault-injection entry points mirror the paper's §5.4 scenarios
+/// (NodeDown, PartialWorkerFailure via agents, SlowMachine via health
+/// scores, FuxiMasterFailure).
+class SimCluster {
+ public:
+  explicit SimCluster(SimClusterOptions options = SimClusterOptions());
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  /// Starts masters and agents. Run the simulator a little afterwards
+  /// to let the election and first heartbeats settle.
+  void Start();
+
+  // --- component access -------------------------------------------------
+
+  sim::Simulator& sim() { return sim_; }
+  net::Network& network() { return *network_; }
+  coord::LockService& locks() { return *locks_; }
+  coord::CheckpointStore& checkpoint() { return checkpoint_; }
+  cluster::ClusterTopology& topology() { return topology_; }
+  dfs::FileSystem& dfs() { return *dfs_; }
+
+  master::FuxiMaster* master(int index) { return masters_[index].get(); }
+  int master_count() const { return static_cast<int>(masters_.size()); }
+  /// The currently elected primary, or nullptr mid-election.
+  master::FuxiMaster* primary();
+
+  agent::FuxiAgent* agent(MachineId machine) {
+    return agents_[static_cast<size_t>(machine.value())].get();
+  }
+  agent::ProcessHost* host(MachineId machine) {
+    return hosts_[static_cast<size_t>(machine.value())].get();
+  }
+
+  /// Fresh NodeId for dynamically created actors (application masters,
+  /// workers, clients).
+  NodeId AllocateNodeId() { return NodeId(next_node_id_++); }
+
+  /// Installs the application-master launcher on every agent.
+  void SetAppMasterLauncher(agent::FuxiAgent::AppMasterLauncher launcher);
+
+  // --- convenience ------------------------------------------------------
+
+  void RunFor(double seconds) { sim_.RunUntil(sim_.Now() + seconds); }
+  void RunUntil(double when) { sim_.RunUntil(when); }
+
+  // --- fault injection (§5.4 scenarios) ----------------------------------
+
+  /// FuxiMasterFailure: crashes the current primary. The standby takes
+  /// over after the lock lease lapses.
+  void KillPrimaryMaster();
+
+  /// NodeDown: machine halts — agent and all its processes die.
+  void HaltMachine(MachineId machine);
+
+  /// Brings a halted machine back (fresh agent, empty process host).
+  void ReviveMachine(MachineId machine);
+
+  /// SlowMachine: lowers the health score the agent reports, eventually
+  /// tripping the master's plugin-based disabling.
+  void SetMachineHealth(MachineId machine, double score);
+
+  /// SlowMachine (silent variant): multiplies the runtime of every
+  /// instance executed on the machine (the paper injects sleeps into
+  /// worker programs). Detected only by job-level long-tail handling.
+  void SetMachineSlowdown(MachineId machine, double factor);
+  double machine_slowdown(MachineId machine) const {
+    return slowdown_[static_cast<size_t>(machine.value())];
+  }
+
+ private:
+  SimClusterOptions options_;
+  sim::Simulator sim_;
+  cluster::ClusterTopology topology_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<coord::LockService> locks_;
+  coord::CheckpointStore checkpoint_;
+  std::unique_ptr<dfs::FileSystem> dfs_;
+  std::vector<std::unique_ptr<master::FuxiMaster>> masters_;
+  std::vector<std::unique_ptr<agent::ProcessHost>> hosts_;
+  std::vector<std::unique_ptr<agent::FuxiAgent>> agents_;
+  std::vector<double> slowdown_;
+  int64_t next_node_id_ = 10000;
+};
+
+}  // namespace fuxi::runtime
+
+#endif  // FUXI_RUNTIME_SIM_CLUSTER_H_

@@ -1,0 +1,49 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace fuxi::sim {
+
+EventHandle Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  auto cancelled = std::make_shared<bool>(false);
+  EventHandle handle{std::weak_ptr<bool>(cancelled)};
+  queue_.push(Event{when, next_seq_++, std::move(fn), std::move(cancelled)});
+  return handle;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    FUXI_CHECK_GE(ev.time, now_);
+    now_ = ev.time;
+    if (*ev.cancelled) continue;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t Simulator::RunUntil(SimTime until) {
+  uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    if (Step()) ++ran;
+  }
+  if (now_ < until) now_ = until;
+  return ran;
+}
+
+uint64_t Simulator::RunToCompletion() {
+  uint64_t ran = 0;
+  while (Step()) ++ran;
+  return ran;
+}
+
+}  // namespace fuxi::sim

@@ -1,0 +1,119 @@
+#include "sort/graysort.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fuxi::sort {
+
+namespace {
+constexpr double kMB = 1024.0 * 1024.0;
+}
+
+Result<job::JobDescription> BuildGraySortJob(
+    const GraySortConfig& config,
+    const cluster::ClusterTopology& topology) {
+  if (topology.machine_count() == 0) {
+    return Status::InvalidArgument("empty cluster");
+  }
+  if (config.data_bytes <= 0 || config.map_bytes_per_instance <= 0) {
+    return Status::InvalidArgument("bad data sizing");
+  }
+  const cluster::Machine& machine = topology.machine(MachineId(0));
+  int64_t machines = static_cast<int64_t>(topology.machine_count());
+  int64_t map_instances =
+      (config.data_bytes + config.map_bytes_per_instance - 1) /
+      config.map_bytes_per_instance;
+  int64_t map_workers = machines * config.workers_per_machine;
+  int64_t reduces = config.reduces > 0 ? config.reduces : map_workers;
+  int64_t reduce_bytes = config.data_bytes / std::max<int64_t>(1, reduces);
+
+  // Hardware shares: a machine's disks and NIC are split across its
+  // concurrently running workers.
+  double disk_share =
+      machine.disk_bandwidth_mbps /
+      static_cast<double>(config.workers_per_machine);
+  double nic_share = machine.nic_bandwidth_mbps /
+                     static_cast<double>(config.workers_per_machine);
+  double cpu = config.cpu_throughput_mbps;
+
+  double map_mb = static_cast<double>(config.map_bytes_per_instance) / kMB;
+  // Map: read input + partition (CPU) + write the sorted spill.
+  double map_seconds =
+      (map_mb / disk_share + map_mb / cpu + map_mb / disk_share) /
+      config.efficiency;
+  double reduce_mb = static_cast<double>(reduce_bytes) / kMB;
+  // Reduce: shuffle over the network + merge (CPU) + write output.
+  double reduce_seconds = (reduce_mb / nic_share + reduce_mb / cpu +
+                           reduce_mb / disk_share) /
+                          config.efficiency;
+
+  job::JobDescription desc;
+  desc.name = "graysort";
+  job::TaskConfig map;
+  map.name = "sort_map";
+  map.instances = map_instances;
+  map.max_workers = std::min(map_instances, map_workers);
+  map.unit = cluster::ResourceVector(200, 12 * 1024);  // 2 cores, 12 GB
+  map.instance_seconds = map_seconds;
+  map.input_bytes_per_instance = config.map_bytes_per_instance;
+  map.input_file = "pangu://graysort/input";
+  map.backup_normal_seconds =
+      config.backup_normal_seconds > 0
+          ? std::max(config.backup_normal_seconds, 3 * map_seconds)
+          : 0;
+  job::TaskConfig reduce;
+  reduce.name = "sort_reduce";
+  reduce.instances = reduces;
+  reduce.max_workers = std::min(reduces, map_workers);
+  reduce.unit = cluster::ResourceVector(200, 12 * 1024);
+  reduce.instance_seconds = reduce_seconds;
+  reduce.input_bytes_per_instance = reduce_bytes;
+  reduce.backup_normal_seconds =
+      config.backup_normal_seconds > 0
+          ? std::max(config.backup_normal_seconds, 3 * reduce_seconds)
+          : 0;
+  desc.tasks = {map, reduce};
+  desc.pipes.push_back({"", "sort_map", "pangu://graysort/input"});
+  desc.pipes.push_back({"sort_map", "sort_reduce", ""});
+  desc.pipes.push_back({"sort_reduce", "", "pangu://graysort/output"});
+  return desc;
+}
+
+Result<GraySortReport> RunGraySort(runtime::SimCluster* cluster,
+                                   job::JobRuntime* runtime,
+                                   const GraySortConfig& config,
+                                   double deadline) {
+  FUXI_ASSIGN_OR_RETURN(
+      job::JobDescription desc,
+      BuildGraySortJob(config, cluster->topology()));
+  // Materialize the input's block placement for locality scheduling.
+  if (!cluster->dfs().Stat("pangu://graysort/input").ok()) {
+    FUXI_RETURN_IF_ERROR(cluster->dfs()
+                             .CreateFile("pangu://graysort/input",
+                                         config.data_bytes,
+                                         config.map_bytes_per_instance)
+                             .status());
+  }
+  FUXI_ASSIGN_OR_RETURN(job::JobMaster * job, runtime->Submit(desc));
+  double start = cluster->sim().Now();
+  runtime->RunUntilAllFinished(start + deadline);
+
+  GraySortReport report;
+  report.data_bytes = config.data_bytes;
+  report.map_instances = desc.tasks[0].instances;
+  report.reduce_instances = desc.tasks[1].instances;
+  report.finished = job->finished();
+  report.elapsed_seconds =
+      (report.finished ? job->stats().finished_at : cluster->sim().Now()) -
+      start;
+  if (report.elapsed_seconds > 0) {
+    double tb = static_cast<double>(config.data_bytes) / 1e12;
+    report.tb_per_minute = tb / (report.elapsed_seconds / 60.0);
+  }
+  report.backups_launched = job->stats().backups_launched;
+  report.workers_started = job->stats().workers_started;
+  return report;
+}
+
+}  // namespace fuxi::sort

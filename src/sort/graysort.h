@@ -1,0 +1,62 @@
+#ifndef FUXI_SORT_GRAYSORT_H_
+#define FUXI_SORT_GRAYSORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "job/job_runtime.h"
+#include "runtime/sim_cluster.h"
+
+namespace fuxi::sort {
+
+/// Configuration of a GraySort-class distributed sort (paper §5.3,
+/// Table 4). The data plane is modelled, not materialized: instance
+/// durations derive from bytes moved through the disk/NIC/CPU model of
+/// the simulated machines.
+struct GraySortConfig {
+  int64_t data_bytes = 100LL * 1000 * 1000 * 1000 * 1000;  ///< 100 TB
+  int64_t map_bytes_per_instance = 512LL << 20;            ///< 512 MB
+  /// Reduce instance count; 0 = one per map worker slot.
+  int64_t reduces = 0;
+  /// Worker slots per machine for each phase (paper machines have 12
+  /// cores; sort runs roughly one worker per core pair).
+  int64_t workers_per_machine = 6;
+  /// Per-core effective processing rate for partition/merge (MB/s).
+  double cpu_throughput_mbps = 400;
+  /// End-to-end software efficiency vs the raw hardware model —
+  /// real systems lose time to skew, stragglers, framework overheads.
+  double efficiency = 0.5;
+  bool container_reuse = true;  ///< off = the Hadoop/YARN-like baseline
+  bool locality = true;
+  /// User-declared normal instance runtime for backup instances.
+  double backup_normal_seconds = 60;
+};
+
+struct GraySortReport {
+  int64_t data_bytes = 0;
+  int64_t map_instances = 0;
+  int64_t reduce_instances = 0;
+  double elapsed_seconds = 0;
+  double tb_per_minute = 0;
+  int64_t backups_launched = 0;
+  int64_t workers_started = 0;
+  bool finished = false;
+};
+
+/// Builds the two-phase sort job: `sort_map` reads and range-partitions
+/// the input (with DFS locality), `sort_reduce` shuffles, merges and
+/// writes. Instance durations come from the cluster's hardware model.
+Result<job::JobDescription> BuildGraySortJob(
+    const GraySortConfig& config, const cluster::ClusterTopology& topology);
+
+/// Creates the input file in the simulated DFS, submits the job, runs
+/// it to completion (or `deadline` virtual seconds) and reports the
+/// sort throughput.
+Result<GraySortReport> RunGraySort(runtime::SimCluster* cluster,
+                                   job::JobRuntime* runtime,
+                                   const GraySortConfig& config,
+                                   double deadline);
+
+}  // namespace fuxi::sort
+
+#endif  // FUXI_SORT_GRAYSORT_H_

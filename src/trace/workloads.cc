@@ -1,0 +1,173 @@
+#include "trace/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fuxi::trace {
+
+const std::vector<std::pair<int64_t, int64_t>>& SyntheticWorkload::Shapes() {
+  static const std::vector<std::pair<int64_t, int64_t>> kShapes = {
+      {10, 10},     {100, 10},   {100, 100},
+      {1000, 100},  {1000, 1000}, {10000, 5000},
+  };
+  return kShapes;
+}
+
+SyntheticWorkload::Shape SyntheticWorkload::NextShape() {
+  const auto& shapes = Shapes();
+  const auto& [maps, reduces] =
+      shapes[static_cast<size_t>(counter_) % shapes.size()];
+  Shape shape;
+  shape.maps = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(maps) *
+                              options_.instance_scale));
+  shape.reduces = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(reduces) *
+                              options_.instance_scale));
+  // Log-uniform duration across the paper's 10 s … 10 min band.
+  double log_min = std::log(options_.min_instance_seconds);
+  double log_max = std::log(options_.max_instance_seconds);
+  shape.seconds =
+      std::exp(log_min + (log_max - log_min) * rng_.NextDouble());
+  shape.wordcount = counter_ % 2 == 0;
+  ++counter_;
+  return shape;
+}
+
+job::JobDescription SyntheticWorkload::NextJobDescription() {
+  Shape shape = NextShape();
+  job::JobDescription desc;
+  desc.name = (shape.wordcount ? "wordcount-" : "terasort-") +
+              std::to_string(counter_);
+  job::TaskConfig map;
+  map.name = "map";
+  map.instances = shape.maps;
+  map.max_workers =
+      std::min<int64_t>(shape.maps, options_.max_workers_per_task);
+  map.unit = options_.unit;
+  map.instance_seconds = shape.seconds;
+  job::TaskConfig reduce;
+  reduce.name = "reduce";
+  reduce.instances = shape.reduces;
+  reduce.max_workers =
+      std::min<int64_t>(shape.reduces, options_.max_workers_per_task);
+  reduce.unit = options_.unit;
+  reduce.instance_seconds = shape.seconds;
+  desc.tasks = {map, reduce};
+  desc.pipes.push_back({"map", "reduce", ""});
+  return desc;
+}
+
+std::vector<runtime::SyntheticStage> SyntheticWorkload::NextStages() {
+  Shape shape = NextShape();
+  runtime::SyntheticStage map;
+  map.slot_id = 0;
+  map.unit = options_.unit;
+  map.instances = shape.maps;
+  map.workers = std::min<int64_t>(shape.maps, options_.max_workers_per_task);
+  map.instance_duration = shape.seconds;
+  runtime::SyntheticStage reduce;
+  reduce.slot_id = 1;
+  reduce.unit = options_.unit;
+  reduce.instances = shape.reduces;
+  reduce.workers =
+      std::min<int64_t>(shape.reduces, options_.max_workers_per_task);
+  reduce.instance_duration = shape.seconds;
+  reduce.depends_on = 0;
+  return {map, reduce};
+}
+
+TraceStats ProductionTraceSynthesizer::Synthesize() {
+  TraceStats stats;
+  stats.total_jobs = options_.jobs;
+  for (int64_t j = 0; j < options_.jobs; ++j) {
+    // Tasks per job: truncated Pareto, most jobs have 1-2 tasks, the
+    // most complex reach 150 (Table 1).
+    int64_t tasks = static_cast<int64_t>(
+        rng_.Pareto(1.0, options_.tasks_pareto_alpha));
+    tasks = std::clamp<int64_t>(tasks, 1, options_.max_tasks_per_job);
+    stats.total_tasks += tasks;
+    stats.max_tasks_per_job = std::max(stats.max_tasks_per_job, tasks);
+    for (int64_t t = 0; t < tasks; ++t) {
+      // Instances per task: truncated log-normal with a heavy tail so
+      // the largest tasks approach 100k instances.
+      int64_t instances = static_cast<int64_t>(
+          rng_.LogNormal(options_.instances_lognormal_mu,
+                         options_.instances_lognormal_sigma));
+      instances =
+          std::clamp<int64_t>(instances, 1, options_.max_instances_per_task);
+      stats.total_instances += instances;
+      stats.max_instances_per_task =
+          std::max(stats.max_instances_per_task, instances);
+      // Workers per task: a fraction of the instance count (containers
+      // are reused across instances), capped at 4,636.
+      double ratio = 0.1 + 0.57 * rng_.NextDouble();
+      int64_t workers = static_cast<int64_t>(
+          std::ceil(static_cast<double>(instances) * ratio));
+      workers = std::clamp<int64_t>(
+          workers, 1,
+          std::min<int64_t>(instances, options_.max_workers_per_task));
+      stats.total_workers += workers;
+      stats.max_workers_per_task =
+          std::max(stats.max_workers_per_task, workers);
+    }
+  }
+  stats.avg_tasks_per_job = static_cast<double>(stats.total_tasks) /
+                            static_cast<double>(stats.total_jobs);
+  stats.avg_instances_per_task = static_cast<double>(stats.total_instances) /
+                                 static_cast<double>(stats.total_tasks);
+  stats.avg_workers_per_task = static_cast<double>(stats.total_workers) /
+                               static_cast<double>(stats.total_tasks);
+  return stats;
+}
+
+FaultPlan MakeFaultPlan(double ratio, size_t machine_count, uint64_t seed) {
+  FaultPlan plan;
+  // The paper's mixes on its 300-node testbed (Table 3).
+  int64_t down;
+  int64_t partial;
+  int64_t slow;
+  if (std::abs(ratio - 0.05) < 1e-9 && machine_count == 300) {
+    down = 2;
+    partial = 2;
+    slow = 11;
+  } else if (std::abs(ratio - 0.10) < 1e-9 && machine_count == 300) {
+    down = 2;
+    partial = 4;
+    slow = 23;
+  } else {
+    // Scale the 5% mix's 2:2:11 proportions.
+    double total = ratio * static_cast<double>(machine_count);
+    down = std::max<int64_t>(total > 0 ? 1 : 0,
+                             static_cast<int64_t>(total * 2 / 15));
+    partial = std::max<int64_t>(total > 0 ? 1 : 0,
+                                static_cast<int64_t>(total * 2 / 15));
+    slow = std::max<int64_t>(0, static_cast<int64_t>(total) - down - partial);
+  }
+  Rng rng(seed);
+  std::vector<MachineId> pool;
+  pool.reserve(machine_count);
+  for (size_t m = 0; m < machine_count; ++m) {
+    pool.push_back(MachineId(static_cast<int64_t>(m)));
+  }
+  // Fisher-Yates prefix shuffle for distinct picks.
+  size_t needed = static_cast<size_t>(down + partial + slow);
+  FUXI_CHECK_LE(needed, pool.size());
+  for (size_t i = 0; i < needed; ++i) {
+    size_t j = i + rng.Uniform(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  size_t cursor = 0;
+  for (int64_t i = 0; i < down; ++i) plan.node_down.push_back(pool[cursor++]);
+  for (int64_t i = 0; i < partial; ++i) {
+    plan.partial_worker_failure.push_back(pool[cursor++]);
+  }
+  for (int64_t i = 0; i < slow; ++i) {
+    plan.slow_machine.push_back(pool[cursor++]);
+  }
+  return plan;
+}
+
+}  // namespace fuxi::trace

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "cluster/resource_vector.h"
+#include "cluster/topology.h"
+
+namespace fuxi::cluster {
+namespace {
+
+TEST(ResourceVectorTest, ArithmeticIsPerDimension) {
+  ResourceVector a(100, 2048);
+  ResourceVector b(50, 1024);
+  EXPECT_EQ((a + b).cpu(), 150);
+  EXPECT_EQ((a - b).memory(), 1024);
+  EXPECT_EQ((b * 3).cpu(), 150);
+  EXPECT_EQ((b * 3).memory(), 3072);
+}
+
+TEST(ResourceVectorTest, FitsInRequiresAllDimensions) {
+  ResourceVector capacity(400, 8192);
+  EXPECT_TRUE(ResourceVector(400, 8192).FitsIn(capacity));
+  EXPECT_FALSE(ResourceVector(401, 1).FitsIn(capacity));
+  EXPECT_FALSE(ResourceVector(1, 8193).FitsIn(capacity));
+  EXPECT_TRUE(ResourceVector().FitsIn(capacity));
+}
+
+TEST(ResourceVectorTest, DivideByIsMinOverDimensions) {
+  ResourceVector have(400, 8192);
+  EXPECT_EQ(have.DivideBy(ResourceVector(100, 2048)), 4);
+  EXPECT_EQ(have.DivideBy(ResourceVector(100, 4096)), 2);
+  EXPECT_EQ(have.DivideBy(ResourceVector(500, 1)), 0);
+}
+
+TEST(ResourceVectorTest, DivideByZeroDemandDimIgnored) {
+  ResourceVector have(400, 0);
+  EXPECT_EQ(have.DivideBy(ResourceVector(100, 0)), 4);
+}
+
+TEST(ResourceVectorTest, NegativeDetection) {
+  ResourceVector delta(100, 2048);
+  delta -= ResourceVector(200, 1024);
+  EXPECT_TRUE(delta.AnyNegative());
+  ResourceVector clamped = delta.ClampNonNegative();
+  EXPECT_EQ(clamped.cpu(), 0);
+  EXPECT_EQ(clamped.memory(), 1024);
+}
+
+TEST(ResourceVectorTest, DominantShare) {
+  ResourceVector capacity(400, 8192);
+  ResourceVector usage(100, 4096);
+  EXPECT_DOUBLE_EQ(usage.DominantShare(capacity), 0.5);
+}
+
+TEST(ResourceVectorTest, VirtualDimensionRegistration) {
+  auto dim = DimensionRegistry::Global().Register("test_virtual_dim");
+  ASSERT_TRUE(dim.ok());
+  ResourceVector v;
+  v.Set(*dim, 5);
+  EXPECT_EQ(v.Get(*dim), 5);
+  auto found = DimensionRegistry::Global().Find("test_virtual_dim");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *dim);
+  // Re-registration returns the same id.
+  auto again = DimensionRegistry::Global().Register("test_virtual_dim");
+  EXPECT_EQ(*again, *dim);
+}
+
+TEST(ResourceVectorTest, ToStringNamesDimensions) {
+  ResourceVector v(50, 1024);
+  EXPECT_EQ(v.ToString(), "cpu=50 memory=1024");
+  EXPECT_EQ(ResourceVector().ToString(), "0");
+}
+
+TEST(TopologyTest, BuildsRequestedShape) {
+  ClusterTopology::Options options;
+  options.racks = 3;
+  options.machines_per_rack = 4;
+  ClusterTopology topo = ClusterTopology::Build(options);
+  EXPECT_EQ(topo.machine_count(), 12u);
+  EXPECT_EQ(topo.rack_count(), 3u);
+  for (const Rack& rack : topo.racks()) {
+    EXPECT_EQ(rack.machines.size(), 4u);
+  }
+}
+
+TEST(TopologyTest, HostnameLookupRoundTrips) {
+  ClusterTopology topo = ClusterTopology::Build({});
+  const Machine& m = topo.machine(MachineId(7));
+  auto found = topo.FindByHostname(m.hostname);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, MachineId(7));
+  EXPECT_FALSE(topo.FindByHostname("nonexistent").ok());
+}
+
+TEST(TopologyTest, RackMembership) {
+  ClusterTopology::Options options;
+  options.racks = 2;
+  options.machines_per_rack = 2;
+  ClusterTopology topo = ClusterTopology::Build(options);
+  EXPECT_TRUE(topo.SameRack(MachineId(0), MachineId(1)));
+  EXPECT_FALSE(topo.SameRack(MachineId(1), MachineId(2)));
+}
+
+TEST(TopologyTest, TotalCapacitySums) {
+  ClusterTopology::Options options;
+  options.racks = 2;
+  options.machines_per_rack = 5;
+  options.machine_capacity = ResourceVector(1200, 96 * 1024);
+  ClusterTopology topo = ClusterTopology::Build(options);
+  ResourceVector total = topo.TotalCapacity();
+  EXPECT_EQ(total.cpu(), 12000);
+  EXPECT_EQ(total.memory(), 10LL * 96 * 1024);
+}
+
+TEST(TopologyTest, RackNameLookup) {
+  ClusterTopology topo = ClusterTopology::Build({});
+  auto rack = topo.FindRackByName("r03");
+  ASSERT_TRUE(rack.ok());
+  EXPECT_EQ(topo.rack(*rack).name, "r03");
+  EXPECT_FALSE(topo.FindRackByName("r99").ok());
+}
+
+}  // namespace
+}  // namespace fuxi::cluster

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "coord/checkpoint_store.h"
+#include "coord/lock_service.h"
+
+namespace fuxi::coord {
+namespace {
+
+class LockServiceTest : public ::testing::Test {
+ protected:
+  LockServiceTest() : locks_(&sim_) {}
+  sim::Simulator sim_;
+  LockService locks_;
+};
+
+TEST_F(LockServiceTest, FirstAcquirerWins) {
+  EXPECT_TRUE(locks_.TryAcquire("master", NodeId(1), 10).ok());
+  EXPECT_TRUE(locks_.TryAcquire("master", NodeId(2), 10).IsNotFound() ==
+              false);  // it's AlreadyExists, checked below
+  Status second = locks_.TryAcquire("master", NodeId(2), 10);
+  EXPECT_EQ(second.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(locks_.Holder("master"), NodeId(1));
+}
+
+TEST_F(LockServiceTest, LeaseExpiresWithoutRenewal) {
+  ASSERT_TRUE(locks_.TryAcquire("master", NodeId(1), 5).ok());
+  sim_.RunUntil(4.9);
+  EXPECT_EQ(locks_.Holder("master"), NodeId(1));
+  sim_.RunUntil(5.1);
+  EXPECT_FALSE(locks_.Holder("master").valid());
+  EXPECT_TRUE(locks_.TryAcquire("master", NodeId(2), 5).ok());
+}
+
+TEST_F(LockServiceTest, RenewalExtendsLease) {
+  ASSERT_TRUE(locks_.TryAcquire("master", NodeId(1), 5).ok());
+  sim_.Schedule(4.0, [&] {
+    EXPECT_TRUE(locks_.Renew("master", NodeId(1), 5).ok());
+  });
+  sim_.RunUntil(8.0);
+  EXPECT_EQ(locks_.Holder("master"), NodeId(1));
+  sim_.RunUntil(9.5);
+  EXPECT_FALSE(locks_.Holder("master").valid());
+}
+
+TEST_F(LockServiceTest, WatcherFiresOnExpiry) {
+  ASSERT_TRUE(locks_.TryAcquire("master", NodeId(1), 5).ok());
+  bool notified = false;
+  locks_.WatchRelease("master", [&] {
+    notified = true;
+    // Standby grabs the lock inside the callback, as FuxiMaster does.
+    EXPECT_TRUE(locks_.TryAcquire("master", NodeId(2), 5).ok());
+  });
+  sim_.RunUntil(6.0);
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(locks_.Holder("master"), NodeId(2));
+}
+
+TEST_F(LockServiceTest, WatcherFiresOnVoluntaryRelease) {
+  ASSERT_TRUE(locks_.TryAcquire("master", NodeId(1), 100).ok());
+  int notifications = 0;
+  locks_.WatchRelease("master", [&] { ++notifications; });
+  ASSERT_TRUE(locks_.Release("master", NodeId(1)).ok());
+  EXPECT_EQ(notifications, 1);
+}
+
+TEST_F(LockServiceTest, ReleaseByNonHolderFails) {
+  ASSERT_TRUE(locks_.TryAcquire("master", NodeId(1), 100).ok());
+  EXPECT_TRUE(locks_.Release("master", NodeId(2)).IsNotFound());
+  EXPECT_EQ(locks_.Holder("master"), NodeId(1));
+}
+
+TEST_F(LockServiceTest, StaleExpiryDoesNotEvictRenewedHolder) {
+  ASSERT_TRUE(locks_.TryAcquire("master", NodeId(1), 5).ok());
+  // Renew at t=3; the original expiry event at t=5 must be a no-op.
+  sim_.Schedule(3.0, [&] {
+    ASSERT_TRUE(locks_.Renew("master", NodeId(1), 5).ok());
+  });
+  sim_.RunUntil(6.0);
+  EXPECT_EQ(locks_.Holder("master"), NodeId(1));
+}
+
+TEST_F(LockServiceTest, ExpireNowForcesFailover) {
+  ASSERT_TRUE(locks_.TryAcquire("master", NodeId(1), 100).ok());
+  bool notified = false;
+  locks_.WatchRelease("master", [&] { notified = true; });
+  locks_.ExpireNow("master");
+  EXPECT_TRUE(notified);
+  EXPECT_FALSE(locks_.Holder("master").valid());
+}
+
+TEST_F(LockServiceTest, HolderReacquireRefreshesLease) {
+  ASSERT_TRUE(locks_.TryAcquire("master", NodeId(1), 5).ok());
+  sim_.Schedule(4.0, [&] {
+    EXPECT_TRUE(locks_.TryAcquire("master", NodeId(1), 5).ok());
+  });
+  sim_.RunUntil(8.5);
+  EXPECT_EQ(locks_.Holder("master"), NodeId(1));
+}
+
+TEST(CheckpointStoreTest, PutGetRoundTrip) {
+  CheckpointStore store;
+  Json value = Json::MakeObject();
+  value["jobs"] = Json(3);
+  store.Put("fuxi/apps", value);
+  auto loaded = store.Get("fuxi/apps");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->GetInt("jobs"), 3);
+}
+
+TEST(CheckpointStoreTest, GetMissingReturnsNotFound) {
+  CheckpointStore store;
+  EXPECT_TRUE(store.Get("nope").status().IsNotFound());
+}
+
+TEST(CheckpointStoreTest, OverwriteReplaces) {
+  CheckpointStore store;
+  store.Put("k", Json(1));
+  store.Put("k", Json(2));
+  EXPECT_EQ(store.Get("k")->as_int(), 2);
+  EXPECT_EQ(store.write_count(), 2u);
+}
+
+TEST(CheckpointStoreTest, DeleteIsIdempotent) {
+  CheckpointStore store;
+  store.Put("k", Json(1));
+  store.Delete("k");
+  store.Delete("k");
+  EXPECT_FALSE(store.Contains("k"));
+}
+
+TEST(CheckpointStoreTest, ListKeysFiltersByPrefix) {
+  CheckpointStore store;
+  store.Put("app/1", Json(1));
+  store.Put("app/2", Json(2));
+  store.Put("job/1", Json(3));
+  auto keys = store.ListKeys("app/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "app/1");
+  EXPECT_EQ(keys[1], "app/2");
+}
+
+TEST(CheckpointStoreTest, TracksBytesWritten) {
+  CheckpointStore store;
+  store.Put("k", Json("0123456789"));
+  EXPECT_GE(store.bytes_written(), 10u);
+}
+
+}  // namespace
+}  // namespace fuxi::coord

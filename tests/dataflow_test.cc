@@ -1,0 +1,174 @@
+#include "dataflow/streamline.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace fuxi::dataflow {
+namespace {
+
+using namespace streamline;  // NOLINT: test-local convenience
+
+Records MakeRecords(std::initializer_list<const char*> keys) {
+  Records out;
+  for (const char* key : keys) out.push_back({key, "v"});
+  return out;
+}
+
+TEST(StreamlineTest, SortOrdersByKey) {
+  Records records = MakeRecords({"delta", "alpha", "charlie", "bravo"});
+  Sort(&records);
+  EXPECT_TRUE(IsSorted(records));
+  EXPECT_EQ(records[0].key, "alpha");
+  EXPECT_EQ(records[3].key, "delta");
+}
+
+TEST(StreamlineTest, SortIsStable) {
+  Records records = {{"k", "1"}, {"a", "x"}, {"k", "2"}, {"k", "3"}};
+  Sort(&records);
+  EXPECT_EQ(records[1].value, "1");
+  EXPECT_EQ(records[2].value, "2");
+  EXPECT_EQ(records[3].value, "3");
+}
+
+TEST(StreamlineTest, MergeSortedCombinesRuns) {
+  std::vector<Records> runs = {
+      MakeRecords({"a", "d", "g"}),
+      MakeRecords({"b", "e"}),
+      MakeRecords({"c", "f", "h", "i"}),
+  };
+  Records merged = MergeSorted(runs);
+  ASSERT_EQ(merged.size(), 9u);
+  EXPECT_TRUE(IsSorted(merged));
+  EXPECT_EQ(merged.front().key, "a");
+  EXPECT_EQ(merged.back().key, "i");
+}
+
+TEST(StreamlineTest, MergeSortedHandlesEmptyRuns) {
+  std::vector<Records> runs = {{}, MakeRecords({"x"}), {}};
+  Records merged = MergeSorted(runs);
+  ASSERT_EQ(merged.size(), 1u);
+}
+
+TEST(StreamlineTest, HashPartitionCoversAllRecordsDisjointly) {
+  Records records = GenerateRandomRecords(500, 1);
+  auto partitions = HashPartition(records, 7);
+  ASSERT_EQ(partitions.size(), 7u);
+  size_t total = 0;
+  for (const Records& p : partitions) total += p.size();
+  EXPECT_EQ(total, 500u);
+  // Same key always goes to the same partition.
+  auto again = HashPartition(records, 7);
+  for (size_t i = 0; i < 7; ++i) EXPECT_EQ(partitions[i], again[i]);
+}
+
+TEST(StreamlineTest, RangePartitionRespectsBoundaries) {
+  Records records = MakeRecords({"a", "c", "e", "g", "i"});
+  std::vector<std::string> boundaries = {"d", "h"};
+  auto partitions = RangePartition(records, boundaries);
+  ASSERT_EQ(partitions.size(), 3u);
+  EXPECT_EQ(partitions[0].size(), 2u);  // a, c
+  EXPECT_EQ(partitions[1].size(), 2u);  // e, g
+  EXPECT_EQ(partitions[2].size(), 1u);  // i
+  // Keys in partition i are all <= keys in partition i+1.
+  EXPECT_LT(partitions[0].back().key, partitions[1].front().key);
+}
+
+TEST(StreamlineTest, SampledBoundariesBalancePartitions) {
+  Records records = GenerateRandomRecords(20000, 42);
+  auto boundaries = SampleBoundaries(records, 8, 2000, 7);
+  auto partitions = RangePartition(records, boundaries);
+  ASSERT_EQ(partitions.size(), boundaries.size() + 1);
+  for (const Records& p : partitions) {
+    // Each partition within 2.5x of the fair share.
+    EXPECT_LT(p.size(), 20000u / partitions.size() * 5 / 2);
+  }
+}
+
+TEST(StreamlineTest, EndToEndDistributedSortIsCorrect) {
+  // The full GraySort pipeline on real data: sample -> range partition
+  // per mapper -> per-reducer merge -> concatenation is sorted.
+  Records input = GenerateRandomRecords(5000, 99);
+  constexpr size_t kMappers = 5;
+  constexpr size_t kReducers = 4;
+  auto boundaries = SampleBoundaries(input, kReducers, 500, 3);
+
+  // Map side: each mapper sorts and range-partitions its slice.
+  std::vector<std::vector<Records>> shuffle(kMappers);
+  size_t slice = input.size() / kMappers;
+  for (size_t m = 0; m < kMappers; ++m) {
+    Records part(input.begin() + static_cast<long>(m * slice),
+                 m + 1 == kMappers
+                     ? input.end()
+                     : input.begin() + static_cast<long>((m + 1) * slice));
+    Sort(&part);
+    shuffle[m] = RangePartition(part, boundaries);
+  }
+  // Reduce side: merge the sorted streams for each range.
+  Records output;
+  for (size_t r = 0; r < boundaries.size() + 1; ++r) {
+    std::vector<Records> runs;
+    for (size_t m = 0; m < kMappers; ++m) runs.push_back(shuffle[m][r]);
+    Records merged = MergeSorted(runs);
+    EXPECT_TRUE(IsSorted(merged));
+    output.insert(output.end(), merged.begin(), merged.end());
+  }
+  EXPECT_EQ(output.size(), input.size());
+  EXPECT_TRUE(IsSorted(output));
+}
+
+TEST(StreamlineTest, ReduceGroupsByKey) {
+  Records sorted = {{"a", "1"}, {"a", "2"}, {"b", "5"}, {"c", "1"},
+                    {"c", "1"}, {"c", "1"}};
+  Records counts = Reduce(sorted, [](const std::string& key,
+                                     const std::vector<std::string>& vals) {
+    return Record{key, std::to_string(vals.size())};
+  });
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0].value, "2");
+  EXPECT_EQ(counts[1].value, "1");
+  EXPECT_EQ(counts[2].value, "3");
+}
+
+TEST(StreamlineTest, TokenizeSplitsAndLowercases) {
+  auto words = Tokenize("Hello, world! HELLO again-and-again");
+  ASSERT_EQ(words.size(), 6u);
+  EXPECT_EQ(words[0], "hello");
+  EXPECT_EQ(words[2], "hello");
+  EXPECT_EQ(words[3], "again");
+}
+
+TEST(StreamlineTest, WordCountPipeline) {
+  std::string text = "the quick fox the lazy dog the end";
+  Records records;
+  for (const std::string& word : Tokenize(text)) {
+    records.push_back({word, "1"});
+  }
+  auto partitions = HashPartition(records, 3);
+  std::map<std::string, int> counts;
+  for (Records& partition : partitions) {
+    Sort(&partition);
+    Records reduced =
+        Reduce(partition, [](const std::string& key,
+                             const std::vector<std::string>& vals) {
+          return Record{key, std::to_string(vals.size())};
+        });
+    for (const Record& r : reduced) counts[r.key] = std::stoi(r.value);
+  }
+  EXPECT_EQ(counts["the"], 3);
+  EXPECT_EQ(counts["fox"], 1);
+  EXPECT_EQ(counts.size(), 6u);
+}
+
+TEST(StreamlineTest, GenerateRandomRecordsIsDeterministic) {
+  Records a = GenerateRandomRecords(100, 5);
+  Records b = GenerateRandomRecords(100, 5);
+  EXPECT_EQ(a, b);
+  Records c = GenerateRandomRecords(100, 6);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a[0].key.size(), 10u);
+  EXPECT_EQ(a[0].value.size(), 90u);
+}
+
+}  // namespace
+}  // namespace fuxi::dataflow

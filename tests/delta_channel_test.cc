@@ -1,0 +1,175 @@
+#include "resource/delta_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fuxi::resource {
+namespace {
+
+using Outcome = DeltaReceiver<int>::Outcome;
+
+/// Receiver applying integer deltas to an accumulator; full state
+/// replaces the value — a miniature of the request/grant channels.
+struct Accumulator {
+  int value = 0;
+  void Apply(const int& delta, bool is_full) {
+    if (is_full) {
+      value = delta;
+    } else {
+      value += delta;
+    }
+  }
+};
+
+TEST(DeltaChannelTest, InOrderDeltasApply) {
+  DeltaSender<int> sender;
+  DeltaReceiver<int> receiver;
+  Accumulator acc;
+  auto apply = [&](const int& d, bool f) { acc.Apply(d, f); };
+  EXPECT_EQ(receiver.Receive(sender.Stamp(5), apply), Outcome::kApplied);
+  EXPECT_EQ(receiver.Receive(sender.Stamp(3), apply), Outcome::kApplied);
+  EXPECT_EQ(acc.value, 8);
+}
+
+TEST(DeltaChannelTest, DuplicateIsIdempotent) {
+  DeltaSender<int> sender;
+  DeltaReceiver<int> receiver;
+  Accumulator acc;
+  auto apply = [&](const int& d, bool f) { acc.Apply(d, f); };
+  Stamped<int> msg = sender.Stamp(5);
+  EXPECT_EQ(receiver.Receive(msg, apply), Outcome::kApplied);
+  EXPECT_EQ(receiver.Receive(msg, apply), Outcome::kDuplicate);
+  EXPECT_EQ(acc.value, 5);
+}
+
+TEST(DeltaChannelTest, ReorderedDeltasApplyInSenderOrder) {
+  DeltaSender<int> sender;
+  DeltaReceiver<int> receiver;
+  std::vector<int> applied;
+  auto apply = [&](const int& d, bool) { applied.push_back(d); };
+  Stamped<int> first = sender.Stamp(1);
+  Stamped<int> second = sender.Stamp(2);
+  Stamped<int> third = sender.Stamp(3);
+  EXPECT_EQ(receiver.Receive(third, apply), Outcome::kBuffered);
+  EXPECT_EQ(receiver.Receive(second, apply), Outcome::kBuffered);
+  EXPECT_EQ(receiver.Receive(first, apply), Outcome::kApplied);
+  EXPECT_EQ(applied, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DeltaChannelTest, BufferedDuplicateCollapses) {
+  DeltaSender<int> sender;
+  DeltaReceiver<int> receiver;
+  std::vector<int> applied;
+  auto apply = [&](const int& d, bool) { applied.push_back(d); };
+  Stamped<int> first = sender.Stamp(1);
+  Stamped<int> second = sender.Stamp(2);
+  EXPECT_EQ(receiver.Receive(second, apply), Outcome::kBuffered);
+  EXPECT_EQ(receiver.Receive(second, apply), Outcome::kBuffered);
+  EXPECT_EQ(receiver.Receive(first, apply), Outcome::kApplied);
+  EXPECT_EQ(applied, (std::vector<int>{1, 2}));
+}
+
+TEST(DeltaChannelTest, BufferOverflowRequestsResync) {
+  DeltaSender<int> sender;
+  DeltaReceiver<int> receiver(/*max_buffered=*/3);
+  auto apply = [](const int&, bool) {};
+  sender.Stamp(0);  // seq 1 is "lost"
+  std::vector<Stamped<int>> msgs;
+  for (int i = 0; i < 4; ++i) msgs.push_back(sender.Stamp(i));
+  EXPECT_EQ(receiver.Receive(msgs[0], apply), Outcome::kBuffered);
+  EXPECT_EQ(receiver.Receive(msgs[1], apply), Outcome::kBuffered);
+  EXPECT_EQ(receiver.Receive(msgs[2], apply), Outcome::kBuffered);
+  EXPECT_EQ(receiver.Receive(msgs[3], apply), Outcome::kNeedResync);
+}
+
+TEST(DeltaChannelTest, FullStateOpensNewEpochAndResets) {
+  DeltaSender<int> sender;
+  DeltaReceiver<int> receiver;
+  Accumulator acc;
+  auto apply = [&](const int& d, bool f) { acc.Apply(d, f); };
+  receiver.Receive(sender.Stamp(5), apply);
+  receiver.Receive(sender.Stamp(7), apply);
+  EXPECT_EQ(acc.value, 12);
+  // Resync: full state says 100.
+  EXPECT_EQ(receiver.Receive(sender.StampFull(100), apply),
+            Outcome::kApplied);
+  EXPECT_EQ(acc.value, 100);
+  // Deltas continue in the new epoch.
+  EXPECT_EQ(receiver.Receive(sender.Stamp(1), apply), Outcome::kApplied);
+  EXPECT_EQ(acc.value, 101);
+}
+
+TEST(DeltaChannelTest, StaleEpochMessagesDropped) {
+  DeltaSender<int> sender;
+  DeltaReceiver<int> receiver;
+  Accumulator acc;
+  auto apply = [&](const int& d, bool f) { acc.Apply(d, f); };
+  Stamped<int> old_delta = sender.Stamp(5);  // epoch 1
+  receiver.Receive(sender.StampFull(50), apply);  // epoch 2
+  EXPECT_EQ(receiver.Receive(old_delta, apply), Outcome::kDuplicate);
+  EXPECT_EQ(acc.value, 50);
+}
+
+TEST(DeltaChannelTest, DeltaFromUnknownFutureEpochNeedsResync) {
+  DeltaSender<int> sender;
+  DeltaReceiver<int> receiver;
+  Accumulator acc;
+  auto apply = [&](const int& d, bool f) { acc.Apply(d, f); };
+  receiver.Receive(sender.Stamp(5), apply);  // epoch 1 established
+  sender.StampFull(100);                     // epoch 2 snapshot LOST
+  EXPECT_EQ(receiver.Receive(sender.Stamp(1), apply),
+            Outcome::kNeedResync);
+  EXPECT_EQ(acc.value, 5) << "no partial application from unknown epoch";
+}
+
+TEST(DeltaChannelTest, RandomLossDupReorderConvergesAfterResync) {
+  // Property: under arbitrary loss/duplication/reordering, receiver
+  // state either equals the prefix-sum the sender intended, or a resync
+  // restores it exactly.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    DeltaSender<int> sender;
+    DeltaReceiver<int> receiver(8);
+    Accumulator acc;
+    auto apply = [&](const int& d, bool f) { acc.Apply(d, f); };
+
+    int true_value = 0;
+    std::vector<Stamped<int>> in_flight;
+    for (int step = 0; step < 200; ++step) {
+      int delta = static_cast<int>(rng.UniformRange(-5, 5));
+      true_value += delta;
+      in_flight.push_back(sender.Stamp(delta));
+      // Deliver a random subset, possibly twice, in random order.
+      while (!in_flight.empty() && rng.Bernoulli(0.7)) {
+        size_t pick = rng.Uniform(in_flight.size());
+        Stamped<int> msg = in_flight[pick];
+        if (rng.Bernoulli(0.2)) {
+          // drop
+        } else {
+          int copies = rng.Bernoulli(0.2) ? 2 : 1;
+          for (int c = 0; c < copies; ++c) {
+            if (receiver.Receive(msg, apply) == Outcome::kNeedResync) {
+              Stamped<int> full = sender.StampFull(true_value);
+              EXPECT_EQ(receiver.Receive(full, apply), Outcome::kApplied);
+              in_flight.clear();
+              break;
+            }
+          }
+        }
+        if (pick < in_flight.size()) {
+          in_flight.erase(in_flight.begin() + static_cast<long>(pick));
+        }
+      }
+    }
+    // Final reconciliation (the periodic full-state safety sync).
+    Stamped<int> full = sender.StampFull(true_value);
+    receiver.Receive(full, apply);
+    EXPECT_EQ(acc.value, true_value) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fuxi::resource

@@ -1,0 +1,127 @@
+#include "dfs/file_system.h"
+
+#include <gtest/gtest.h>
+
+namespace fuxi::dfs {
+namespace {
+
+using cluster::ClusterTopology;
+
+class FileSystemTest : public ::testing::Test {
+ protected:
+  FileSystemTest() : topo_(MakeTopo()), fs_(&topo_) {}
+
+  static ClusterTopology MakeTopo() {
+    ClusterTopology::Options options;
+    options.racks = 3;
+    options.machines_per_rack = 4;
+    return ClusterTopology::Build(options);
+  }
+
+  ClusterTopology topo_;
+  FileSystem fs_;
+};
+
+TEST_F(FileSystemTest, SplitsIntoBlocks) {
+  auto file = fs_.CreateFile("pangu://input", 1000, 256);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->blocks.size(), 4u);  // 256+256+256+232
+  EXPECT_EQ((*file)->blocks.back().size_bytes, 232);
+  int64_t total = 0;
+  for (const Block& b : (*file)->blocks) total += b.size_bytes;
+  EXPECT_EQ(total, 1000);
+}
+
+TEST_F(FileSystemTest, ReplicasAreDistinctMachines) {
+  auto file = fs_.CreateFile("pangu://f", 10240, 1024, 3);
+  ASSERT_TRUE(file.ok());
+  for (const Block& block : (*file)->blocks) {
+    ASSERT_EQ(block.replicas.size(), 3u);
+    EXPECT_NE(block.replicas[0], block.replicas[1]);
+    EXPECT_NE(block.replicas[0], block.replicas[2]);
+    EXPECT_NE(block.replicas[1], block.replicas[2]);
+  }
+}
+
+TEST_F(FileSystemTest, SecondReplicaSameRack) {
+  auto file = fs_.CreateFile("pangu://f", 10240, 1024, 3);
+  ASSERT_TRUE(file.ok());
+  for (const Block& block : (*file)->blocks) {
+    EXPECT_TRUE(topo_.SameRack(block.replicas[0], block.replicas[1]));
+  }
+}
+
+TEST_F(FileSystemTest, DuplicateCreateFails) {
+  ASSERT_TRUE(fs_.CreateFile("pangu://f", 100, 100).ok());
+  EXPECT_EQ(fs_.CreateFile("pangu://f", 100, 100).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(FileSystemTest, LocalityClassification) {
+  auto file = fs_.CreateFile("pangu://f", 100, 100, 2);
+  ASSERT_TRUE(file.ok());
+  const Block& block = (*file)->blocks[0];
+  MachineId holder = block.replicas[0];
+  EXPECT_EQ(fs_.ClosestLocality(holder, block), Locality::kLocal);
+  // A rack buddy (non-replica) sees rack locality.
+  for (MachineId m : topo_.rack(topo_.machine(holder).rack).machines) {
+    if (std::find(block.replicas.begin(), block.replicas.end(), m) ==
+        block.replicas.end()) {
+      EXPECT_EQ(fs_.ClosestLocality(m, block), Locality::kRack);
+      break;
+    }
+  }
+}
+
+TEST_F(FileSystemTest, DeadMachineLosesLocality) {
+  auto file = fs_.CreateFile("pangu://f", 100, 100, 1);
+  ASSERT_TRUE(file.ok());
+  const Block& block = (*file)->blocks[0];
+  MachineId holder = block.replicas[0];
+  EXPECT_EQ(fs_.ClosestLocality(holder, block), Locality::kLocal);
+  fs_.MarkMachineDead(holder);
+  EXPECT_EQ(fs_.ClosestLocality(holder, block), Locality::kRemote);
+  fs_.MarkMachineAlive(holder);
+  EXPECT_EQ(fs_.ClosestLocality(holder, block), Locality::kLocal);
+}
+
+TEST_F(FileSystemTest, LocalityMapCoversWholeFile) {
+  auto file = fs_.CreateFile("pangu://f", 10000, 1000, 3);
+  ASSERT_TRUE(file.ok());
+  auto map = fs_.LocalityMap("pangu://f");
+  int64_t total = 0;
+  for (const auto& [machine, bytes] : map) total += bytes;
+  EXPECT_EQ(total, 3 * 10000);  // three replicas of every byte
+}
+
+TEST_F(FileSystemTest, GlobMatchesPrefix) {
+  ASSERT_TRUE(fs_.CreateFile("pangu://dir/a", 10, 10).ok());
+  ASSERT_TRUE(fs_.CreateFile("pangu://dir/b", 10, 10).ok());
+  ASSERT_TRUE(fs_.CreateFile("pangu://other", 10, 10).ok());
+  auto matches = fs_.Glob("pangu://dir/*");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0]->path, "pangu://dir/a");
+  auto exact = fs_.Glob("pangu://other");
+  ASSERT_EQ(exact.size(), 1u);
+}
+
+TEST_F(FileSystemTest, DeleteRemovesFile) {
+  ASSERT_TRUE(fs_.CreateFile("pangu://f", 100, 100).ok());
+  ASSERT_TRUE(fs_.DeleteFile("pangu://f").ok());
+  EXPECT_TRUE(fs_.Stat("pangu://f").status().IsNotFound());
+  EXPECT_TRUE(fs_.DeleteFile("pangu://f").IsNotFound());
+}
+
+TEST_F(FileSystemTest, RejectsBadArguments) {
+  EXPECT_TRUE(fs_.CreateFile("x", -1, 10).status().IsInvalidArgument());
+  EXPECT_TRUE(fs_.CreateFile("y", 10, 0).status().IsInvalidArgument());
+}
+
+TEST_F(FileSystemTest, EmptyFileHasNoBlocks) {
+  auto file = fs_.CreateFile("pangu://empty", 0, 100);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->blocks.empty());
+}
+
+}  // namespace
+}  // namespace fuxi::dfs

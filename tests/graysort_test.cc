@@ -1,0 +1,87 @@
+#include "sort/graysort.h"
+
+#include <gtest/gtest.h>
+
+namespace fuxi::sort {
+namespace {
+
+runtime::SimClusterOptions SortClusterOptions(int racks, int per_rack) {
+  runtime::SimClusterOptions options;
+  options.topology.racks = racks;
+  options.topology.machines_per_rack = per_rack;
+  options.topology.machine_capacity =
+      cluster::ResourceVector(1200, 96 * 1024);  // the paper's machines
+  return options;
+}
+
+TEST(GraySortTest, BuildsTwoPhaseJob) {
+  cluster::ClusterTopology topo =
+      cluster::ClusterTopology::Build(SortClusterOptions(2, 5).topology);
+  GraySortConfig config;
+  config.data_bytes = 100LL << 30;  // 100 GB
+  config.map_bytes_per_instance = 1LL << 30;
+  auto desc = BuildGraySortJob(config, topo);
+  ASSERT_TRUE(desc.ok()) << desc.status();
+  ASSERT_EQ(desc->tasks.size(), 2u);
+  EXPECT_EQ(desc->tasks[0].instances, 100);
+  EXPECT_EQ(desc->UpstreamOf("sort_reduce"),
+            std::vector<std::string>{"sort_map"});
+  EXPECT_GT(desc->tasks[0].instance_seconds, 0);
+  EXPECT_GT(desc->tasks[1].instance_seconds, 0);
+}
+
+TEST(GraySortTest, RejectsBadConfig) {
+  cluster::ClusterTopology topo =
+      cluster::ClusterTopology::Build(SortClusterOptions(1, 2).topology);
+  GraySortConfig config;
+  config.data_bytes = -1;
+  EXPECT_FALSE(BuildGraySortJob(config, topo).ok());
+}
+
+TEST(GraySortTest, SmallSortRunsToCompletion) {
+  runtime::SimCluster cluster(SortClusterOptions(2, 5));
+  job::JobRuntime runtime(&cluster);
+  cluster.Start();
+  cluster.RunFor(2.0);
+  GraySortConfig config;
+  config.data_bytes = 40LL << 30;  // 40 GB over 10 machines
+  config.map_bytes_per_instance = 1LL << 30;
+  config.workers_per_machine = 4;
+  auto report = RunGraySort(&cluster, &runtime, config, 4000.0);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->finished);
+  EXPECT_GT(report->tb_per_minute, 0);
+  EXPECT_EQ(report->map_instances, 40);
+}
+
+TEST(GraySortTest, ContainerReuseBeatsYarnStyleChurn) {
+  GraySortReport with_reuse;
+  GraySortReport without_reuse;
+  for (bool reuse : {true, false}) {
+    runtime::SimCluster cluster(SortClusterOptions(2, 5));
+    job::JobMasterOptions options;
+    options.reuse_containers = reuse;
+    job::JobRuntime runtime(&cluster, options);
+    cluster.Start();
+    cluster.RunFor(2.0);
+    GraySortConfig config;
+    // 128 map instances over 20 worker slots: real container reuse.
+    config.data_bytes = 64LL << 30;
+    config.map_bytes_per_instance = 512LL << 20;
+    config.workers_per_machine = 2;
+    config.container_reuse = reuse;
+    auto report = RunGraySort(&cluster, &runtime, config, 8000.0);
+    ASSERT_TRUE(report.ok()) << report.status();
+    ASSERT_TRUE(report->finished);
+    (reuse ? with_reuse : without_reuse) = *report;
+  }
+  // The YARN-style run must start far more workers (approaching one per
+  // instance) and must not be faster.
+  EXPECT_GT(without_reuse.workers_started,
+            with_reuse.workers_started * 3 / 2);
+  EXPECT_GE(without_reuse.elapsed_seconds,
+            with_reuse.elapsed_seconds * 0.95);
+}
+
+}  // namespace
+}  // namespace fuxi::sort

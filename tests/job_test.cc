@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include "job/job_runtime.h"
+#include "runtime/sim_cluster.h"
+
+namespace fuxi::job {
+namespace {
+
+runtime::SimClusterOptions SmallClusterOptions() {
+  runtime::SimClusterOptions options;
+  options.topology.racks = 2;
+  options.topology.machines_per_rack = 4;
+  options.topology.machine_capacity = cluster::ResourceVector(400, 8192);
+  return options;
+}
+
+JobDescription SingleTaskJob(int64_t instances, int64_t workers,
+                             double seconds = 0.5) {
+  JobDescription desc;
+  desc.name = "single";
+  TaskConfig task;
+  task.name = "T1";
+  task.instances = instances;
+  task.max_workers = workers;
+  task.instance_seconds = seconds;
+  desc.tasks.push_back(task);
+  return desc;
+}
+
+class JobTest : public ::testing::Test {
+ protected:
+  JobTest() : cluster_(SmallClusterOptions()), runtime_(&cluster_) {
+    cluster_.Start();
+    cluster_.RunFor(2.0);
+  }
+
+  runtime::SimCluster cluster_;
+  JobRuntime runtime_;
+};
+
+// ----------------------------------------------------------- description
+
+TEST(JobDescriptionTest, JsonRoundTrip) {
+  JobDescription desc;
+  desc.name = "wordcount";
+  TaskConfig map;
+  map.name = "map";
+  map.instances = 100;
+  map.max_workers = 10;
+  map.input_file = "pangu://input";
+  map.input_bytes_per_instance = 1 << 20;
+  TaskConfig reduce;
+  reduce.name = "reduce";
+  reduce.instances = 10;
+  reduce.max_workers = 10;
+  reduce.backup_normal_seconds = 30;
+  desc.tasks = {map, reduce};
+  desc.pipes.push_back({"", "map", "pangu://input"});
+  desc.pipes.push_back({"map", "reduce", ""});
+  desc.pipes.push_back({"reduce", "", "pangu://output"});
+
+  auto round = JobDescription::FromJson(desc.ToJson());
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_EQ(round->tasks.size(), 2u);
+  int map_index = round->FindTask("map");
+  ASSERT_GE(map_index, 0);
+  EXPECT_EQ(round->tasks[static_cast<size_t>(map_index)].instances, 100);
+  EXPECT_EQ(round->tasks[static_cast<size_t>(map_index)].input_file,
+            "pangu://input");
+  EXPECT_EQ(round->UpstreamOf("reduce"),
+            std::vector<std::string>{"map"});
+}
+
+TEST(JobDescriptionTest, ParsesPaperStyleJson) {
+  // The Figure 6 shape: T1 -> {T2, T3} -> T4.
+  const char* text = R"({
+    "Name": "dag",
+    "Tasks": {
+      "T1": {"Instances": 4, "MaxWorkers": 2},
+      "T2": {"Instances": 2, "MaxWorkers": 2},
+      "T3": {"Instances": 2, "MaxWorkers": 2},
+      "T4": {"Instances": 1, "MaxWorkers": 1}
+    },
+    "Pipes": [
+      {"Source": {"FilePattern": "pangu://in"},
+       "Destination": {"AccessPoint": "T1:input"}},
+      {"Source": {"AccessPoint": "T1:toT2"},
+       "Destination": {"AccessPoint": "T2:fromT1"}},
+      {"Source": {"AccessPoint": "T1:toT3"},
+       "Destination": {"AccessPoint": "T3:fromT1"}},
+      {"Source": {"AccessPoint": "T2:toT4"},
+       "Destination": {"AccessPoint": "T4:fromT2"}},
+      {"Source": {"AccessPoint": "T3:toT4"},
+       "Destination": {"AccessPoint": "T4:fromT3"}},
+      {"Source": {"AccessPoint": "T4:output"},
+       "Destination": {"FilePattern": "pangu://out"}}
+    ]
+  })";
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  auto desc = JobDescription::FromJson(*parsed);
+  ASSERT_TRUE(desc.ok()) << desc.status();
+  EXPECT_EQ(desc->tasks.size(), 4u);
+  auto upstream = desc->UpstreamOf("T4");
+  std::sort(upstream.begin(), upstream.end());
+  EXPECT_EQ(upstream, (std::vector<std::string>{"T2", "T3"}));
+}
+
+TEST(JobDescriptionTest, RejectsCycle) {
+  JobDescription desc;
+  desc.name = "cyclic";
+  TaskConfig a;
+  a.name = "A";
+  TaskConfig b;
+  b.name = "B";
+  desc.tasks = {a, b};
+  desc.pipes.push_back({"A", "B", ""});
+  desc.pipes.push_back({"B", "A", ""});
+  EXPECT_TRUE(desc.Validate().IsInvalidArgument());
+}
+
+TEST(JobDescriptionTest, RejectsDuplicateTaskAndUnknownPipe) {
+  JobDescription desc;
+  desc.name = "bad";
+  TaskConfig a;
+  a.name = "A";
+  desc.tasks = {a, a};
+  EXPECT_TRUE(desc.Validate().IsInvalidArgument());
+
+  JobDescription desc2;
+  desc2.name = "bad2";
+  desc2.tasks = {a};
+  desc2.pipes.push_back({"A", "Nope", ""});
+  EXPECT_TRUE(desc2.Validate().IsInvalidArgument());
+}
+
+// ------------------------------------------------------------- execution
+
+TEST_F(JobTest, SingleTaskJobCompletes) {
+  auto job = runtime_.Submit(SingleTaskJob(12, 4));
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(runtime_.RunUntilAllFinished(60.0));
+  EXPECT_EQ((*job)->stats().instances_done, 12);
+  // All containers returned.
+  cluster_.RunFor(5.0);
+  EXPECT_EQ(cluster_.primary()->scheduler()->TotalGranted(),
+            cluster::ResourceVector());
+  EXPECT_EQ(runtime_.live_worker_count(), 0u);
+}
+
+TEST_F(JobTest, ContainersAreReusedAcrossInstances) {
+  auto job = runtime_.Submit(SingleTaskJob(40, 4));
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(runtime_.RunUntilAllFinished(120.0));
+  // 40 instances over 4 containers: the same workers execute many
+  // instances (Fuxi's container reuse, unlike YARN's reclaim-per-task).
+  EXPECT_LE((*job)->stats().workers_started, 8);
+}
+
+TEST_F(JobTest, DagRespectsTopologicalOrder) {
+  JobDescription desc;
+  desc.name = "diamond";
+  for (const char* name : {"T1", "T2", "T3", "T4"}) {
+    TaskConfig task;
+    task.name = name;
+    task.instances = 4;
+    task.max_workers = 2;
+    task.instance_seconds = 0.5;
+    desc.tasks.push_back(task);
+  }
+  desc.pipes.push_back({"T1", "T2", ""});
+  desc.pipes.push_back({"T1", "T3", ""});
+  desc.pipes.push_back({"T2", "T4", ""});
+  desc.pipes.push_back({"T3", "T4", ""});
+  auto job = runtime_.Submit(desc);
+  ASSERT_TRUE(job.ok());
+
+  // Invariant at every step: T4 does nothing until T2 AND T3 finished.
+  bool saw_t1_running_with_t4_empty = false;
+  for (int step = 0; step < 240 && !(*job)->finished(); ++step) {
+    cluster_.RunFor(0.5);
+    bool upstream_done = (*job)->task("T2")->complete() &&
+                         (*job)->task("T3")->complete();
+    int64_t t4_activity = (*job)->task("T4")->done_count() +
+                          (*job)->task("T4")->running_count();
+    if (!upstream_done) {
+      ASSERT_EQ(t4_activity, 0) << "T4 ran before its inputs were ready";
+    }
+    if ((*job)->task("T1")->running_count() > 0 && t4_activity == 0) {
+      saw_t1_running_with_t4_empty = true;
+    }
+  }
+  ASSERT_TRUE((*job)->finished());
+  EXPECT_TRUE(saw_t1_running_with_t4_empty);
+  EXPECT_EQ((*job)->stats().instances_done, 16);
+}
+
+TEST_F(JobTest, InputLocalityPrefersReplicaMachines) {
+  ASSERT_TRUE(
+      cluster_.dfs().CreateFile("pangu://input", 64 << 20, 8 << 20).ok());
+  JobDescription desc = SingleTaskJob(8, 8, 1.0);
+  desc.tasks[0].input_file = "pangu://input";
+  desc.tasks[0].input_bytes_per_instance = 8 << 20;
+  auto job = runtime_.Submit(desc);
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(runtime_.RunUntilAllFinished(120.0));
+  EXPECT_EQ((*job)->stats().instances_done, 8);
+}
+
+TEST_F(JobTest, JobMasterFailoverResumesFromSnapshot) {
+  auto job_or = runtime_.Submit(SingleTaskJob(30, 4, 1.0));
+  ASSERT_TRUE(job_or.ok());
+  JobMaster* job = *job_or;
+  cluster_.RunFor(10.0);
+  ASSERT_TRUE(job->master_running());
+  int64_t done_before = job->stats().instances_done;
+  ASSERT_GT(done_before, 0);
+  ASSERT_GT(job->snapshot_writes(), 0u);
+
+  job->CrashMaster();
+  cluster_.RunFor(2.0);
+  job->RestartMaster();
+  ASSERT_TRUE(runtime_.RunUntilAllFinished(180.0))
+      << "done=" << job->stats().instances_done;
+  EXPECT_EQ(job->stats().instances_done, 30);
+}
+
+TEST_F(JobTest, FuxiMasterRestartsSilentJobMaster) {
+  auto job_or = runtime_.Submit(SingleTaskJob(30, 4, 1.0));
+  ASSERT_TRUE(job_or.ok());
+  JobMaster* job = *job_or;
+  cluster_.RunFor(8.0);
+  ASSERT_TRUE(job->master_running());
+  // Crash the AM and do NOT restart it manually: FuxiMaster's AM
+  // liveness (RollupTick) must notice the silence and relaunch it via
+  // an agent (§4.3.1 "leverages heartbeat to determine whether to start
+  // a new master").
+  job->CrashMaster();
+  ASSERT_TRUE(runtime_.RunUntilAllFinished(240.0))
+      << "done=" << job->stats().instances_done;
+  EXPECT_EQ(job->stats().instances_done, 30);
+}
+
+TEST_F(JobTest, NodeDownDuringJobStillCompletes) {
+  auto job_or = runtime_.Submit(SingleTaskJob(40, 6, 1.0));
+  ASSERT_TRUE(job_or.ok());
+  cluster_.RunFor(6.0);
+  // Halt a machine hosting at least one worker.
+  MachineId victim;
+  for (const cluster::Machine& m : cluster_.topology().machines()) {
+    if (cluster_.host(m.id)->alive_count() > 0) {
+      victim = m.id;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  cluster_.HaltMachine(victim);
+  ASSERT_TRUE(runtime_.RunUntilAllFinished(240.0));
+  EXPECT_EQ((*job_or)->stats().instances_done, 40);
+}
+
+TEST_F(JobTest, FuxiMasterFailoverDuringJobStillCompletes) {
+  auto job_or = runtime_.Submit(SingleTaskJob(40, 6, 1.0));
+  ASSERT_TRUE(job_or.ok());
+  cluster_.RunFor(6.0);
+  cluster_.KillPrimaryMaster();
+  ASSERT_TRUE(runtime_.RunUntilAllFinished(240.0));
+  EXPECT_EQ((*job_or)->stats().instances_done, 40);
+}
+
+TEST_F(JobTest, BackupInstanceRescuesSlowMachine) {
+  // Silent slow machine: 20x instance runtime, healthy heartbeat.
+  JobDescription desc = SingleTaskJob(20, 4, 1.0);
+  desc.tasks[0].backup_normal_seconds = 3.0;
+  auto job_or = runtime_.Submit(desc);
+  ASSERT_TRUE(job_or.ok());
+  cluster_.RunFor(4.0);
+  MachineId slow;
+  for (const cluster::Machine& m : cluster_.topology().machines()) {
+    if (cluster_.host(m.id)->alive_count() > 0) {
+      slow = m.id;
+      break;
+    }
+  }
+  ASSERT_TRUE(slow.valid());
+  cluster_.SetMachineSlowdown(slow, 20.0);
+  ASSERT_TRUE(runtime_.RunUntilAllFinished(120.0))
+      << "done=" << (*job_or)->stats().instances_done;
+  // Without backups, an instance on the slow machine takes ~20s; the
+  // backup scheme must launch at least one copy elsewhere.
+  EXPECT_GT((*job_or)->stats().backups_launched, 0);
+}
+
+TEST_F(JobTest, RepeatedWorkerCrashesBlacklistMachine) {
+  JobMasterOptions options;
+  options.task_blacklist_threshold = 2;
+  options.job_blacklist_threshold = 1;
+  runtime::SimCluster cluster(SmallClusterOptions());
+  JobRuntime runtime(&cluster, options);
+  cluster.Start();
+  cluster.RunFor(2.0);
+
+  auto job_or = runtime.Submit(SingleTaskJob(60, 8, 1.0));
+  ASSERT_TRUE(job_or.ok());
+  cluster.RunFor(5.0);
+  // Find a machine with workers and keep crashing whatever runs there.
+  MachineId bad;
+  for (const cluster::Machine& m : cluster.topology().machines()) {
+    if (cluster.host(m.id)->alive_count() > 0) {
+      bad = m.id;
+      break;
+    }
+  }
+  ASSERT_TRUE(bad.valid());
+  for (int round = 0; round < 12; ++round) {
+    auto alive = cluster.host(bad)->Alive();
+    for (const agent::Process* process : alive) {
+      cluster.agent(bad)->InjectWorkerCrash(process->id);
+    }
+    cluster.RunFor(1.5);
+  }
+  ASSERT_TRUE(runtime.RunUntilAllFinished(300.0))
+      << "done=" << (*job_or)->stats().instances_done;
+  EXPECT_EQ((*job_or)->stats().instances_done, 60);
+  EXPECT_GT((*job_or)->stats().instance_failures, 0);
+  // The machine ended up on the job-level blacklist.
+  EXPECT_TRUE((*job_or)->job_blacklist().count(bad) > 0 ||
+              (*job_or)->task("T1")->blacklist().count(bad) > 0);
+}
+
+TEST_F(JobTest, ManySmallJobsAllComplete) {
+  std::vector<JobMaster*> jobs;
+  for (int i = 0; i < 6; ++i) {
+    auto job = runtime_.Submit(SingleTaskJob(8, 2, 0.5));
+    ASSERT_TRUE(job.ok());
+    jobs.push_back(*job);
+  }
+  ASSERT_TRUE(runtime_.RunUntilAllFinished(180.0));
+  for (JobMaster* job : jobs) {
+    EXPECT_EQ(job->stats().instances_done, 8);
+  }
+}
+
+}  // namespace
+}  // namespace fuxi::job

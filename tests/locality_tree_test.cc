@@ -1,0 +1,255 @@
+#include "resource/locality_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "common/rng.h"
+
+namespace fuxi::resource {
+namespace {
+
+using cluster::ClusterTopology;
+using cluster::ResourceVector;
+
+ClusterTopology MakeTopo(int racks = 2, int per_rack = 3) {
+  ClusterTopology::Options options;
+  options.racks = racks;
+  options.machines_per_rack = per_rack;
+  return ClusterTopology::Build(options);
+}
+
+ScheduleUnitDef Unit(Priority priority) {
+  ScheduleUnitDef def;
+  def.priority = priority;
+  def.resources = ResourceVector(100, 1024);
+  return def;
+}
+
+TEST(LocalityTreeTest, DemandLifecycle) {
+  ClusterTopology topo = MakeTopo();
+  LocalityTree tree(&topo);
+  SlotKey key{AppId(1), 0};
+  PendingDemand* d = tree.GetOrCreate(key, Unit(5));
+  EXPECT_EQ(tree.Find(key), d);
+  tree.AddTotal(d, 10);
+  EXPECT_EQ(tree.TotalWaitingUnits(), 10);
+  tree.Remove(key);
+  EXPECT_EQ(tree.Find(key), nullptr);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(LocalityTreeTest, TotalClampsAtZero) {
+  ClusterTopology topo = MakeTopo();
+  LocalityTree tree(&topo);
+  PendingDemand* d = tree.GetOrCreate({AppId(1), 0}, Unit(5));
+  tree.AddTotal(d, 5);
+  tree.AddTotal(d, -100);
+  EXPECT_EQ(d->total_remaining, 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(LocalityTreeTest, ConsumeGrantDecrementsAlongPath) {
+  ClusterTopology topo = MakeTopo();
+  LocalityTree tree(&topo);
+  PendingDemand* d = tree.GetOrCreate({AppId(1), 0}, Unit(5));
+  MachineId m0(0);
+  RackId rack = topo.machine(m0).rack;
+  tree.AddTotal(d, 14);
+  tree.AddMachine(d, m0, 4);
+  tree.AddRack(d, rack, 9);
+
+  tree.ConsumeGrant(d, m0, 3);
+  EXPECT_EQ(d->total_remaining, 11);
+  EXPECT_EQ(d->machine_remaining.at(m0), 1);
+  EXPECT_EQ(d->rack_remaining.at(rack), 6);
+  EXPECT_TRUE(tree.CheckInvariants());
+
+  // Consuming from a machine without hints only reduces the total.
+  MachineId other(5);  // different rack
+  tree.ConsumeGrant(d, other, 2);
+  EXPECT_EQ(d->total_remaining, 9);
+  EXPECT_EQ(d->machine_remaining.at(m0), 1);
+  EXPECT_EQ(d->rack_remaining.at(rack), 6);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(LocalityTreeTest, CandidateOrderPriorityFirst) {
+  ClusterTopology topo = MakeTopo();
+  LocalityTree tree(&topo);
+  PendingDemand* low = tree.GetOrCreate({AppId(1), 0}, Unit(1));
+  PendingDemand* high = tree.GetOrCreate({AppId(2), 0}, Unit(9));
+  tree.AddTotal(low, 1);
+  tree.AddTotal(high, 1);
+
+  std::vector<AppId> order;
+  tree.ForEachCandidate(MachineId(0), [&](PendingDemand* d, LocalityLevel) {
+    order.push_back(d->key.app);
+    return 0;  // skip: collect full order
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], AppId(2));
+  EXPECT_EQ(order[1], AppId(1));
+}
+
+TEST(LocalityTreeTest, MachineWaiterPrecedesSamePriorityClusterWaiter) {
+  ClusterTopology topo = MakeTopo();
+  LocalityTree tree(&topo);
+  // Cluster-level waiter enqueued FIRST (earlier seq).
+  PendingDemand* cluster_waiter = tree.GetOrCreate({AppId(1), 0}, Unit(5));
+  tree.AddTotal(cluster_waiter, 1);
+  PendingDemand* machine_waiter = tree.GetOrCreate({AppId(2), 0}, Unit(5));
+  tree.AddTotal(machine_waiter, 1);
+  tree.AddMachine(machine_waiter, MachineId(0), 1);
+
+  std::vector<AppId> order;
+  tree.ForEachCandidate(MachineId(0), [&](PendingDemand* d, LocalityLevel) {
+    order.push_back(d->key.app);
+    return 0;
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], AppId(2)) << "machine-level waiter must come first";
+}
+
+TEST(LocalityTreeTest, FifoWithinSamePriorityAndLevel) {
+  ClusterTopology topo = MakeTopo();
+  LocalityTree tree(&topo);
+  PendingDemand* first = tree.GetOrCreate({AppId(1), 0}, Unit(5));
+  PendingDemand* second = tree.GetOrCreate({AppId(2), 0}, Unit(5));
+  tree.AddTotal(first, 1);
+  tree.AddTotal(second, 1);
+  std::vector<AppId> order;
+  tree.ForEachCandidate(MachineId(0), [&](PendingDemand* d, LocalityLevel) {
+    order.push_back(d->key.app);
+    return 0;
+  });
+  EXPECT_EQ(order[0], AppId(1));
+  EXPECT_EQ(order[1], AppId(2));
+}
+
+TEST(LocalityTreeTest, GrantingRemovesSatisfiedDemandFromIteration) {
+  ClusterTopology topo = MakeTopo();
+  LocalityTree tree(&topo);
+  PendingDemand* d = tree.GetOrCreate({AppId(1), 0}, Unit(5));
+  tree.AddTotal(d, 3);
+  int64_t granted_total = 0;
+  tree.ForEachCandidate(MachineId(0),
+                        [&](PendingDemand* demand, LocalityLevel) -> int64_t {
+                          int64_t grant =
+                              std::min<int64_t>(2, demand->total_remaining);
+                          granted_total += grant;
+                          return grant;
+                        });
+  EXPECT_EQ(granted_total, 3);  // 2 then 1
+  EXPECT_EQ(d->total_remaining, 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(LocalityTreeTest, AvoidedMachineSkipsDemand) {
+  ClusterTopology topo = MakeTopo();
+  LocalityTree tree(&topo);
+  PendingDemand* d = tree.GetOrCreate({AppId(1), 0}, Unit(5));
+  tree.AddTotal(d, 1);
+  d->avoid.insert(MachineId(0));
+  int candidates = 0;
+  tree.ForEachCandidate(MachineId(0), [&](PendingDemand*, LocalityLevel) {
+    ++candidates;
+    return 0;
+  });
+  EXPECT_EQ(candidates, 0);
+  // Other machines still see it.
+  tree.ForEachCandidate(MachineId(1), [&](PendingDemand*, LocalityLevel) {
+    ++candidates;
+    return 0;
+  });
+  EXPECT_EQ(candidates, 1);
+}
+
+TEST(LocalityTreeTest, RackWaiterVisibleFromRackMachinesOnly) {
+  ClusterTopology topo = MakeTopo(2, 3);
+  LocalityTree tree(&topo);
+  PendingDemand* d = tree.GetOrCreate({AppId(1), 0}, Unit(5));
+  tree.AddTotal(d, 2);
+  tree.AddRack(d, RackId(0), 2);
+
+  LocalityLevel seen_level = LocalityLevel::kCluster;
+  tree.ForEachCandidate(MachineId(0),
+                        [&](PendingDemand*, LocalityLevel level) {
+                          seen_level = level;
+                          return 0;
+                        });
+  EXPECT_EQ(seen_level, LocalityLevel::kRack);
+
+  // From the other rack it is only a cluster-level candidate.
+  tree.ForEachCandidate(MachineId(3),
+                        [&](PendingDemand*, LocalityLevel level) {
+                          seen_level = level;
+                          return 0;
+                        });
+  EXPECT_EQ(seen_level, LocalityLevel::kCluster);
+}
+
+TEST(LocalityTreeTest, RemoveAppDropsAllItsDemands) {
+  ClusterTopology topo = MakeTopo();
+  LocalityTree tree(&topo);
+  for (uint32_t slot = 0; slot < 3; ++slot) {
+    PendingDemand* d = tree.GetOrCreate({AppId(1), slot}, Unit(5));
+    tree.AddTotal(d, 2);
+  }
+  PendingDemand* other = tree.GetOrCreate({AppId(2), 0}, Unit(5));
+  tree.AddTotal(other, 2);
+  EXPECT_EQ(tree.RemoveApp(AppId(1)), 3u);
+  EXPECT_EQ(tree.demand_count(), 1u);
+  EXPECT_EQ(tree.TotalWaitingUnits(), 2);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+/// Property sweep: random operations preserve tree invariants.
+class LocalityTreeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LocalityTreeFuzzTest, RandomOperationsKeepInvariants) {
+  Rng rng(GetParam());
+  ClusterTopology topo = MakeTopo(3, 4);
+  LocalityTree tree(&topo);
+  std::vector<SlotKey> keys;
+  for (int64_t app = 1; app <= 4; ++app) {
+    for (uint32_t slot = 0; slot < 2; ++slot) {
+      keys.push_back({AppId(app), slot});
+    }
+  }
+  for (int step = 0; step < 500; ++step) {
+    const SlotKey& key = keys[rng.Uniform(keys.size())];
+    PendingDemand* d = tree.GetOrCreate(
+        key, Unit(static_cast<Priority>(rng.Uniform(4))));
+    switch (rng.Uniform(5)) {
+      case 0:
+        tree.AddTotal(d, rng.UniformRange(-5, 10));
+        break;
+      case 1:
+        tree.AddMachine(d, MachineId(static_cast<int64_t>(rng.Uniform(12))),
+                        rng.UniformRange(-3, 5));
+        break;
+      case 2:
+        tree.AddRack(d, RackId(static_cast<int64_t>(rng.Uniform(3))),
+                     rng.UniformRange(-3, 5));
+        break;
+      case 3: {
+        if (d->total_remaining > 0) {
+          MachineId m(static_cast<int64_t>(rng.Uniform(12)));
+          int64_t count = rng.UniformRange(1, d->total_remaining);
+          tree.ConsumeGrant(d, m, count);
+        }
+        break;
+      }
+      case 4:
+        if (rng.Bernoulli(0.05)) tree.Remove(key);
+        break;
+    }
+    ASSERT_TRUE(tree.CheckInvariants()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalityTreeFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+}  // namespace
+}  // namespace fuxi::resource

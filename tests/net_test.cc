@@ -1,0 +1,155 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fuxi::net {
+namespace {
+
+struct Ping {
+  int value;
+};
+struct Pong {
+  int value;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : network_(&sim_, Network::Config{}) {
+    network_.Register(NodeId(1), &a_);
+    network_.Register(NodeId(2), &b_);
+  }
+
+  sim::Simulator sim_;
+  Network network_;
+  Endpoint a_;
+  Endpoint b_;
+};
+
+TEST_F(NetworkTest, DeliversTypedPayload) {
+  int received = 0;
+  b_.Handle<Ping>([&](const Envelope& env, const Ping& ping) {
+    EXPECT_EQ(env.from, NodeId(1));
+    received = ping.value;
+  });
+  network_.Send(NodeId(1), NodeId(2), Ping{41});
+  sim_.RunToCompletion();
+  EXPECT_EQ(received, 41);
+  EXPECT_EQ(network_.stats().messages_delivered, 1u);
+}
+
+TEST_F(NetworkTest, DispatchesByPayloadType) {
+  int pings = 0, pongs = 0;
+  b_.Handle<Ping>([&](const Envelope&, const Ping&) { ++pings; });
+  b_.Handle<Pong>([&](const Envelope&, const Pong&) { ++pongs; });
+  network_.Send(NodeId(1), NodeId(2), Ping{1});
+  network_.Send(NodeId(1), NodeId(2), Pong{2});
+  sim_.RunToCompletion();
+  EXPECT_EQ(pings, 1);
+  EXPECT_EQ(pongs, 1);
+}
+
+TEST_F(NetworkTest, UnhandledTypeCounted) {
+  network_.Send(NodeId(1), NodeId(2), std::string("mystery"));
+  sim_.RunToCompletion();
+  EXPECT_EQ(b_.unhandled(), 1u);
+}
+
+TEST_F(NetworkTest, LatencyDelaysDelivery) {
+  network_.mutable_config()->latency_mean = 0.5;
+  network_.mutable_config()->latency_jitter = 0;
+  double delivered_at = -1;
+  b_.Handle<Ping>(
+      [&](const Envelope&, const Ping&) { delivered_at = sim_.Now(); });
+  network_.Send(NodeId(1), NodeId(2), Ping{0});
+  sim_.RunToCompletion();
+  EXPECT_DOUBLE_EQ(delivered_at, 0.5);
+}
+
+TEST_F(NetworkTest, PartitionDropsBothDirections) {
+  int received = 0;
+  a_.Handle<Ping>([&](const Envelope&, const Ping&) { ++received; });
+  b_.Handle<Ping>([&](const Envelope&, const Ping&) { ++received; });
+  network_.Partition(NodeId(2));
+  network_.Send(NodeId(1), NodeId(2), Ping{1});
+  network_.Send(NodeId(2), NodeId(1), Ping{2});
+  sim_.RunToCompletion();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(network_.stats().messages_dropped, 2u);
+
+  network_.Heal(NodeId(2));
+  network_.Send(NodeId(1), NodeId(2), Ping{3});
+  sim_.RunToCompletion();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetworkTest, PartitionKillsInFlightMessages) {
+  int received = 0;
+  b_.Handle<Ping>([&](const Envelope&, const Ping&) { ++received; });
+  network_.mutable_config()->latency_mean = 1.0;
+  network_.Send(NodeId(1), NodeId(2), Ping{1});
+  // Partition while the message is in flight.
+  sim_.Schedule(0.5, [&] { network_.Partition(NodeId(2)); });
+  sim_.RunToCompletion();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(NetworkTest, DropProbabilityLosesMessages) {
+  network_.mutable_config()->drop_probability = 0.5;
+  int received = 0;
+  b_.Handle<Ping>([&](const Envelope&, const Ping&) { ++received; });
+  for (int i = 0; i < 1000; ++i) {
+    network_.Send(NodeId(1), NodeId(2), Ping{i});
+  }
+  sim_.RunToCompletion();
+  EXPECT_GT(received, 300);
+  EXPECT_LT(received, 700);
+  EXPECT_EQ(network_.stats().messages_dropped,
+            1000u - static_cast<uint64_t>(received));
+}
+
+TEST_F(NetworkTest, DuplicationDeliversTwice) {
+  network_.mutable_config()->duplicate_probability = 1.0;
+  int received = 0;
+  b_.Handle<Ping>([&](const Envelope&, const Ping&) { ++received; });
+  network_.Send(NodeId(1), NodeId(2), Ping{1});
+  sim_.RunToCompletion();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(network_.stats().messages_duplicated, 1u);
+}
+
+TEST_F(NetworkTest, JitterReordersMessages) {
+  network_.mutable_config()->latency_mean = 0.01;
+  network_.mutable_config()->latency_jitter = 0.009;
+  std::vector<int> arrivals;
+  b_.Handle<Ping>(
+      [&](const Envelope&, const Ping& p) { arrivals.push_back(p.value); });
+  for (int i = 0; i < 200; ++i) {
+    network_.Send(NodeId(1), NodeId(2), Ping{i});
+  }
+  sim_.RunToCompletion();
+  ASSERT_EQ(arrivals.size(), 200u);
+  bool reordered = false;
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    if (arrivals[i] < arrivals[i - 1]) reordered = true;
+  }
+  EXPECT_TRUE(reordered) << "jitter should cause at least one reordering";
+}
+
+TEST_F(NetworkTest, SendToUnregisteredNodeIsDropped) {
+  network_.Send(NodeId(1), NodeId(99), Ping{1});
+  sim_.RunToCompletion();
+  EXPECT_EQ(network_.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetworkTest, BytesAccounting) {
+  network_.Send(NodeId(1), NodeId(2), Ping{1}, /*size_hint=*/100);
+  network_.Send(NodeId(1), NodeId(2), Ping{2}, /*size_hint=*/28);
+  sim_.RunToCompletion();
+  EXPECT_EQ(network_.stats().bytes_sent, 128u);
+}
+
+}  // namespace
+}  // namespace fuxi::net

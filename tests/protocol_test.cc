@@ -1,0 +1,123 @@
+// Wire-format tests: request JSON round trips (Figure 4) and the
+// approximate wire-size accounting behind the communication-volume
+// experiments.
+
+#include <gtest/gtest.h>
+
+#include "resource/protocol.h"
+#include "resource/request.h"
+
+namespace fuxi::resource {
+namespace {
+
+TEST(ScheduleUnitDefJsonTest, RoundTripsFigure4Shape) {
+  ScheduleUnitDef def;
+  def.slot_id = 1;
+  def.priority = 1000;
+  def.resources = cluster::ResourceVector(100, 1024);
+  Json json = def.ToJson();
+  EXPECT_EQ(json.GetInt("slot_id"), 1);
+  EXPECT_EQ(json.GetInt("priority"), 1000);
+
+  auto round = ScheduleUnitDef::FromJson(json);
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_EQ(round->slot_id, 1u);
+  EXPECT_EQ(round->priority, 1000);
+  EXPECT_EQ(round->resources, def.resources);
+}
+
+TEST(ScheduleUnitDefJsonTest, ParsesPaperStyleResourceList) {
+  // Figure 4's slot_def body.
+  const char* text = R"({
+    "slot_id": 1,
+    "priority": 1000,
+    "resource": [
+      {"resource_type": "cpu", "amount": 100},
+      {"resource_type": "memory", "amount": 1024}
+    ]
+  })";
+  auto json = Json::Parse(text);
+  ASSERT_TRUE(json.ok());
+  auto def = ScheduleUnitDef::FromJson(*json);
+  ASSERT_TRUE(def.ok()) << def.status();
+  EXPECT_EQ(def->resources.cpu(), 100);
+  EXPECT_EQ(def->resources.memory(), 1024);
+}
+
+TEST(ScheduleUnitDefJsonTest, RegistersVirtualResourceDimensions) {
+  const char* text = R"({
+    "slot_id": 2, "priority": 5,
+    "resource": [{"resource_type": "ASortResource", "amount": 1}]
+  })";
+  auto json = Json::Parse(text);
+  ASSERT_TRUE(json.ok());
+  auto def = ScheduleUnitDef::FromJson(*json);
+  ASSERT_TRUE(def.ok()) << def.status();
+  auto dim = cluster::DimensionRegistry::Global().Find("ASortResource");
+  ASSERT_TRUE(dim.ok());
+  EXPECT_EQ(def->resources.Get(*dim), 1);
+}
+
+TEST(WireSizeTest, EmptyDeltaIsJustAHeader) {
+  RequestMessage empty;
+  EXPECT_LE(ApproxWireSize(empty), 32u);
+}
+
+TEST(WireSizeTest, GrowsWithContent) {
+  RequestMessage small;
+  UnitRequestDelta unit;
+  unit.slot_id = 0;
+  unit.total_count_delta = 5;
+  small.delta.units.push_back(unit);
+
+  RequestMessage big = small;
+  big.delta.units[0].has_def = true;
+  for (int i = 0; i < 10; ++i) {
+    big.delta.units[0].hints.push_back(
+        {LocalityLevel::kMachine, "host", 1});
+  }
+  big.releases.push_back({0, MachineId(1), 2});
+  EXPECT_GT(ApproxWireSize(big), ApproxWireSize(small));
+
+  RequestMessage full;
+  SlotAbsoluteState slot;
+  slot.total_count = 100;
+  for (int i = 0; i < 50; ++i) {
+    slot.hints.push_back({LocalityLevel::kMachine, "host", 1});
+  }
+  full.full_slots.push_back(slot);
+  for (int i = 0; i < 100; ++i) {
+    full.held_grants.push_back({0, MachineId(i), 1});
+  }
+  EXPECT_GT(ApproxWireSize(full), ApproxWireSize(big))
+      << "full states must be visibly more expensive than deltas";
+}
+
+TEST(WireSizeTest, GrantMessageScalesWithEntries) {
+  GrantMessage one;
+  one.deltas.push_back({0, MachineId(1), 1, RevocationReason::kAppRelease});
+  GrantMessage many = one;
+  for (int i = 0; i < 99; ++i) {
+    many.deltas.push_back(
+        {0, MachineId(i), 1, RevocationReason::kAppRelease});
+  }
+  EXPECT_GE(ApproxWireSize(many), ApproxWireSize(one) + 99 * 12);
+}
+
+TEST(RevocationReasonTest, AllReasonsNamed) {
+  for (RevocationReason reason :
+       {RevocationReason::kAppRelease, RevocationReason::kMachineDown,
+        RevocationReason::kPreemptQuota, RevocationReason::kPreemptPriority,
+        RevocationReason::kCapacityShrink, RevocationReason::kReconcile}) {
+    EXPECT_NE(RevocationReasonName(reason), "?");
+  }
+}
+
+TEST(LocalityLevelTest, AllLevelsNamed) {
+  EXPECT_EQ(LocalityLevelName(LocalityLevel::kMachine), "LT_MACHINE");
+  EXPECT_EQ(LocalityLevelName(LocalityLevel::kRack), "LT_RACK");
+  EXPECT_EQ(LocalityLevelName(LocalityLevel::kCluster), "LT_CLUSTER");
+}
+
+}  // namespace
+}  // namespace fuxi::resource

@@ -1,0 +1,93 @@
+// Unit tests for the multi-tenancy quota accounting (paper §3.4).
+
+#include <gtest/gtest.h>
+
+#include "resource/quota.h"
+
+namespace fuxi::resource {
+namespace {
+
+using cluster::ResourceVector;
+
+class QuotaTest : public ::testing::Test {
+ protected:
+  QuotaTest() {
+    EXPECT_TRUE(quota_.CreateGroup("a", ResourceVector(1000, 10000)).ok());
+    EXPECT_TRUE(quota_.CreateGroup("b", ResourceVector(1000, 10000)).ok());
+    EXPECT_TRUE(quota_.AssignApp(AppId(1), "a").ok());
+    EXPECT_TRUE(quota_.AssignApp(AppId(2), "b").ok());
+  }
+  QuotaManager quota_;
+};
+
+TEST_F(QuotaTest, DuplicateGroupAndAppRejected) {
+  EXPECT_EQ(quota_.CreateGroup("a", ResourceVector()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(quota_.AssignApp(AppId(1), "b").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(quota_.AssignApp(AppId(3), "nope").IsNotFound());
+}
+
+TEST_F(QuotaTest, UsageAccountingFollowsGrantsAndRevokes) {
+  quota_.OnGrant(AppId(1), ResourceVector(300, 3000));
+  quota_.OnGrant(AppId(1), ResourceVector(200, 2000));
+  const QuotaManager::Group* group = quota_.GroupOf(AppId(1));
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->usage.cpu(), 500);
+  quota_.OnRevoke(AppId(1), ResourceVector(100, 1000));
+  EXPECT_EQ(group->usage.cpu(), 400);
+  // Revoking more than held clamps at zero, never negative.
+  quota_.OnRevoke(AppId(1), ResourceVector(9999, 99999));
+  EXPECT_EQ(group->usage.cpu(), 0);
+}
+
+TEST_F(QuotaTest, BorrowingAllowedWhileOthersIdle) {
+  // Group B asks for everything while A has no demand.
+  quota_.OnWaitingChange(AppId(2), ResourceVector(1500, 15000));
+  EXPECT_TRUE(quota_.AdmitGrant(AppId(2), ResourceVector(1500, 15000)))
+      << "no other group has a deficit, borrowing is fine";
+}
+
+TEST_F(QuotaTest, BorrowingBlockedWhenOtherGroupHasDeficit) {
+  // B already uses more than its guarantee.
+  quota_.OnGrant(AppId(2), ResourceVector(1200, 12000));
+  // A now has unmet demand below its guarantee -> deficit.
+  quota_.OnWaitingChange(AppId(1), ResourceVector(500, 5000));
+  EXPECT_TRUE(quota_.AnyOtherGroupHasDeficit(AppId(2)));
+  EXPECT_FALSE(quota_.AdmitGrant(AppId(2), ResourceVector(100, 1000)))
+      << "over-quota group must not grow while a deficit exists";
+  // A itself is below quota: it may grow.
+  EXPECT_TRUE(quota_.AdmitGrant(AppId(1), ResourceVector(500, 5000)));
+}
+
+TEST_F(QuotaTest, DeficitRequiresBothDemandAndHeadroom) {
+  const QuotaManager::Group* a = quota_.GroupOf(AppId(1));
+  ASSERT_NE(a, nullptr);
+  EXPECT_FALSE(quota_.HasDeficit(*a)) << "no waiting demand yet";
+  quota_.OnWaitingChange(AppId(1), ResourceVector(100, 1000));
+  EXPECT_TRUE(quota_.HasDeficit(*a));
+  // Usage at the guarantee: satisfied, no deficit claim.
+  quota_.OnGrant(AppId(1), ResourceVector(1000, 10000));
+  EXPECT_FALSE(quota_.HasDeficit(*a));
+}
+
+TEST_F(QuotaTest, UnmanagedAppIsAlwaysAdmitted) {
+  EXPECT_TRUE(quota_.AdmitGrant(AppId(99), ResourceVector(9999, 99999)));
+  EXPECT_EQ(quota_.GroupOf(AppId(99)), nullptr);
+}
+
+TEST_F(QuotaTest, RemoveAppDetachesFromGroup) {
+  EXPECT_TRUE(quota_.RemoveApp(AppId(1)).ok());
+  EXPECT_FALSE(quota_.HasApp(AppId(1)));
+  EXPECT_TRUE(quota_.RemoveApp(AppId(1)).IsNotFound());
+}
+
+TEST_F(QuotaTest, GroupsListedDeterministically) {
+  auto groups = quota_.groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0]->name, "a");
+  EXPECT_EQ(groups[1]->name, "b");
+}
+
+}  // namespace
+}  // namespace fuxi::resource

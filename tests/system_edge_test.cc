@@ -1,0 +1,158 @@
+// System-level edge cases: blacklist persistence across failovers,
+// double failover, app teardown, blacklisted machines staying out, and
+// SimCluster fault-injection plumbing.
+
+#include <gtest/gtest.h>
+
+#include "runtime/sim_cluster.h"
+#include "runtime/synthetic_app.h"
+#include "trace/workloads.h"
+
+namespace fuxi::runtime {
+namespace {
+
+SimClusterOptions Opts() {
+  SimClusterOptions options;
+  options.topology.racks = 2;
+  options.topology.machines_per_rack = 4;
+  options.topology.machine_capacity = cluster::ResourceVector(400, 8192);
+  return options;
+}
+
+TEST(SystemEdgeTest, DoubleMasterFailoverBumpsGenerationAndRecovers) {
+  SimCluster cluster(Opts());
+  cluster.Start();
+  cluster.RunFor(2.0);
+  ASSERT_EQ(cluster.primary()->generation(), 1u);
+
+  // Kill primary; standby takes over (generation 2).
+  master::FuxiMaster* first = cluster.primary();
+  cluster.KillPrimaryMaster();
+  cluster.RunFor(15.0);
+  ASSERT_NE(cluster.primary(), nullptr);
+  EXPECT_EQ(cluster.primary()->generation(), 2u);
+
+  // Restart the dead one, kill the current primary: back to the first
+  // node, generation 3 — the generation counter lives in the
+  // checkpoint, not in any process.
+  first->Restart();
+  cluster.RunFor(2.0);
+  cluster.KillPrimaryMaster();
+  cluster.RunFor(15.0);
+  ASSERT_NE(cluster.primary(), nullptr);
+  EXPECT_EQ(cluster.primary(), first);
+  EXPECT_EQ(cluster.primary()->generation(), 3u);
+}
+
+TEST(SystemEdgeTest, BlacklistSurvivesMasterFailover) {
+  SimCluster cluster(Opts());
+  cluster.Start();
+  cluster.RunFor(2.0);
+  // Health-based disable of machine 2.
+  cluster.SetMachineHealth(MachineId(2), 0.05);
+  cluster.RunFor(60.0);
+  auto blacklisted = cluster.primary()->Blacklisted();
+  ASSERT_NE(std::find(blacklisted.begin(), blacklisted.end(), MachineId(2)),
+            blacklisted.end());
+
+  cluster.KillPrimaryMaster();
+  cluster.RunFor(20.0);
+  ASSERT_NE(cluster.primary(), nullptr);
+  // Hard state: the new primary re-reads the blacklist and keeps the
+  // machine out even though its agent is heartbeating healthily again.
+  cluster.SetMachineHealth(MachineId(2), 1.0);
+  cluster.RunFor(10.0);
+  blacklisted = cluster.primary()->Blacklisted();
+  EXPECT_NE(std::find(blacklisted.begin(), blacklisted.end(), MachineId(2)),
+            blacklisted.end());
+  EXPECT_FALSE(
+      cluster.primary()->scheduler()->machine_state(MachineId(2)).online);
+}
+
+TEST(SystemEdgeTest, StopAppTearsEverythingDown) {
+  SimCluster cluster(Opts());
+  cluster.Start();
+  cluster.RunFor(2.0);
+  SyntheticStage stage;
+  stage.slot_id = 0;
+  stage.workers = 4;
+  stage.instances = 4000;
+  stage.instance_duration = 1.0;
+  SyntheticApp app(&cluster, AppId(1), {stage}, 3);
+  master::SubmitAppRpc submit;
+  submit.app = AppId(1);
+  submit.client = cluster.AllocateNodeId();
+  cluster.network().Send(submit.client, cluster.primary()->node(), submit);
+  cluster.RunFor(0.5);
+  app.StartMaster();
+  cluster.RunFor(8.0);
+  ASSERT_GT(app.running_workers(), 0);
+
+  cluster.network().Send(submit.client, cluster.primary()->node(),
+                         master::StopAppRpc{AppId(1)});
+  cluster.RunFor(5.0);
+  EXPECT_EQ(cluster.primary()->scheduler()->TotalGranted(),
+            cluster::ResourceVector());
+  EXPECT_FALSE(cluster.checkpoint().Contains("fuxi/app/1"));
+  EXPECT_FALSE(app.master_running()) << "AM told to stop";
+}
+
+TEST(SystemEdgeTest, RevivedMachineRejoinsScheduling) {
+  SimCluster cluster(Opts());
+  cluster.Start();
+  cluster.RunFor(2.0);
+  cluster.HaltMachine(MachineId(5));
+  cluster.RunFor(10.0);
+  EXPECT_FALSE(
+      cluster.primary()->scheduler()->machine_state(MachineId(5)).online);
+  cluster.ReviveMachine(MachineId(5));
+  cluster.RunFor(5.0);
+  EXPECT_TRUE(
+      cluster.primary()->scheduler()->machine_state(MachineId(5)).online);
+}
+
+TEST(SystemEdgeTest, FaultPlanAppliesToSimCluster) {
+  SimCluster cluster(Opts());
+  cluster.Start();
+  cluster.RunFor(2.0);
+  trace::FaultPlan plan =
+      trace::MakeFaultPlan(0.25, cluster.topology().machine_count(), 9);
+  ASSERT_GT(plan.total_faulty(), 0u);
+  for (MachineId m : plan.node_down) cluster.HaltMachine(m);
+  for (MachineId m : plan.slow_machine) cluster.SetMachineSlowdown(m, 4.0);
+  for (MachineId m : plan.partial_worker_failure) {
+    cluster.SetMachineHealth(m, 0.2);
+  }
+  cluster.RunFor(10.0);
+  for (MachineId m : plan.node_down) {
+    EXPECT_FALSE(cluster.agent(m)->is_alive());
+    EXPECT_FALSE(cluster.primary()->scheduler()->machine_state(m).online);
+  }
+  for (MachineId m : plan.slow_machine) {
+    EXPECT_DOUBLE_EQ(cluster.machine_slowdown(m), 4.0);
+  }
+}
+
+TEST(SystemEdgeTest, SimultaneousElectionYieldsOnePrimary) {
+  // Both masters call Start() in the same event turn; exactly one may
+  // win and the loser must become a watcher, not a second primary.
+  SimCluster cluster(Opts());
+  cluster.Start();
+  cluster.sim().RunUntil(0.0);  // no time passes at all
+  int primaries = 0;
+  for (int i = 0; i < cluster.master_count(); ++i) {
+    if (cluster.master(i)->is_primary()) ++primaries;
+  }
+  EXPECT_EQ(primaries, 1);
+}
+
+TEST(SystemEdgeTest, NodeIdsNeverCollide) {
+  SimCluster cluster(Opts());
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(cluster.AllocateNodeId().value()).second);
+  }
+}
+
+}  // namespace
+}  // namespace fuxi::runtime

@@ -1,0 +1,202 @@
+// Unit tests for the TaskMaster instance scheduler in isolation (no
+// cluster): dispatch order, locality preference, failure bookkeeping,
+// backup criteria, snapshot restore.
+
+#include <gtest/gtest.h>
+
+#include "job/job_master.h"
+
+namespace fuxi::job {
+namespace {
+
+TaskConfig MakeConfig(int64_t instances, int64_t workers) {
+  TaskConfig config;
+  config.name = "t";
+  config.instances = instances;
+  config.max_workers = workers;
+  config.instance_seconds = 1.0;
+  return config;
+}
+
+TEST(TaskMasterTest, DispatchesFifoWithoutLocality) {
+  TaskMaster task(MakeConfig(5, 2), 0);
+  task.AddWorker(WorkerId(1), MachineId(0), NodeId(100), 0);
+  const auto& worker = task.workers().at(WorkerId(1));
+  EXPECT_EQ(task.PickInstanceFor(worker), 0);
+  EXPECT_EQ(task.PickInstanceFor(worker), 1);
+  EXPECT_EQ(task.pending_count(), 3);
+}
+
+TEST(TaskMasterTest, PrefersLocalInstanceWithinWindow) {
+  TaskMaster task(MakeConfig(10, 2), 0);
+  // Instance 7 prefers machine 3; a worker on machine 3 should get it
+  // before the older non-local instances.
+  task.SetInstanceLocality(7, {MachineId(3)});
+  task.AddWorker(WorkerId(1), MachineId(3), NodeId(100), 0);
+  EXPECT_EQ(task.PickInstanceFor(task.workers().at(WorkerId(1))), 7);
+}
+
+TEST(TaskMasterTest, LocalityWindowIsBounded) {
+  TaskMaster task(MakeConfig(100, 2), 0);
+  task.options.locality_scan_window = 8;
+  task.SetInstanceLocality(50, {MachineId(3)});  // outside the window
+  task.AddWorker(WorkerId(1), MachineId(3), NodeId(100), 0);
+  // Falls back to FIFO: instance 0, not the distant local one.
+  EXPECT_EQ(task.PickInstanceFor(task.workers().at(WorkerId(1))), 0);
+}
+
+TEST(TaskMasterTest, AvoidedMachineSkipsInstance) {
+  TaskMaster task(MakeConfig(2, 2), 0);
+  task.AddWorker(WorkerId(1), MachineId(0), NodeId(100), 0);
+  int64_t first = task.PickInstanceFor(task.workers().at(WorkerId(1)));
+  task.MarkRunning(first, WorkerId(1), 0.0, false);
+  // Fails on machine 0: requeued with an avoid mark.
+  auto removed = task.RemoveWorker(WorkerId(1), /*count_as_failure=*/true);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(task.pending_count(), 2);
+  task.AddWorker(WorkerId(2), MachineId(0), NodeId(100), 0);
+  // The requeued instance sits at the queue front but avoids machine 0,
+  // so the other instance is picked.
+  int64_t next = task.PickInstanceFor(task.workers().at(WorkerId(2)));
+  EXPECT_NE(next, first);
+}
+
+TEST(TaskMasterTest, MarkDoneIsIdempotentAndCancelsBackup) {
+  TaskMaster task(MakeConfig(3, 3), 0);
+  task.AddWorker(WorkerId(1), MachineId(0), NodeId(100), 0);
+  task.AddWorker(WorkerId(2), MachineId(1), NodeId(101), 0);
+  int64_t id = task.PickInstanceFor(task.workers().at(WorkerId(1)));
+  task.MarkRunning(id, WorkerId(1), 0.0, false);
+  task.MarkRunning(id, WorkerId(2), 5.0, /*is_backup=*/true);
+  EXPECT_EQ(task.backups_launched(), 1);
+
+  // Backup wins: primary must be reported for cancellation.
+  auto done = task.MarkDone(id, WorkerId(2), 6.0);
+  EXPECT_TRUE(done.first_completion);
+  EXPECT_EQ(done.other_worker, WorkerId(1));
+  // Second (late) completion from the primary is a no-op.
+  auto dup = task.MarkDone(id, WorkerId(1), 7.0);
+  EXPECT_FALSE(dup.first_completion);
+  EXPECT_EQ(task.done_count(), 1);
+}
+
+TEST(TaskMasterTest, RemoveWorkerPromotesBackupCopy) {
+  TaskMaster task(MakeConfig(1, 2), 0);
+  task.AddWorker(WorkerId(1), MachineId(0), NodeId(100), 0);
+  task.AddWorker(WorkerId(2), MachineId(1), NodeId(101), 0);
+  ASSERT_EQ(task.PickInstanceFor(task.workers().at(WorkerId(1))), 0);
+  task.MarkRunning(0, WorkerId(1), 0.0, false);
+  task.MarkRunning(0, WorkerId(2), 5.0, true);
+  // Primary dies; the backup copy becomes the primary, nothing requeues.
+  ASSERT_TRUE(task.RemoveWorker(WorkerId(1), true).ok());
+  EXPECT_EQ(task.pending_count(), 0);
+  EXPECT_EQ(task.running_count(), 1);
+  EXPECT_EQ(task.instance(0).worker, WorkerId(2));
+}
+
+TEST(TaskMasterTest, FailureThresholdTriggersTaskBlacklist) {
+  TaskMaster task(MakeConfig(10, 4), 0);
+  task.options.task_blacklist_threshold = 3;
+  EXPECT_FALSE(task.RecordFailure(0, MachineId(5)));
+  EXPECT_FALSE(task.RecordFailure(1, MachineId(5)));
+  EXPECT_TRUE(task.RecordFailure(2, MachineId(5)));
+  EXPECT_TRUE(task.blacklist().count(MachineId(5)) > 0);
+  // Repeated failures by the SAME instance count once.
+  TaskMaster task2(MakeConfig(10, 4), 0);
+  task2.options.task_blacklist_threshold = 3;
+  EXPECT_FALSE(task2.RecordFailure(0, MachineId(5)));
+  EXPECT_FALSE(task2.RecordFailure(0, MachineId(5)));
+  EXPECT_FALSE(task2.RecordFailure(0, MachineId(5)));
+}
+
+TEST(TaskMasterTest, SlownessThresholdTriggersTaskBlacklist) {
+  TaskMaster task(MakeConfig(10, 4), 0);
+  task.options.slow_instance_threshold = 2;
+  EXPECT_FALSE(task.RecordSlowness(MachineId(3)));
+  EXPECT_TRUE(task.RecordSlowness(MachineId(3)));
+  EXPECT_TRUE(task.blacklist().count(MachineId(3)) > 0);
+}
+
+TEST(TaskMasterTest, BlacklistedMachineGetsNoInstances) {
+  TaskMaster task(MakeConfig(5, 2), 0);
+  task.options.task_blacklist_threshold = 1;
+  task.RecordFailure(0, MachineId(0));
+  task.AddWorker(WorkerId(1), MachineId(0), NodeId(100), 0);
+  EXPECT_EQ(task.PickInstanceFor(task.workers().at(WorkerId(1))), -1);
+}
+
+TEST(TaskMasterTest, BackupCriteriaAllThreeRequired) {
+  TaskConfig config = MakeConfig(10, 10);
+  config.backup_normal_seconds = 8.0;
+  TaskMaster task(config, 0);
+  task.options.backup_done_fraction = 0.9;
+  task.options.backup_slowdown_factor = 2.0;
+  for (int64_t w = 0; w < 10; ++w) {
+    task.AddWorker(WorkerId(w + 1), MachineId(w), NodeId(100 + w), 0);
+  }
+  // All ten run; nine finish after ~1 s, the tenth keeps running.
+  for (int64_t i = 0; i < 10; ++i) {
+    int64_t id = task.PickInstanceFor(task.workers().at(WorkerId(i + 1)));
+    task.MarkRunning(id, WorkerId(i + 1), 0.0, false);
+  }
+  for (int64_t i = 0; i < 9; ++i) {
+    task.MarkDone(i, task.instance(i).worker, 1.0);
+  }
+  // Criterion 2 not yet met at t=1.5 (needs 2x the ~1 s average).
+  EXPECT_TRUE(task.FindLongTails(1.5).empty());
+  // Criteria 1+2 met at t=4, but criterion 3 (user normal runtime 8 s)
+  // still blocks — data skew must not be punished.
+  EXPECT_TRUE(task.FindLongTails(4.0).empty());
+  // All three met at t=9.
+  auto tails = task.FindLongTails(9.0);
+  ASSERT_EQ(tails.size(), 1u);
+  EXPECT_EQ(tails[0], 9);
+  // Backups disabled entirely when the user did not configure one.
+  TaskConfig no_backup = MakeConfig(10, 10);
+  TaskMaster task2(no_backup, 0);
+  EXPECT_TRUE(task2.FindLongTails(100.0).empty());
+}
+
+TEST(TaskMasterTest, SnapshotRestoreKeepsDoneDropsRunning) {
+  TaskMaster task(MakeConfig(6, 3), 0);
+  task.AddWorker(WorkerId(1), MachineId(0), NodeId(100), 0);
+  task.AddWorker(WorkerId(2), MachineId(1), NodeId(101), 0);
+  int64_t a = task.PickInstanceFor(task.workers().at(WorkerId(1)));
+  task.MarkRunning(a, WorkerId(1), 0.0, false);
+  task.MarkDone(a, WorkerId(1), 1.0);
+  int64_t b = task.PickInstanceFor(task.workers().at(WorkerId(2)));
+  task.MarkRunning(b, WorkerId(2), 0.0, false);
+
+  std::vector<int64_t> done = task.DoneInstances();
+  ASSERT_EQ(done.size(), 1u);
+
+  TaskMaster restored(MakeConfig(6, 3), 0);
+  restored.RestoreDone(done);
+  EXPECT_EQ(restored.done_count(), 1);
+  EXPECT_EQ(restored.running_count(), 0);
+  EXPECT_EQ(restored.pending_count(), 5);  // the running one is requeued
+  EXPECT_FALSE(restored.complete());
+}
+
+TEST(TaskMasterTest, RequeueReturnsInstanceToFront) {
+  TaskMaster task(MakeConfig(4, 2), 0);
+  task.AddWorker(WorkerId(1), MachineId(0), NodeId(100), 0);
+  int64_t id = task.PickInstanceFor(task.workers().at(WorkerId(1)));
+  task.MarkRunning(id, WorkerId(1), 0.0, false);
+  task.Requeue(id, WorkerId(1));
+  EXPECT_EQ(task.running_count(), 0);
+  EXPECT_EQ(task.pending_count(), 4);
+  EXPECT_EQ(task.PickInstanceFor(task.workers().at(WorkerId(1))), id);
+}
+
+TEST(TaskMasterTest, AttachRunningBindsReportedInstance) {
+  TaskMaster task(MakeConfig(4, 2), 0);
+  task.AddWorker(WorkerId(9), MachineId(0), NodeId(100), 0);
+  task.AttachRunning(2, WorkerId(9), 5.0);
+  EXPECT_EQ(task.running_count(), 1);
+  EXPECT_EQ(task.instance(2).worker, WorkerId(9));
+  EXPECT_EQ(task.pending_count(), 3);
+}
+
+}  // namespace
+}  // namespace fuxi::job

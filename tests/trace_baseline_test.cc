@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "baseline/yarn_like.h"
+#include "trace/workloads.h"
+
+namespace fuxi {
+namespace {
+
+// -------------------------------------------------------------- workloads
+
+TEST(SyntheticWorkloadTest, CyclesThroughPaperShapes) {
+  trace::SyntheticWorkload workload(1);
+  const auto& shapes = trace::SyntheticWorkload::Shapes();
+  ASSERT_EQ(shapes.size(), 6u);
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    job::JobDescription desc = workload.NextJobDescription();
+    ASSERT_EQ(desc.tasks.size(), 2u);
+    EXPECT_EQ(desc.tasks[0].instances, shapes[i].first);
+    EXPECT_EQ(desc.tasks[1].instances, shapes[i].second);
+    EXPECT_TRUE(desc.Validate().ok());
+  }
+}
+
+TEST(SyntheticWorkloadTest, DurationsWithinPaperBand) {
+  trace::SyntheticWorkload workload(2);
+  for (int i = 0; i < 50; ++i) {
+    job::JobDescription desc = workload.NextJobDescription();
+    EXPECT_GE(desc.tasks[0].instance_seconds, 10.0);
+    EXPECT_LE(desc.tasks[0].instance_seconds, 600.0);
+  }
+}
+
+TEST(SyntheticWorkloadTest, InstanceScaleShrinksJobs) {
+  trace::SyntheticWorkloadOptions options;
+  options.instance_scale = 0.01;
+  trace::SyntheticWorkload workload(3, options);
+  for (int i = 0; i < 6; ++i) {
+    auto stages = workload.NextStages();
+    ASSERT_EQ(stages.size(), 2u);
+    EXPECT_LE(stages[0].instances, 100);
+    EXPECT_GE(stages[0].instances, 1);
+    EXPECT_EQ(stages[1].depends_on, 0);
+  }
+}
+
+TEST(ProductionTraceTest, ReproducesTable1Shape) {
+  trace::ProductionTraceOptions options;
+  options.jobs = 20000;  // sampled run; the bench uses the full 91,990
+  trace::ProductionTraceSynthesizer synth(42, options);
+  trace::TraceStats stats = synth.Synthesize();
+  // Paper (Table 1): avg 2.0 tasks/job, avg 228 instances/task,
+  // avg 87.9 workers/task. Accept the synthetic calibration within
+  // a generous band — the tail dominates the averages.
+  EXPECT_NEAR(stats.avg_tasks_per_job, 2.0, 0.5);
+  EXPECT_NEAR(stats.avg_instances_per_task, 228, 228 * 0.35);
+  EXPECT_NEAR(stats.avg_workers_per_task / stats.avg_instances_per_task,
+              87.92 / 228.0, 0.15);
+  EXPECT_LE(stats.max_tasks_per_job, 150);
+  EXPECT_LE(stats.max_instances_per_task, 99937);
+  EXPECT_LE(stats.max_workers_per_task, 4636);
+}
+
+TEST(FaultPlanTest, PaperMixesAtFiveAndTenPercent) {
+  trace::FaultPlan plan5 = trace::MakeFaultPlan(0.05, 300, 1);
+  EXPECT_EQ(plan5.node_down.size(), 2u);
+  EXPECT_EQ(plan5.partial_worker_failure.size(), 2u);
+  EXPECT_EQ(plan5.slow_machine.size(), 11u);
+
+  trace::FaultPlan plan10 = trace::MakeFaultPlan(0.10, 300, 1);
+  EXPECT_EQ(plan10.node_down.size(), 2u);
+  EXPECT_EQ(plan10.partial_worker_failure.size(), 4u);
+  EXPECT_EQ(plan10.slow_machine.size(), 23u);
+}
+
+TEST(FaultPlanTest, MachinesAreDistinct) {
+  trace::FaultPlan plan = trace::MakeFaultPlan(0.10, 300, 7);
+  std::set<MachineId> all;
+  for (MachineId m : plan.node_down) all.insert(m);
+  for (MachineId m : plan.partial_worker_failure) all.insert(m);
+  for (MachineId m : plan.slow_machine) all.insert(m);
+  EXPECT_EQ(all.size(), plan.total_faulty());
+}
+
+TEST(FaultPlanTest, ScalesToOtherClusterSizes) {
+  trace::FaultPlan plan = trace::MakeFaultPlan(0.05, 100, 3);
+  EXPECT_GE(plan.total_faulty(), 4u);
+  EXPECT_LE(plan.total_faulty(), 6u);
+}
+
+// -------------------------------------------------------------- baselines
+
+cluster::ClusterTopology SmallTopo() {
+  cluster::ClusterTopology::Options options;
+  options.racks = 2;
+  options.machines_per_rack = 2;
+  options.machine_capacity = cluster::ResourceVector(400, 8192);
+  return cluster::ClusterTopology::Build(options);
+}
+
+TEST(YarnLikeTest, AssignsOnTickNotOnRequest) {
+  cluster::ClusterTopology topo = SmallTopo();
+  baseline::YarnLikeScheduler yarn(&topo);
+  ASSERT_TRUE(
+      yarn.RegisterApp(AppId(1), cluster::ResourceVector(100, 2048)).ok());
+  ASSERT_TRUE(yarn.Heartbeat(AppId(1), 4).ok());
+  EXPECT_EQ(yarn.GrantedCount(AppId(1)), 0) << "nothing until a tick";
+  resource::SchedulingResult result;
+  yarn.Tick(&result);
+  EXPECT_EQ(yarn.GrantedCount(AppId(1)), 4);
+}
+
+TEST(YarnLikeTest, ContainerReclaimedOnTaskCompletion) {
+  cluster::ClusterTopology topo = SmallTopo();
+  baseline::YarnLikeScheduler yarn(&topo);
+  ASSERT_TRUE(
+      yarn.RegisterApp(AppId(1), cluster::ResourceVector(100, 2048)).ok());
+  ASSERT_TRUE(yarn.Heartbeat(AppId(1), 1).ok());
+  resource::SchedulingResult result;
+  yarn.Tick(&result);
+  ASSERT_EQ(result.assignments.size(), 1u);
+  MachineId machine = result.assignments[0].machine;
+  result.Clear();
+  ASSERT_TRUE(yarn.CompleteContainer(AppId(1), machine, &result).ok());
+  EXPECT_EQ(yarn.GrantedCount(AppId(1)), 0);
+  EXPECT_EQ(yarn.stats().containers_reclaimed, 1u);
+  // The app must heartbeat a new ask and wait for another tick: two
+  // extra steps Fuxi's container reuse avoids.
+  ASSERT_TRUE(yarn.Heartbeat(AppId(1), 1).ok());
+  result.Clear();
+  yarn.Tick(&result);
+  EXPECT_EQ(yarn.GrantedCount(AppId(1)), 1);
+}
+
+TEST(YarnLikeTest, HeartbeatsResendFullAsk) {
+  cluster::ClusterTopology topo = SmallTopo();
+  baseline::YarnLikeScheduler yarn(&topo);
+  ASSERT_TRUE(
+      yarn.RegisterApp(AppId(1), cluster::ResourceVector(100, 2048)).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(yarn.Heartbeat(AppId(1), 100).ok());
+  }
+  EXPECT_EQ(yarn.stats().ask_messages, 10u);
+  EXPECT_EQ(yarn.stats().ask_entries, 1000u) << "full ask re-sent each time";
+}
+
+TEST(YarnLikeTest, FailoverRestartsEverything) {
+  cluster::ClusterTopology topo = SmallTopo();
+  baseline::YarnLikeScheduler yarn(&topo);
+  ASSERT_TRUE(
+      yarn.RegisterApp(AppId(1), cluster::ResourceVector(100, 2048)).ok());
+  ASSERT_TRUE(
+      yarn.RegisterApp(AppId(2), cluster::ResourceVector(100, 2048)).ok());
+  ASSERT_TRUE(yarn.Heartbeat(AppId(1), 2).ok());
+  ASSERT_TRUE(yarn.Heartbeat(AppId(2), 2).ok());
+  resource::SchedulingResult result;
+  yarn.Tick(&result);
+  ASSERT_EQ(yarn.TotalGranted().cpu(), 400);
+  result.Clear();
+  yarn.FailoverLosesEverything(&result);
+  EXPECT_EQ(yarn.TotalGranted(), cluster::ResourceVector());
+  EXPECT_EQ(yarn.stats().restarts_on_failover, 2u);
+  EXPECT_EQ(result.revocations.size(), 2u + 0u * result.revocations.size());
+}
+
+TEST(MesosLikeTest, OneFrameworkPerOfferRound) {
+  cluster::ClusterTopology topo = SmallTopo();
+  baseline::MesosLikeScheduler mesos(&topo);
+  ASSERT_TRUE(
+      mesos
+          .RegisterFramework(AppId(1), cluster::ResourceVector(100, 2048))
+          .ok());
+  ASSERT_TRUE(
+      mesos
+          .RegisterFramework(AppId(2), cluster::ResourceVector(100, 2048))
+          .ok());
+  ASSERT_TRUE(mesos.SetDemand(AppId(1), 2).ok());
+  ASSERT_TRUE(mesos.SetDemand(AppId(2), 2).ok());
+  resource::SchedulingResult result;
+  mesos.OfferRound(&result);
+  // Only the first framework was served this round.
+  EXPECT_EQ(mesos.GrantedCount(AppId(1)), 2);
+  EXPECT_EQ(mesos.GrantedCount(AppId(2)), 0);
+  mesos.OfferRound(&result);
+  EXPECT_EQ(mesos.GrantedCount(AppId(2)), 2);
+}
+
+TEST(MesosLikeTest, IdleFrameworkWastesOfferRound) {
+  cluster::ClusterTopology topo = SmallTopo();
+  baseline::MesosLikeScheduler mesos(&topo);
+  ASSERT_TRUE(
+      mesos
+          .RegisterFramework(AppId(1), cluster::ResourceVector(100, 2048))
+          .ok());
+  ASSERT_TRUE(
+      mesos
+          .RegisterFramework(AppId(2), cluster::ResourceVector(100, 2048))
+          .ok());
+  // Framework 1 wants nothing; framework 2 wants 2 but must wait a
+  // full round because offers go to 1 first (the paper's §1 point).
+  ASSERT_TRUE(mesos.SetDemand(AppId(2), 2).ok());
+  resource::SchedulingResult result;
+  mesos.OfferRound(&result);
+  EXPECT_EQ(mesos.GrantedCount(AppId(2)), 0);
+  EXPECT_GT(mesos.stats().offers_declined, 0u);
+  mesos.OfferRound(&result);
+  EXPECT_EQ(mesos.GrantedCount(AppId(2)), 2);
+}
+
+}  // namespace
+}  // namespace fuxi
