@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instance_scheduling.dir/bench_instance_scheduling.cc.o"
+  "CMakeFiles/bench_instance_scheduling.dir/bench_instance_scheduling.cc.o.d"
+  "bench_instance_scheduling"
+  "bench_instance_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instance_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

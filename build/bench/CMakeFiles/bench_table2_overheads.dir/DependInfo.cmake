@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_overheads.cc" "bench/CMakeFiles/bench_table2_overheads.dir/bench_table2_overheads.cc.o" "gcc" "bench/CMakeFiles/bench_table2_overheads.dir/bench_table2_overheads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sort/CMakeFiles/fuxi_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fuxi_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fuxi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/job/CMakeFiles/fuxi_job.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fuxi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/fuxi_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/master/CMakeFiles/fuxi_master.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/fuxi_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/fuxi_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/fuxi_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/fuxi_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fuxi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fuxi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fuxi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_overheads.dir/bench_table2_overheads.cc.o"
+  "CMakeFiles/bench_table2_overheads.dir/bench_table2_overheads.cc.o.d"
+  "bench_table2_overheads"
+  "bench_table2_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_graysort.dir/bench_table4_graysort.cc.o"
+  "CMakeFiles/bench_table4_graysort.dir/bench_table4_graysort.cc.o.d"
+  "bench_table4_graysort"
+  "bench_table4_graysort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_graysort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

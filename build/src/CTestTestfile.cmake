@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("cluster")
+subdirs("coord")
+subdirs("dfs")
+subdirs("resource")
+subdirs("agent")
+subdirs("runtime")
+subdirs("master")
+subdirs("job")
+subdirs("dataflow")
+subdirs("sort")
+subdirs("baseline")
+subdirs("trace")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuxi_agent.dir/fuxi_agent.cc.o"
+  "CMakeFiles/fuxi_agent.dir/fuxi_agent.cc.o.d"
+  "libfuxi_agent.a"
+  "libfuxi_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuxi_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/yarn_like.cc" "src/baseline/CMakeFiles/fuxi_baseline.dir/yarn_like.cc.o" "gcc" "src/baseline/CMakeFiles/fuxi_baseline.dir/yarn_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resource/CMakeFiles/fuxi_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fuxi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fuxi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuxi_baseline.dir/yarn_like.cc.o"
+  "CMakeFiles/fuxi_baseline.dir/yarn_like.cc.o.d"
+  "libfuxi_baseline.a"
+  "libfuxi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuxi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

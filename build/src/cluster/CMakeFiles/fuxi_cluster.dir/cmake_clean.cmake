@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuxi_cluster.dir/resource_vector.cc.o"
+  "CMakeFiles/fuxi_cluster.dir/resource_vector.cc.o.d"
+  "CMakeFiles/fuxi_cluster.dir/topology.cc.o"
+  "CMakeFiles/fuxi_cluster.dir/topology.cc.o.d"
+  "libfuxi_cluster.a"
+  "libfuxi_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuxi_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

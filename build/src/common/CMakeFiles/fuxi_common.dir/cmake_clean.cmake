@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuxi_common.dir/json.cc.o"
+  "CMakeFiles/fuxi_common.dir/json.cc.o.d"
+  "CMakeFiles/fuxi_common.dir/logging.cc.o"
+  "CMakeFiles/fuxi_common.dir/logging.cc.o.d"
+  "CMakeFiles/fuxi_common.dir/metrics.cc.o"
+  "CMakeFiles/fuxi_common.dir/metrics.cc.o.d"
+  "CMakeFiles/fuxi_common.dir/status.cc.o"
+  "CMakeFiles/fuxi_common.dir/status.cc.o.d"
+  "CMakeFiles/fuxi_common.dir/strings.cc.o"
+  "CMakeFiles/fuxi_common.dir/strings.cc.o.d"
+  "libfuxi_common.a"
+  "libfuxi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuxi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coord/checkpoint_store.cc" "src/coord/CMakeFiles/fuxi_coord.dir/checkpoint_store.cc.o" "gcc" "src/coord/CMakeFiles/fuxi_coord.dir/checkpoint_store.cc.o.d"
+  "/root/repo/src/coord/lock_service.cc" "src/coord/CMakeFiles/fuxi_coord.dir/lock_service.cc.o" "gcc" "src/coord/CMakeFiles/fuxi_coord.dir/lock_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fuxi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fuxi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuxi_coord.dir/checkpoint_store.cc.o"
+  "CMakeFiles/fuxi_coord.dir/checkpoint_store.cc.o.d"
+  "CMakeFiles/fuxi_coord.dir/lock_service.cc.o"
+  "CMakeFiles/fuxi_coord.dir/lock_service.cc.o.d"
+  "libfuxi_coord.a"
+  "libfuxi_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuxi_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfuxi_coord.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuxi_dataflow.dir/streamline.cc.o"
+  "CMakeFiles/fuxi_dataflow.dir/streamline.cc.o.d"
+  "libfuxi_dataflow.a"
+  "libfuxi_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuxi_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuxi_dfs.dir/file_system.cc.o"
+  "CMakeFiles/fuxi_dfs.dir/file_system.cc.o.d"
+  "libfuxi_dfs.a"
+  "libfuxi_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuxi_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/job/description.cc" "src/job/CMakeFiles/fuxi_job.dir/description.cc.o" "gcc" "src/job/CMakeFiles/fuxi_job.dir/description.cc.o.d"
+  "/root/repo/src/job/job_master.cc" "src/job/CMakeFiles/fuxi_job.dir/job_master.cc.o" "gcc" "src/job/CMakeFiles/fuxi_job.dir/job_master.cc.o.d"
+  "/root/repo/src/job/job_runtime.cc" "src/job/CMakeFiles/fuxi_job.dir/job_runtime.cc.o" "gcc" "src/job/CMakeFiles/fuxi_job.dir/job_runtime.cc.o.d"
+  "/root/repo/src/job/task_master.cc" "src/job/CMakeFiles/fuxi_job.dir/task_master.cc.o" "gcc" "src/job/CMakeFiles/fuxi_job.dir/task_master.cc.o.d"
+  "/root/repo/src/job/task_worker.cc" "src/job/CMakeFiles/fuxi_job.dir/task_worker.cc.o" "gcc" "src/job/CMakeFiles/fuxi_job.dir/task_worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/fuxi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/fuxi_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/master/CMakeFiles/fuxi_master.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/fuxi_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/fuxi_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fuxi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/fuxi_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fuxi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fuxi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuxi_job.dir/description.cc.o"
+  "CMakeFiles/fuxi_job.dir/description.cc.o.d"
+  "CMakeFiles/fuxi_job.dir/job_master.cc.o"
+  "CMakeFiles/fuxi_job.dir/job_master.cc.o.d"
+  "CMakeFiles/fuxi_job.dir/job_runtime.cc.o"
+  "CMakeFiles/fuxi_job.dir/job_runtime.cc.o.d"
+  "CMakeFiles/fuxi_job.dir/task_master.cc.o"
+  "CMakeFiles/fuxi_job.dir/task_master.cc.o.d"
+  "CMakeFiles/fuxi_job.dir/task_worker.cc.o"
+  "CMakeFiles/fuxi_job.dir/task_worker.cc.o.d"
+  "libfuxi_job.a"
+  "libfuxi_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuxi_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuxi_master.dir/fuxi_master.cc.o"
+  "CMakeFiles/fuxi_master.dir/fuxi_master.cc.o.d"
+  "CMakeFiles/fuxi_master.dir/resource_client.cc.o"
+  "CMakeFiles/fuxi_master.dir/resource_client.cc.o.d"
+  "libfuxi_master.a"
+  "libfuxi_master.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuxi_master.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resource/locality_tree.cc" "src/resource/CMakeFiles/fuxi_resource.dir/locality_tree.cc.o" "gcc" "src/resource/CMakeFiles/fuxi_resource.dir/locality_tree.cc.o.d"
+  "/root/repo/src/resource/protocol.cc" "src/resource/CMakeFiles/fuxi_resource.dir/protocol.cc.o" "gcc" "src/resource/CMakeFiles/fuxi_resource.dir/protocol.cc.o.d"
+  "/root/repo/src/resource/quota.cc" "src/resource/CMakeFiles/fuxi_resource.dir/quota.cc.o" "gcc" "src/resource/CMakeFiles/fuxi_resource.dir/quota.cc.o.d"
+  "/root/repo/src/resource/request.cc" "src/resource/CMakeFiles/fuxi_resource.dir/request.cc.o" "gcc" "src/resource/CMakeFiles/fuxi_resource.dir/request.cc.o.d"
+  "/root/repo/src/resource/scheduler.cc" "src/resource/CMakeFiles/fuxi_resource.dir/scheduler.cc.o" "gcc" "src/resource/CMakeFiles/fuxi_resource.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fuxi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fuxi_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuxi_resource.dir/locality_tree.cc.o"
+  "CMakeFiles/fuxi_resource.dir/locality_tree.cc.o.d"
+  "CMakeFiles/fuxi_resource.dir/protocol.cc.o"
+  "CMakeFiles/fuxi_resource.dir/protocol.cc.o.d"
+  "CMakeFiles/fuxi_resource.dir/quota.cc.o"
+  "CMakeFiles/fuxi_resource.dir/quota.cc.o.d"
+  "CMakeFiles/fuxi_resource.dir/request.cc.o"
+  "CMakeFiles/fuxi_resource.dir/request.cc.o.d"
+  "CMakeFiles/fuxi_resource.dir/scheduler.cc.o"
+  "CMakeFiles/fuxi_resource.dir/scheduler.cc.o.d"
+  "libfuxi_resource.a"
+  "libfuxi_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuxi_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuxi_runtime.dir/sim_cluster.cc.o"
+  "CMakeFiles/fuxi_runtime.dir/sim_cluster.cc.o.d"
+  "CMakeFiles/fuxi_runtime.dir/synthetic_app.cc.o"
+  "CMakeFiles/fuxi_runtime.dir/synthetic_app.cc.o.d"
+  "libfuxi_runtime.a"
+  "libfuxi_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuxi_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

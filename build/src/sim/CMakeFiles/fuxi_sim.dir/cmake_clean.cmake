@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuxi_sim.dir/simulator.cc.o"
+  "CMakeFiles/fuxi_sim.dir/simulator.cc.o.d"
+  "libfuxi_sim.a"
+  "libfuxi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuxi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

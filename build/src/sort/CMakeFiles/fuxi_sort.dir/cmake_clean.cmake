@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuxi_sort.dir/graysort.cc.o"
+  "CMakeFiles/fuxi_sort.dir/graysort.cc.o.d"
+  "libfuxi_sort.a"
+  "libfuxi_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuxi_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

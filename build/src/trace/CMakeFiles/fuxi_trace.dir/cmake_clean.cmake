@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuxi_trace.dir/workloads.cc.o"
+  "CMakeFiles/fuxi_trace.dir/workloads.cc.o.d"
+  "libfuxi_trace.a"
+  "libfuxi_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuxi_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

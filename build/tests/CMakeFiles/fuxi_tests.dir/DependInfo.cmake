@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/fuxi_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/fuxi_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/coord_test.cc" "tests/CMakeFiles/fuxi_tests.dir/coord_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/coord_test.cc.o.d"
+  "/root/repo/tests/dataflow_test.cc" "tests/CMakeFiles/fuxi_tests.dir/dataflow_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/dataflow_test.cc.o.d"
+  "/root/repo/tests/delta_channel_test.cc" "tests/CMakeFiles/fuxi_tests.dir/delta_channel_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/delta_channel_test.cc.o.d"
+  "/root/repo/tests/dfs_test.cc" "tests/CMakeFiles/fuxi_tests.dir/dfs_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/dfs_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/fuxi_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/graysort_test.cc" "tests/CMakeFiles/fuxi_tests.dir/graysort_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/graysort_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/fuxi_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/job_test.cc" "tests/CMakeFiles/fuxi_tests.dir/job_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/job_test.cc.o.d"
+  "/root/repo/tests/locality_tree_test.cc" "tests/CMakeFiles/fuxi_tests.dir/locality_tree_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/locality_tree_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/fuxi_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/protocol_test.cc" "tests/CMakeFiles/fuxi_tests.dir/protocol_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/protocol_test.cc.o.d"
+  "/root/repo/tests/quota_test.cc" "tests/CMakeFiles/fuxi_tests.dir/quota_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/quota_test.cc.o.d"
+  "/root/repo/tests/resource_client_test.cc" "tests/CMakeFiles/fuxi_tests.dir/resource_client_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/resource_client_test.cc.o.d"
+  "/root/repo/tests/scheduler_property_test.cc" "tests/CMakeFiles/fuxi_tests.dir/scheduler_property_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/scheduler_property_test.cc.o.d"
+  "/root/repo/tests/scheduler_test.cc" "tests/CMakeFiles/fuxi_tests.dir/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/scheduler_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/fuxi_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/system_edge_test.cc" "tests/CMakeFiles/fuxi_tests.dir/system_edge_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/system_edge_test.cc.o.d"
+  "/root/repo/tests/task_master_test.cc" "tests/CMakeFiles/fuxi_tests.dir/task_master_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/task_master_test.cc.o.d"
+  "/root/repo/tests/trace_baseline_test.cc" "tests/CMakeFiles/fuxi_tests.dir/trace_baseline_test.cc.o" "gcc" "tests/CMakeFiles/fuxi_tests.dir/trace_baseline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sort/CMakeFiles/fuxi_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fuxi_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fuxi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/fuxi_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/job/CMakeFiles/fuxi_job.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fuxi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/fuxi_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/master/CMakeFiles/fuxi_master.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/fuxi_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/fuxi_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/fuxi_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fuxi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fuxi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fuxi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
