@@ -1,0 +1,63 @@
+// Chaos campaign runner: sweeps seeded random fault schedules over the
+// simulated cluster while the InvariantMonitor checks safety and
+// liveness continuously (see EXPERIMENTS.md "Chaos campaigns").
+//
+//   bench_chaos_campaign                 # default sweep, seeds 1..25
+//   bench_chaos_campaign --seeds 200     # wider sweep
+//   bench_chaos_campaign --first 1000    # different seed range
+//   bench_chaos_campaign --seed 50       # replay one seed, full dump
+//
+// Exit status is non-zero when any campaign violates an invariant or
+// fails to complete; the failure dump contains the fault schedule and
+// the digest trace, both of which replay byte-identically from the
+// seed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "chaos/campaign.h"
+
+int main(int argc, char** argv) {
+  uint64_t first_seed = 1;
+  int count = 25;
+  bool single = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      count = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--first") == 0 && i + 1 < argc) {
+      first_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      first_seed = std::strtoull(argv[++i], nullptr, 10);
+      count = 1;
+      single = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seeds N] [--first S] [--seed S]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  fuxi::chaos::CampaignConfig config;
+  int failed = 0;
+  for (int i = 0; i < count; ++i) {
+    uint64_t seed = first_seed + static_cast<uint64_t>(i);
+    fuxi::chaos::CampaignResult result = fuxi::chaos::RunCampaign(seed, config);
+    std::printf(
+        "seed=%llu %s events=%llu heavy_checks=%llu instances=%lld "
+        "done_at=%.1f hash=%016llx violations=%zu\n",
+        static_cast<unsigned long long>(seed), result.ok() ? "PASS" : "FAIL",
+        static_cast<unsigned long long>(result.events),
+        static_cast<unsigned long long>(result.heavy_checks),
+        static_cast<long long>(result.instances_done), result.completed_at,
+        static_cast<unsigned long long>(result.state_hash),
+        result.violations.size());
+    if (!result.ok() || single) {
+      if (!result.ok()) ++failed;
+      std::string dump = fuxi::chaos::FormatCampaignFailure(result);
+      std::fputs(dump.c_str(), result.ok() ? stdout : stderr);
+    }
+  }
+  std::printf("chaos sweep: %d/%d campaigns passed\n", count - failed, count);
+  return failed == 0 ? 0 : 1;
+}

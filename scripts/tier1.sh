@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full build + test suite, then the chaos
+# campaign sweep again under ASan/UBSan (memory errors in failover and
+# fault-recovery paths are exactly what the campaigns shake out).
+#
+# Usage: scripts/tier1.sh [--skip-asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_asan=0
+[[ "${1:-}" == "--skip-asan" ]] && skip_asan=1
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$skip_asan" == 1 ]]; then
+  echo "== tier-1: ASan/UBSan pass skipped =="
+  exit 0
+fi
+
+echo "== tier-1: chaos campaign under ASan/UBSan =="
+cmake -B build-asan -S . -DFUXI_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j"$(nproc)" --target fuxi_tests
+(cd build-asan &&
+ ./tests/fuxi_tests --gtest_filter='ChaosCampaign.*:ScriptedChaosTest.*')
+
+echo "tier-1 OK"

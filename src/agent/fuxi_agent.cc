@@ -109,7 +109,15 @@ NodeId FuxiAgent::MasterNode() const {
 void FuxiAgent::HeartbeatTick() {
   if (!alive_) return;
   EnforceOverload();
-  SendHeartbeat(send_allocations_next_);
+  bool with_allocations = send_allocations_next_;
+  // Periodic divergence repair: report the allocation table so the
+  // master can compare it against the scheduler's grants and push a
+  // corrective full snapshot when the two drifted apart.
+  if (options_.allocation_report_every > 0 &&
+      (heartbeat_seq_ + 1) % options_.allocation_report_every == 0) {
+    with_allocations = true;
+  }
+  SendHeartbeat(with_allocations);
   send_allocations_next_ = false;
   uint64_t life = life_;
   After(options_.heartbeat_interval, [this, life] {
@@ -164,7 +172,20 @@ void FuxiAgent::OnHeartbeatAck(const master::AgentHeartbeatAckRpc& rpc) {
 }
 
 void FuxiAgent::OnCapacity(const master::AgentCapacityRpc& rpc) {
+  // Replay guard: a new master generation resets the counter space; a
+  // seq at or below the last full snapshot is already covered by it;
+  // an already-applied seq is a network duplicate (deltas must apply
+  // exactly once or the table drifts from the scheduler's view).
+  if (rpc.master_generation != capacity_generation_) {
+    capacity_generation_ = rpc.master_generation;
+    last_full_capacity_seq_ = 0;
+    applied_capacity_seqs_.clear();
+  }
+  if (rpc.seq <= last_full_capacity_seq_) return;
+  if (!applied_capacity_seqs_.insert(rpc.seq).second) return;
   if (rpc.full) {
+    last_full_capacity_seq_ = rpc.seq;
+    applied_capacity_seqs_.clear();
     capacity_.clear();
     need_capacity_ = false;
   }
@@ -182,6 +203,19 @@ void FuxiAgent::OnCapacity(const master::AgentCapacityRpc& rpc) {
     if (cap.count == 0 &&
         host_->AliveOf(entry.app, entry.slot_id).empty()) {
       capacity_.erase(key);
+    }
+  }
+  if (rpc.full) {
+    // A full snapshot is authoritative for the whole machine: any live
+    // process whose (app, slot) the snapshot does not cover lost its
+    // grant (e.g. a revocation delta or the AM's stop request was lost)
+    // and must be reaped, or it would leak forever.
+    std::set<CapacityKey> live_keys;
+    for (const Process* process : host_->Alive()) {
+      live_keys.insert({process->app, process->slot_id});
+    }
+    for (const CapacityKey& key : live_keys) {
+      EnforceCapacity(key.first, key.second);
     }
   }
 }
@@ -262,6 +296,9 @@ void FuxiAgent::OnStartWorker(const net::Envelope& env,
     // (process isolation rule 1, §2.2).
     reply.ok = false;
     reply.error = "no capacity granted for this app/slot on the machine";
+    for (const Process* p : host_->AliveOf(rpc.app, rpc.slot_id)) {
+      reply.running.push_back(p->id);
+    }
     network_->Send(self_, rpc.am_node, reply);
     return;
   }
@@ -345,6 +382,14 @@ void FuxiAgent::InjectWorkerCrash(WorkerId worker) {
 int64_t FuxiAgent::CapacityOf(AppId app, uint32_t slot_id) const {
   auto it = capacity_.find({app, slot_id});
   return it == capacity_.end() ? 0 : it->second.count;
+}
+
+cluster::ResourceVector FuxiAgent::TotalGrantedCapacity() const {
+  cluster::ResourceVector total;
+  for (const auto& [key, entry] : capacity_) {
+    total += entry.def.resources * entry.count;
+  }
+  return total;
 }
 
 void FuxiAgent::OnStartAppMaster(const master::StartAppMasterRpc& rpc) {

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,12 @@ struct FuxiAgentOptions {
   double worker_start_seconds = 2.0;
   /// Time to start an application master process (Table 2: 1.91 s).
   double app_master_start_seconds = 1.0;
+  /// Every Nth heartbeat carries the agent's full allocation table even
+  /// when the master did not ask, so the master can detect and repair
+  /// agent/master capacity divergence (a lost capacity delta or stop
+  /// request would otherwise leak processes forever). 0 disables the
+  /// periodic report.
+  int allocation_report_every = 10;
 };
 
 /// The per-machine daemon (paper §2.2): reports machine status to
@@ -84,6 +91,13 @@ class FuxiAgent : public sim::Actor {
   /// Capacity granted to (app, slot) according to the agent's table.
   int64_t CapacityOf(AppId app, uint32_t slot_id) const;
 
+  /// Total resources the agent's capacity table promises (sum over
+  /// entries of count x unit). The chaos InvariantMonitor compares this
+  /// against the machine's physical capacity: a sustained excess means
+  /// FuxiMaster double-granted the machine (e.g. a failover that did
+  /// not restore existing grants before rescheduling).
+  cluster::ResourceVector TotalGrantedCapacity() const;
+
   /// Simulates a worker process crash (PartialWorkerFailure injection):
   /// the agent notices and applies its restart-in-place policy.
   void InjectWorkerCrash(WorkerId worker);
@@ -136,6 +150,15 @@ class FuxiAgent : public sim::Actor {
   uint64_t heartbeat_seq_ = 0;
   bool send_allocations_next_ = true;  ///< first contact reports state
   bool need_capacity_ = false;
+
+  /// Capacity-channel replay guard (see AgentCapacityRpc::seq). Deltas
+  /// commute, so only duplicates and deltas older than the last full
+  /// snapshot are dropped. Deliberately kept across agent restarts: the
+  /// master's counter is monotonic per generation, so the guard stays
+  /// valid for the machine even when the daemon's table is lost.
+  uint64_t capacity_generation_ = 0;
+  uint64_t last_full_capacity_seq_ = 0;
+  std::set<uint64_t> applied_capacity_seqs_;
 
   net::Endpoint endpoint_;
   std::map<CapacityKey, CapacityEntry> capacity_;

@@ -1,0 +1,191 @@
+#include "chaos/campaign.h"
+
+#include <memory>
+#include <sstream>
+
+#include "common/logging.h"
+#include "runtime/synthetic_app.h"
+
+namespace fuxi::chaos {
+
+CampaignConfig::CampaignConfig() {
+  cluster.topology.racks = 2;
+  cluster.topology.machines_per_rack = 4;
+  cluster.topology.machine_capacity = cluster::ResourceVector(400, 8192);
+}
+
+CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
+  CampaignResult result;
+  result.seed = seed;
+
+  runtime::SimClusterOptions options = config.cluster;
+  options.seed = seed ^ 0x9E3779B97F4A7C15ull;
+  if (config.seed_restore_bug) {
+    options.master.failover_restore_grants = false;
+  }
+  runtime::SimCluster cluster(options);
+  InvariantMonitor monitor(&cluster, config.monitor);
+  ChaosEngine engine(&cluster);
+
+  cluster.Start();
+  monitor.Start();
+  cluster.RunFor(config.warmup);
+
+  // Submit the synthetic workload (one single-stage app per slot).
+  std::vector<std::unique_ptr<runtime::SyntheticApp>> apps;
+  for (int i = 0; i < config.apps; ++i) {
+    AppId app_id(1 + i);
+    runtime::SyntheticStage stage;
+    stage.slot_id = 0;
+    stage.workers = config.workers_per_app;
+    stage.instances = config.instances_per_app;
+    stage.instance_duration = config.instance_duration;
+    apps.push_back(std::make_unique<runtime::SyntheticApp>(
+        &cluster, app_id, std::vector<runtime::SyntheticStage>{stage},
+        seed * 1315423911ull + static_cast<uint64_t>(i)));
+    master::SubmitAppRpc submit;
+    submit.app = app_id;
+    submit.client = cluster.AllocateNodeId();
+    master::FuxiMaster* primary = cluster.primary();
+    FUXI_CHECK(primary != nullptr);
+    cluster.network().Send(submit.client, primary->node(), submit);
+    cluster.RunFor(0.2);
+    apps.back()->MarkSubmitted(cluster.sim().Now());
+    apps.back()->StartMaster();
+  }
+  monitor.set_app_liveness([&apps](AppId app) {
+    for (const auto& synthetic : apps) {
+      if (synthetic->app() == app) return !synthetic->finished();
+    }
+    return false;
+  });
+
+  auto all_finished = [&apps] {
+    for (const auto& synthetic : apps) {
+      if (!synthetic->finished()) return false;
+    }
+    return true;
+  };
+  auto instances_done = [&apps] {
+    int64_t total = 0;
+    for (const auto& synthetic : apps) {
+      total += synthetic->stats().instances_done;
+    }
+    return total;
+  };
+
+  // Periodic replay-witness digest lines.
+  std::ostringstream trace;
+  trace << "campaign seed=" << seed << " apps=" << config.apps
+        << " machines=" << cluster.topology().machine_count() << "\n";
+  bool sampling = true;
+  std::function<void()> sample = [&] {
+    if (!sampling) return;
+    trace << "t=" << cluster.sim().Now() << " events="
+          << cluster.sim().ExecutedEvents() << " done=" << instances_done()
+          << " violations=" << monitor.violations().size() << " digest="
+          << std::hex << monitor.state_hash() << std::dec << "\n";
+    cluster.sim().Schedule(config.digest_interval, sample);
+  };
+  cluster.sim().Schedule(config.digest_interval, sample);
+
+  engine.ScheduleRandomCampaign(seed, config.plan);
+  cluster.RunUntil(config.plan.start + config.plan.duration);
+  engine.HealEverything();
+
+  // Liveness: once faults cease, every app must finish.
+  double deadline = cluster.sim().Now() + config.settle_timeout;
+  while (cluster.sim().Now() < deadline && !all_finished()) {
+    cluster.RunFor(1.0);
+  }
+  if (all_finished()) {
+    result.completed = true;
+    result.completed_at = cluster.sim().Now();
+  } else {
+    std::ostringstream detail;
+    detail << "jobs incomplete " << config.settle_timeout
+           << "s after faults ceased:";
+    for (const auto& synthetic : apps) {
+      if (!synthetic->finished()) {
+        detail << " app" << synthetic->app().value() << "="
+               << synthetic->stats().instances_done << "/"
+               << config.instances_per_app;
+      }
+    }
+    monitor.Report("eventual-completion", detail.str());
+  }
+
+  // Quiesce: let sustained trackers and the final reconcile fire/clear.
+  cluster.RunFor(config.cooldown);
+  monitor.CheckNow();
+  sampling = false;
+
+  result.ended_at = cluster.sim().Now();
+  result.events = cluster.sim().ExecutedEvents();
+  result.heavy_checks = monitor.heavy_checks_run();
+  result.state_hash = monitor.state_hash();
+  result.instances_done = instances_done();
+  result.violations = monitor.violations();
+  result.fault_log = engine.LogDump();
+  result.trace = trace.str();
+  if (!result.ok()) {
+    std::ostringstream residual;
+    for (size_t m = 0; m < cluster.topology().machine_count(); ++m) {
+      MachineId machine(static_cast<int64_t>(m));
+      const agent::FuxiAgent* machine_agent = cluster.agent(machine);
+      residual << "m" << m << (cluster.machine_halted(machine) ? " HALTED" : "")
+               << (machine_agent->is_alive() ? "" : " agent-dead")
+               << " granted=" << machine_agent->TotalGrantedCapacity().ToString();
+      for (const agent::Process* process : cluster.host(machine)->Alive()) {
+        residual << " [w" << process->id.value() << " app"
+                 << process->app.value() << "/s" << process->slot_id
+                 << " am=" << process->owner_am.value()
+                 << " since=" << process->started_at << "]";
+      }
+      residual << "\n";
+    }
+    result.residual_state = residual.str();
+  }
+  monitor.Stop();
+  return result;
+}
+
+std::string FormatCampaignFailure(const CampaignResult& result) {
+  std::ostringstream out;
+  out << "chaos campaign " << (result.ok() ? "replay" : "FAILED")
+      << " (seed=" << result.seed
+      << ", completed=" << (result.completed ? "yes" : "no")
+      << ", events=" << result.events << ", state_hash=" << std::hex
+      << result.state_hash << std::dec << ")\n";
+  out << "-- violations (" << result.violations.size() << ") --\n";
+  for (const Violation& v : result.violations) {
+    out << "t=" << v.time << " [" << v.invariant << "] " << v.detail << "\n";
+  }
+  out << "-- fault schedule (replays byte-identically from seed "
+      << result.seed << ") --\n"
+      << result.fault_log;
+  out << "-- event trace --\n" << result.trace;
+  if (!result.residual_state.empty()) {
+    out << "-- residual state --\n" << result.residual_state;
+  }
+  return out.str();
+}
+
+SweepResult RunSeedSweep(uint64_t first_seed, int count,
+                         const CampaignConfig& config) {
+  SweepResult sweep;
+  for (int i = 0; i < count; ++i) {
+    uint64_t seed = first_seed + static_cast<uint64_t>(i);
+    CampaignResult result = RunCampaign(seed, config);
+    if (result.ok()) {
+      ++sweep.passed;
+    } else {
+      ++sweep.failed;
+      sweep.failing_seeds.push_back(seed);
+      sweep.failures.push_back(std::move(result));
+    }
+  }
+  return sweep;
+}
+
+}  // namespace fuxi::chaos

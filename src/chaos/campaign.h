@@ -1,0 +1,84 @@
+#ifndef FUXI_CHAOS_CAMPAIGN_H_
+#define FUXI_CHAOS_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_schedule.h"
+#include "chaos/invariant_monitor.h"
+#include "runtime/sim_cluster.h"
+
+namespace fuxi::chaos {
+
+/// Everything one chaos campaign needs: the cluster shape, the
+/// synthetic workload, the fault plan and the invariant tolerances.
+/// A campaign is fully determined by (seed, config): rerunning the same
+/// pair reproduces the identical fault log, event trace and state hash.
+struct CampaignConfig {
+  CampaignConfig();
+
+  runtime::SimClusterOptions cluster;
+  int apps = 2;
+  int64_t workers_per_app = 4;
+  int64_t instances_per_app = 48;
+  double instance_duration = 1.0;
+  /// Election + first heartbeats settle before submission.
+  double warmup = 3.0;
+  CampaignPlanOptions plan;
+  /// Eventual-completion deadline after HealEverything(); missing it is
+  /// itself an invariant violation (liveness once faults cease).
+  double settle_timeout = 300.0;
+  /// Quiesced tail after completion so sustained-condition trackers and
+  /// the final reconcile sweep get a chance to fire or clear.
+  double cooldown = 25.0;
+  /// Virtual seconds between digest lines in the replay trace.
+  double digest_interval = 5.0;
+  /// Chaos knob: skip the Figure 7 grant restore on failover, seeding
+  /// the double-grant bug the monitor must catch.
+  bool seed_restore_bug = false;
+  InvariantMonitorOptions monitor;
+};
+
+struct CampaignResult {
+  uint64_t seed = 0;
+  bool completed = false;      ///< every app finished before the deadline
+  double completed_at = -1;
+  double ended_at = 0;
+  uint64_t events = 0;         ///< simulator events executed
+  uint64_t heavy_checks = 0;
+  uint64_t state_hash = 0;     ///< monitor digest over all heavy sweeps
+  int64_t instances_done = 0;
+  std::vector<Violation> violations;
+  std::string fault_log;       ///< injected faults with virtual times
+  std::string trace;           ///< periodic state digests (replay witness)
+  /// Captured only when the campaign failed: per-machine live
+  /// processes and agent capacity tables at the end of the run.
+  std::string residual_state;
+
+  bool ok() const { return completed && violations.empty(); }
+};
+
+/// Runs one campaign: builds a SimCluster, submits synthetic apps,
+/// expands the seeded fault schedule, monitors invariants continuously,
+/// heals, and demands eventual completion.
+CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config);
+
+/// Human-readable failure dump: violations, fault schedule and trace —
+/// everything needed to replay the failure from its seed.
+std::string FormatCampaignFailure(const CampaignResult& result);
+
+struct SweepResult {
+  int passed = 0;
+  int failed = 0;
+  std::vector<uint64_t> failing_seeds;
+  std::vector<CampaignResult> failures;
+};
+
+/// Runs `count` campaigns with seeds first_seed .. first_seed+count-1.
+SweepResult RunSeedSweep(uint64_t first_seed, int count,
+                         const CampaignConfig& config);
+
+}  // namespace fuxi::chaos
+
+#endif  // FUXI_CHAOS_CAMPAIGN_H_

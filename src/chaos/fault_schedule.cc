@@ -1,0 +1,329 @@
+#include "chaos/fault_schedule.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fuxi::chaos {
+
+ChaosEngine::ChaosEngine(runtime::SimCluster* cluster)
+    : cluster_(cluster), baseline_config_(*cluster->network().mutable_config()) {
+  FUXI_CHECK(cluster != nullptr);
+}
+
+void ChaosEngine::Note(const std::string& what) {
+  log_.push_back(InjectedFault{cluster_->sim().Now(), what});
+}
+
+void ChaosEngine::Inject(const Fault& fault) {
+  Note(fault.description);
+  fault.apply();
+}
+
+sim::EventHandle ChaosEngine::At(double when, Fault fault) {
+  return cluster_->sim().ScheduleAt(
+      when, [this, fault = std::move(fault)] { Inject(fault); });
+}
+
+Fault ChaosEngine::KillPrimaryMaster() {
+  return {"KillPrimaryMaster", [this] { cluster_->KillPrimaryMaster(); }};
+}
+
+Fault ChaosEngine::RestartDeadMasters() {
+  return {"RestartDeadMasters", [this] { cluster_->RestartDeadMasters(); }};
+}
+
+Fault ChaosEngine::MasterCrashLoop(int kills, double gap) {
+  std::ostringstream name;
+  name << "MasterCrashLoop(kills=" << kills << ", gap=" << gap << ")";
+  return {name.str(), [this, kills, gap] {
+            cluster_->KillPrimaryMaster();
+            double now = cluster_->sim().Now();
+            for (int i = 1; i < kills; ++i) {
+              At(now + i * gap, {"MasterCrashLoop:kill-next-primary", [this] {
+                                   cluster_->RestartDeadMasters();
+                                   cluster_->KillPrimaryMaster();
+                                 }});
+            }
+            At(now + kills * gap, RestartDeadMasters());
+          }};
+}
+
+Fault ChaosEngine::HaltMachine(MachineId machine) {
+  return {"HaltMachine(m" + std::to_string(machine.value()) + ")",
+          [this, machine] { cluster_->HaltMachine(machine); }};
+}
+
+Fault ChaosEngine::ReviveMachine(MachineId machine) {
+  return {"ReviveMachine(m" + std::to_string(machine.value()) + ")",
+          [this, machine] { cluster_->ReviveMachine(machine); }};
+}
+
+Fault ChaosEngine::CrashAgent(MachineId machine) {
+  return {"CrashAgent(m" + std::to_string(machine.value()) + ")",
+          [this, machine] { cluster_->agent(machine)->Crash(); }};
+}
+
+Fault ChaosEngine::RestartAgent(MachineId machine) {
+  return {"RestartAgent(m" + std::to_string(machine.value()) + ")",
+          [this, machine] {
+            agent::FuxiAgent* agent = cluster_->agent(machine);
+            if (!agent->is_alive() && !cluster_->machine_halted(machine)) {
+              agent->Restart();
+            }
+          }};
+}
+
+Fault ChaosEngine::RackPowerLoss(RackId rack) {
+  return {"RackPowerLoss(r" + std::to_string(rack.value()) + ")",
+          [this, rack] {
+            const cluster::Rack& r =
+                cluster_->topology().racks()[static_cast<size_t>(rack.value())];
+            for (MachineId machine : r.machines) {
+              cluster_->HaltMachine(machine);
+            }
+          }};
+}
+
+Fault ChaosEngine::RackRevive(RackId rack) {
+  return {"RackRevive(r" + std::to_string(rack.value()) + ")",
+          [this, rack] {
+            const cluster::Rack& r =
+                cluster_->topology().racks()[static_cast<size_t>(rack.value())];
+            for (MachineId machine : r.machines) {
+              if (cluster_->machine_halted(machine)) {
+                cluster_->ReviveMachine(machine);
+              }
+            }
+          }};
+}
+
+Fault ChaosEngine::CutAgentUplink(MachineId machine) {
+  return {"CutAgentUplink(m" + std::to_string(machine.value()) + ")",
+          [this, machine] {
+            NodeId agent_node(100 + machine.value());
+            for (int i = 0; i < cluster_->master_count(); ++i) {
+              NodeId master_node = cluster_->master(i)->node();
+              cluster_->network().CutLink(agent_node, master_node);
+              cuts_.insert({agent_node, master_node});
+            }
+          }};
+}
+
+Fault ChaosEngine::HealAgentUplink(MachineId machine) {
+  return {"HealAgentUplink(m" + std::to_string(machine.value()) + ")",
+          [this, machine] {
+            NodeId agent_node(100 + machine.value());
+            for (int i = 0; i < cluster_->master_count(); ++i) {
+              NodeId master_node = cluster_->master(i)->node();
+              cluster_->network().HealLink(agent_node, master_node);
+              cuts_.erase({agent_node, master_node});
+            }
+          }};
+}
+
+Fault ChaosEngine::FlapAgent(MachineId machine, double period, double duty) {
+  std::ostringstream name;
+  name << "FlapAgent(m" << machine.value() << ", period=" << period
+       << ", duty=" << duty << ")";
+  return {name.str(), [this, machine, period, duty] {
+            NodeId agent_node(100 + machine.value());
+            auto it = flaps_.find(machine);
+            if (it != flaps_.end()) it->second.Cancel();
+            flaps_[machine] =
+                cluster_->network().Flap(agent_node, period, duty);
+          }};
+}
+
+Fault ChaosEngine::StopFlap(MachineId machine) {
+  return {"StopFlap(m" + std::to_string(machine.value()) + ")",
+          [this, machine] {
+            auto it = flaps_.find(machine);
+            if (it != flaps_.end()) {
+              it->second.Cancel();
+              flaps_.erase(it);
+            }
+          }};
+}
+
+Fault ChaosEngine::DropBurst(double probability, double duration) {
+  std::ostringstream name;
+  name << "DropBurst(p=" << probability << ", d=" << duration << ")";
+  return {name.str(), [this, probability, duration] {
+            cluster_->network().mutable_config()->drop_probability =
+                probability;
+            At(cluster_->sim().Now() + duration,
+               {"DropBurst:restore", [this] {
+                  cluster_->network().mutable_config()->drop_probability =
+                      baseline_config_.drop_probability;
+                }});
+          }};
+}
+
+Fault ChaosEngine::DuplicateBurst(double probability, double duration) {
+  std::ostringstream name;
+  name << "DuplicateBurst(p=" << probability << ", d=" << duration << ")";
+  return {name.str(), [this, probability, duration] {
+            cluster_->network().mutable_config()->duplicate_probability =
+                probability;
+            At(cluster_->sim().Now() + duration,
+               {"DuplicateBurst:restore", [this] {
+                  cluster_->network().mutable_config()->duplicate_probability =
+                      baseline_config_.duplicate_probability;
+                }});
+          }};
+}
+
+void ChaosEngine::ScheduleRandomCampaign(uint64_t seed,
+                                         const CampaignPlanOptions& plan) {
+  Rng rng(seed ^ 0xC4A05C4A05ull);
+
+  // Deterministic machine pool for machine-scoped faults, with the tail
+  // of the shuffle protected so the cluster stays schedulable.
+  std::vector<MachineId> pool;
+  for (const cluster::Machine& machine : cluster_->topology().machines()) {
+    pool.push_back(machine.id);
+  }
+  for (size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng.Uniform(i)]);
+  }
+  size_t protect = std::min<size_t>(
+      pool.size() > 1 ? pool.size() - 1 : 0,
+      static_cast<size_t>(std::max(plan.protected_machines, 0)));
+  size_t usable = pool.size() - protect;
+  size_t next_machine = 0;
+  auto take_machine = [&](MachineId* out) {
+    if (next_machine >= usable) return false;
+    *out = pool[next_machine++];
+    return true;
+  };
+
+  enum Kind {
+    kMachineBounce,
+    kAgentBounce,
+    kRackOutage,
+    kMasterFailover,
+    kMasterCrashLoop,
+    kLinkCut,
+    kFlap,
+    kDropBurst,
+    kDuplicateBurst,
+  };
+  std::vector<Kind> kinds;
+  if (plan.machine_faults) {
+    kinds.insert(kinds.end(), {kMachineBounce, kMachineBounce, kAgentBounce,
+                               kAgentBounce});
+  }
+  if (plan.rack_faults) kinds.push_back(kRackOutage);
+  if (plan.master_faults) {
+    kinds.insert(kinds.end(), {kMasterFailover, kMasterCrashLoop});
+  }
+  if (plan.link_faults) kinds.push_back(kLinkCut);
+  if (plan.flap_faults) kinds.push_back(kFlap);
+  if (plan.burst_faults) {
+    kinds.insert(kinds.end(), {kDropBurst, kDuplicateBurst});
+  }
+  if (kinds.empty()) return;
+
+  bool rack_done = false;
+  double lease = cluster_->options().master.lock_lease;
+  for (int episode = 0; episode < plan.episodes; ++episode) {
+    Kind kind = kinds[rng.Uniform(kinds.size())];
+    double outage = plan.min_outage +
+                    rng.NextDouble() * (plan.max_outage - plan.min_outage);
+    double latest = plan.start + std::max(plan.duration - outage, 0.0);
+    double t0 = plan.start + rng.NextDouble() * (latest - plan.start);
+    MachineId machine;
+    switch (kind) {
+      case kMachineBounce:
+        if (!take_machine(&machine)) break;
+        At(t0, HaltMachine(machine));
+        At(t0 + outage, ReviveMachine(machine));
+        break;
+      case kAgentBounce:
+        if (!take_machine(&machine)) break;
+        // Daemon-only bounce: processes survive and must be re-adopted.
+        At(t0, CrashAgent(machine));
+        At(t0 + std::min(outage, 4.0), RestartAgent(machine));
+        break;
+      case kRackOutage: {
+        if (rack_done || cluster_->topology().racks().size() < 2) break;
+        rack_done = true;
+        RackId rack(static_cast<int64_t>(
+            rng.Uniform(cluster_->topology().racks().size())));
+        At(t0, RackPowerLoss(rack));
+        At(t0 + outage, RackRevive(rack));
+        break;
+      }
+      case kMasterFailover:
+        At(t0, KillPrimaryMaster());
+        At(t0 + std::max(outage, lease), RestartDeadMasters());
+        break;
+      case kMasterCrashLoop: {
+        // The loop's kills must land inside the fault window, or the
+        // campaign would keep injecting after HealEverything().
+        int kills = 1 + static_cast<int>(rng.Uniform(2));
+        double gap = lease * 1.2;
+        double span = kills * gap;
+        if (span > plan.duration) {
+          kills = 1;
+          span = gap;
+        }
+        double last_start = plan.start + std::max(plan.duration - span, 0.0);
+        double loop_t0 =
+            plan.start + rng.NextDouble() * (last_start - plan.start);
+        At(loop_t0, MasterCrashLoop(kills, gap));
+        break;
+      }
+      case kLinkCut:
+        if (!take_machine(&machine)) break;
+        At(t0, CutAgentUplink(machine));
+        At(t0 + outage, HealAgentUplink(machine));
+        break;
+      case kFlap:
+        if (!take_machine(&machine)) break;
+        At(t0, FlapAgent(machine, 1.0 + rng.NextDouble() * 2.0,
+                         0.3 + rng.NextDouble() * 0.3));
+        At(t0 + outage, StopFlap(machine));
+        break;
+      case kDropBurst:
+        At(t0, DropBurst(0.05 + rng.NextDouble() * 0.2, outage));
+        break;
+      case kDuplicateBurst:
+        At(t0, DuplicateBurst(0.05 + rng.NextDouble() * 0.3, outage));
+        break;
+    }
+  }
+}
+
+void ChaosEngine::HealEverything() {
+  Note("HealEverything");
+  for (auto& [machine, handle] : flaps_) handle.Cancel();
+  flaps_.clear();
+  for (const auto& [from, to] : cuts_) {
+    cluster_->network().HealLink(from, to);
+  }
+  cuts_.clear();
+  net::Network::Config* config = cluster_->network().mutable_config();
+  config->drop_probability = baseline_config_.drop_probability;
+  config->duplicate_probability = baseline_config_.duplicate_probability;
+  cluster_->RestartDeadMasters();
+  std::set<MachineId> halted = cluster_->halted_machines();
+  for (MachineId machine : halted) cluster_->ReviveMachine(machine);
+  for (const cluster::Machine& machine : cluster_->topology().machines()) {
+    agent::FuxiAgent* agent = cluster_->agent(machine.id);
+    if (!agent->is_alive()) agent->Restart();
+  }
+}
+
+std::string ChaosEngine::LogDump() const {
+  std::ostringstream out;
+  for (const InjectedFault& fault : log_) {
+    out << "t=" << fault.time << " " << fault.description << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fuxi::chaos

@@ -1,0 +1,123 @@
+#ifndef FUXI_CHAOS_FAULT_SCHEDULE_H_
+#define FUXI_CHAOS_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/network.h"
+#include "runtime/sim_cluster.h"
+#include "sim/simulator.h"
+
+namespace fuxi::chaos {
+
+/// One schedulable fault: a description (for the campaign trace) and
+/// the action that applies it to the cluster. Composite faults (crash
+/// loops, bursts) schedule their own follow-up steps through the
+/// engine, so every sub-action still lands in the injection log.
+struct Fault {
+  std::string description;
+  std::function<void()> apply;
+};
+
+/// Parameters of a seeded random campaign: `episodes` paired
+/// onset/recovery fault episodes drawn over the window
+/// [start, start + duration] (absolute virtual time). Every episode
+/// schedules its own recovery, so the cluster is nominally whole again
+/// shortly after the window closes; HealEverything() is the belt and
+/// braces for anything a cancelled or overlapping episode left broken.
+struct CampaignPlanOptions {
+  double start = 6.0;
+  double duration = 40.0;
+  int episodes = 6;
+  double min_outage = 2.0;
+  double max_outage = 10.0;
+  /// Machines excluded from machine-scoped faults, so the cluster keeps
+  /// enough capacity to make progress through the worst of the window.
+  int protected_machines = 2;
+  bool machine_faults = true;   ///< halt/revive and agent bounce
+  bool rack_faults = true;      ///< correlated rack power loss
+  bool master_faults = true;    ///< primary kill + crash loops
+  bool link_faults = true;      ///< asymmetric agent-uplink cuts
+  bool flap_faults = true;      ///< periodic partition/heal cycles
+  bool burst_faults = true;     ///< drop / duplicate probability bursts
+};
+
+/// Drives scripted and seeded-random fault campaigns over a SimCluster.
+/// Faults are scheduled at absolute virtual times and are cancellable
+/// via the returned simulator handle; every applied fault is logged
+/// with its fire time so a failing campaign replays byte-identically
+/// from its seed.
+class ChaosEngine {
+ public:
+  struct InjectedFault {
+    double time = 0;
+    std::string description;
+  };
+
+  explicit ChaosEngine(runtime::SimCluster* cluster);
+
+  /// Schedules `fault` at absolute virtual time `when` (clamped to now).
+  /// The handle cancels the injection if it has not fired yet.
+  sim::EventHandle At(double when, Fault fault);
+
+  /// Applies a fault immediately and logs it.
+  void Inject(const Fault& fault);
+
+  // --- fault constructors ----------------------------------------------
+
+  Fault KillPrimaryMaster();
+  Fault RestartDeadMasters();
+  /// Kills the primary `kills` times, `gap` seconds apart, restarting
+  /// dead replicas between kills so each takeover is freshly murdered —
+  /// timed against lease expiry when gap > lock_lease.
+  Fault MasterCrashLoop(int kills, double gap);
+  Fault HaltMachine(MachineId machine);
+  Fault ReviveMachine(MachineId machine);
+  Fault CrashAgent(MachineId machine);
+  Fault RestartAgent(MachineId machine);
+  /// Correlated failure: every machine in the rack halts at once.
+  Fault RackPowerLoss(RackId rack);
+  Fault RackRevive(RackId rack);
+  /// Cuts the agent→master direction of the machine's uplink (for every
+  /// master replica): the master goes deaf to the machine while the
+  /// machine still hears revocations — the asymmetric case.
+  Fault CutAgentUplink(MachineId machine);
+  Fault HealAgentUplink(MachineId machine);
+  /// Starts a partition/heal flap of the machine's agent node.
+  Fault FlapAgent(MachineId machine, double period, double duty);
+  Fault StopFlap(MachineId machine);
+  /// Raises the network drop (or duplicate) probability to `p` for
+  /// `duration` seconds, then restores the campaign baseline.
+  Fault DropBurst(double probability, double duration);
+  Fault DuplicateBurst(double probability, double duration);
+
+  /// Expands `seed` into a deterministic schedule of paired
+  /// onset/recovery episodes. Call before running the window.
+  void ScheduleRandomCampaign(uint64_t seed, const CampaignPlanOptions& plan);
+
+  /// Reverts every fault surface this engine touched: cancels flaps,
+  /// heals its link cuts, restores the baseline network config,
+  /// restarts dead masters and agents, and revives halted machines.
+  void HealEverything();
+
+  const std::vector<InjectedFault>& log() const { return log_; }
+  std::string LogDump() const;
+
+ private:
+  void Note(const std::string& what);
+
+  runtime::SimCluster* cluster_;
+  std::vector<InjectedFault> log_;
+  std::map<MachineId, net::FlapHandle> flaps_;
+  std::set<std::pair<NodeId, NodeId>> cuts_;
+  net::Network::Config baseline_config_;
+};
+
+}  // namespace fuxi::chaos
+
+#endif  // FUXI_CHAOS_FAULT_SCHEDULE_H_

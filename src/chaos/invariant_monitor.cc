@@ -1,0 +1,256 @@
+#include "chaos/invariant_monitor.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fuxi::chaos {
+
+InvariantMonitor::InvariantMonitor(runtime::SimCluster* cluster,
+                                   InvariantMonitorOptions options)
+    : cluster_(cluster), options_(options) {
+  FUXI_CHECK(cluster != nullptr);
+}
+
+InvariantMonitor::~InvariantMonitor() { Stop(); }
+
+void InvariantMonitor::Start() {
+  if (installed_) return;
+  installed_ = true;
+  cluster_->sim().SetPostEventHook([this](double now) { OnEvent(now); });
+}
+
+void InvariantMonitor::Stop() {
+  if (!installed_) return;
+  installed_ = false;
+  cluster_->sim().SetPostEventHook(nullptr);
+}
+
+void InvariantMonitor::OnEvent(double now) {
+  CheapChecks(now);
+  if (now - last_heavy_ >= options_.heavy_check_interval) {
+    last_heavy_ = now;
+    HeavyChecks(now);
+  }
+}
+
+void InvariantMonitor::CheckNow() {
+  double now = cluster_->sim().Now();
+  CheapChecks(now);
+  last_heavy_ = now;
+  HeavyChecks(now);
+}
+
+void InvariantMonitor::Report(const std::string& invariant,
+                              const std::string& detail) {
+  Record(cluster_->sim().Now(), invariant, detail);
+}
+
+void InvariantMonitor::Record(double now, const std::string& invariant,
+                              const std::string& detail) {
+  if (violations_.size() >= options_.max_violations) return;
+  FUXI_LOG(kWarning) << "invariant violated at t=" << now << ": "
+                     << invariant << " (" << detail << ")";
+  violations_.push_back(Violation{now, invariant, detail});
+}
+
+void InvariantMonitor::Sustained(const std::string& key, bool bad,
+                                 double grace, double now,
+                                 const std::string& detail) {
+  auto it = pending_.find(key);
+  if (!bad) {
+    if (it != pending_.end()) pending_.erase(it);
+    return;
+  }
+  if (it == pending_.end()) {
+    pending_.emplace(key, PendingCondition{now, false, detail});
+    return;
+  }
+  it->second.detail = detail;
+  if (!it->second.fired && now - it->second.since >= grace) {
+    it->second.fired = true;
+    Record(now, key,
+           detail + " (sustained since t=" + std::to_string(it->second.since) +
+               ")");
+  }
+}
+
+void InvariantMonitor::Fold(uint64_t value) {
+  // FNV-1a over the value's bytes.
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (value >> (i * 8)) & 0xFF;
+    hash_ *= 1099511628211ull;
+  }
+}
+
+void InvariantMonitor::FoldTime(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  Fold(bits);
+}
+
+void InvariantMonitor::CheapChecks(double now) {
+  NodeId holder = cluster_->locks().Holder(master::FuxiMaster::kMasterLock);
+  int primaries = 0;
+  master::FuxiMaster* holder_primary = nullptr;
+  for (int i = 0; i < cluster_->master_count(); ++i) {
+    master::FuxiMaster* m = cluster_->master(i);
+    bool acting_primary = m->is_alive() && m->is_primary();
+    if (acting_primary) {
+      ++primaries;
+      if (m->node() == holder) holder_primary = m;
+    }
+    if (options_.check_single_primary) {
+      // A primary that no longer holds the lock must notice at its next
+      // renewal and step down; staying in charge past the grace window
+      // means two masters could be dispatching grants concurrently.
+      Sustained("primary-without-lock:node" + std::to_string(m->node().value()),
+                acting_primary && m->node() != holder,
+                options_.split_brain_grace, now,
+                "master node " + std::to_string(m->node().value()) +
+                    " acts as primary but the lock is held by node " +
+                    std::to_string(holder.value()));
+    }
+  }
+  if (options_.check_single_primary) {
+    Sustained("single-primary", primaries > 1, options_.split_brain_grace,
+              now,
+              std::to_string(primaries) + " masters act as primary at once");
+  }
+  if (options_.check_generation_monotonic && holder_primary != nullptr) {
+    uint64_t generation = holder_primary->generation();
+    if (generation < last_primary_generation_) {
+      Record(now, "generation-monotonic",
+             "lock holder node " +
+                 std::to_string(holder_primary->node().value()) +
+                 " acts with generation " + std::to_string(generation) +
+                 " after generation " +
+                 std::to_string(last_primary_generation_) + " was seen");
+    } else {
+      last_primary_generation_ = generation;
+    }
+  }
+}
+
+void InvariantMonitor::HeavyChecks(double now) {
+  ++checks_;
+  FoldTime(now);
+
+  NodeId holder = cluster_->locks().Holder(master::FuxiMaster::kMasterLock);
+  master::FuxiMaster* primary = nullptr;
+  for (int i = 0; i < cluster_->master_count(); ++i) {
+    master::FuxiMaster* m = cluster_->master(i);
+    if (m->is_alive() && m->is_primary() && m->node() == holder) primary = m;
+  }
+  Fold(primary != nullptr ? primary->generation() : 0);
+
+  if (primary != nullptr && primary->scheduler() != nullptr) {
+    if (options_.check_scheduler_conservation &&
+        !primary->scheduler()->CheckInvariants()) {
+      Record(now, "scheduler-conservation",
+             "scheduler cross-structure audit failed (free+granted vs "
+             "capacity, quota accounting, or locality-tree totals)");
+    }
+    if (options_.check_blacklist_cap) {
+      size_t cap = static_cast<size_t>(
+          cluster_->options().master.blacklist_cap_fraction *
+          static_cast<double>(cluster_->topology().machine_count()));
+      if (cap < 1) cap = 1;
+      size_t blacklisted = primary->Blacklisted().size();
+      Fold(blacklisted);
+      if (blacklisted > cap) {
+        Record(now, "blacklist-cap",
+               std::to_string(blacklisted) +
+                   " machines blacklisted, cap is " + std::to_string(cap));
+      }
+    }
+  }
+
+  for (const cluster::Machine& machine : cluster_->topology().machines()) {
+    std::string mtag = "m";
+    mtag += std::to_string(machine.id.value());
+    agent::FuxiAgent* agent = cluster_->agent(machine.id);
+    agent::ProcessHost* host = cluster_->host(machine.id);
+
+    if (options_.check_agent_overcommit) {
+      // A dead agent has no table; the sustained window restarts from
+      // scratch once it revives (a stale `since` would fire spuriously).
+      bool over = false;
+      cluster::ResourceVector promised;
+      if (agent->is_alive()) {
+        promised = agent->TotalGrantedCapacity();
+        Fold(static_cast<uint64_t>(promised.cpu()));
+        Fold(static_cast<uint64_t>(promised.memory()));
+        over = !promised.FitsIn(machine.capacity);
+      }
+      Sustained("agent-overcommit:" + mtag, over, options_.overcommit_grace,
+                now,
+                "agent on machine " + std::to_string(machine.id.value()) +
+                    " holds capacity " + promised.ToString() +
+                    " above physical " + machine.capacity.ToString());
+    }
+
+    size_t alive = host->alive_count();
+    Fold(alive);
+    if (options_.check_halted_machines &&
+        cluster_->machine_halted(machine.id) && alive > 0) {
+      // Instantaneous: HaltMachine kills every process synchronously,
+      // so any survivor was resurrected on a dead machine.
+      Record(now, "halted-machine-processes",
+             "halted machine " + std::to_string(machine.id.value()) +
+                 " hosts " + std::to_string(alive) + " live processes");
+    }
+
+    if (options_.check_orphan_processes && app_live_) {
+      std::map<AppId, std::string> dead_app_processes;
+      for (const agent::Process* process : host->Alive()) {
+        if (!app_live_(process->app)) {
+          std::ostringstream entry;
+          entry << " w" << process->id.value() << "@am"
+                << process->owner_am.value() << " since t="
+                << process->started_at;
+          dead_app_processes[process->app] += entry.str();
+        }
+      }
+      for (const auto& [app, workers] : dead_app_processes) {
+        // Cleanup of strays the application master does not know about
+        // travels master -> agent (capacity revocation), so the clock
+        // only runs while a primary is elected; the window restarts
+        // when the control plane recovers from an outage.
+        std::ostringstream detail;
+        detail << "processes of finished app " << app.value()
+               << " still run on machine " << machine.id.value() << ":"
+               << workers;
+        Sustained(
+            "orphan-processes:" + mtag + ":app" + std::to_string(app.value()),
+            primary != nullptr, options_.orphan_grace, now, detail.str());
+      }
+      // Clear sustained trackers for apps that no longer have strays.
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        const std::string prefix = "orphan-processes:" + mtag + ":app";
+        if (it->first.rfind(prefix, 0) == 0) {
+          AppId app(std::stoll(it->first.substr(prefix.size())));
+          if (dead_app_processes.count(app) == 0) {
+            it = pending_.erase(it);
+            continue;
+          }
+        }
+        ++it;
+      }
+    }
+  }
+}
+
+std::string InvariantMonitor::Summary() const {
+  std::ostringstream out;
+  out << "heavy_checks=" << checks_ << " state_hash=" << std::hex << hash_
+      << std::dec << " violations=" << violations_.size();
+  for (const Violation& v : violations_) {
+    out << "\n  t=" << v.time << " [" << v.invariant << "] " << v.detail;
+  }
+  return out.str();
+}
+
+}  // namespace fuxi::chaos

@@ -98,6 +98,11 @@ bool JobRuntime::AllFinished() const {
   return true;
 }
 
+bool JobRuntime::IsAppLive(AppId app) const {
+  auto it = jobs_.find(app);
+  return it != jobs_.end() && !it->second->finished();
+}
+
 bool JobRuntime::RunUntilAllFinished(double deadline) {
   while (cluster_->sim().Now() < deadline) {
     if (AllFinished()) return true;

@@ -39,6 +39,11 @@ class JobRuntime {
   /// True when every submitted job has finished.
   bool AllFinished() const;
 
+  /// True while `app` belongs to a submitted job that has not finished.
+  /// The chaos InvariantMonitor treats machine processes of non-live
+  /// apps as orphans once they outstay the reconcile grace period.
+  bool IsAppLive(AppId app) const;
+
   /// Runs the simulator until all jobs finish or `deadline` passes.
   /// Returns true on completion.
   bool RunUntilAllFinished(double deadline);

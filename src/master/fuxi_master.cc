@@ -490,9 +490,27 @@ void FuxiMaster::Dispatch(const resource::SchedulingResult& result) {
   for (auto& [machine, rpc] : per_machine) {
     auto it = agents_.find(machine);
     if (it == agents_.end() || !it->second.online) continue;
+    rpc.master_generation = generation_;
+    rpc.seq = ++it->second.capacity_seq;
     network_->Send(self_, it->second.node, rpc,
                    24 + rpc.entries.size() * 48);
   }
+}
+
+void FuxiMaster::SendFullCapacity(MachineId machine) {
+  auto it = agents_.find(machine);
+  if (it == agents_.end()) return;
+  AgentCapacityRpc rpc;
+  rpc.full = true;
+  for (const auto& [key, count] :
+       scheduler_->machine_state(machine).grants) {
+    if (count <= 0) continue;
+    rpc.entries.push_back(
+        {key.app, key.slot_id, LookupDef(key.app, key.slot_id), count});
+  }
+  rpc.master_generation = generation_;
+  rpc.seq = ++it->second.capacity_seq;
+  network_->Send(self_, it->second.node, rpc, 24 + rpc.entries.size() * 48);
 }
 
 void FuxiMaster::SendFullGrantState(AppRecord* record) {
@@ -531,18 +549,38 @@ void FuxiMaster::OnHeartbeat(const net::Envelope& env,
     // soft state, then open it up for scheduling (Figure 7).
     resource::SchedulingResult result;
     scheduler_->SetMachineOnline(rpc.machine, &result, /*run_pass=*/false);
-    for (const AgentAllocation& alloc : rpc.allocations) {
-      if (apps_.count(alloc.app) == 0) continue;  // app no longer exists
-      Status s = scheduler_->RestoreGrant(alloc.app, alloc.def, rpc.machine,
-                                          alloc.count);
-      if (!s.ok()) {
-        FUXI_LOG(kWarning) << "failed to restore grant on machine "
-                           << rpc.machine.value() << ": " << s.ToString();
+    if (options_.failover_restore_grants) {
+      for (const AgentAllocation& alloc : rpc.allocations) {
+        if (apps_.count(alloc.app) == 0) continue;  // app no longer exists
+        Status s = scheduler_->RestoreGrant(alloc.app, alloc.def,
+                                            rpc.machine, alloc.count);
+        if (!s.ok()) {
+          FUXI_LOG(kWarning) << "failed to restore grant on machine "
+                             << rpc.machine.value() << ": " << s.ToString();
+        }
       }
     }
     scheduler_->RunSchedulePass(rpc.machine, &result);
     agent.online = true;
     Dispatch(result);
+  } else if (rpc.carries_allocations) {
+    // Periodic agent/master capacity reconcile: the agent volunteered
+    // its allocation table; compare it against the scheduler's grants
+    // for the machine and push a corrective full snapshot when the two
+    // disagree (a capacity delta, stop request or blacklist revocation
+    // was lost — without repair the divergence is permanent and the
+    // orphaned processes leak). A snapshot in flight past a newer delta
+    // is harmless: the sequence stamps let the agent drop the stale one.
+    std::map<std::pair<AppId, uint32_t>, int64_t> reported;
+    for (const AgentAllocation& alloc : rpc.allocations) {
+      if (alloc.count > 0) reported[{alloc.app, alloc.slot_id}] = alloc.count;
+    }
+    std::map<std::pair<AppId, uint32_t>, int64_t> granted;
+    for (const auto& [key, count] :
+         scheduler_->machine_state(rpc.machine).grants) {
+      if (count > 0) granted[{key.app, key.slot_id}] = count;
+    }
+    if (reported != granted) SendFullCapacity(rpc.machine);
   }
 
   AgentHeartbeatAckRpc ack;
@@ -586,13 +624,25 @@ void FuxiMaster::RollupTick() {
       agent.unhealthy_since = -1;
     }
   }
-  // Cross-job blacklist voting.
+  // Cross-job blacklist voting. When more machines are eligible than
+  // the blacklist cap admits, the most-voted (= most widely observed
+  // bad) machines win the scarce blacklist slots; ties break toward
+  // the lower machine id for determinism.
+  std::vector<std::pair<size_t, MachineId>> eligible;
   for (const auto& [machine, votes] : blacklist_votes_) {
     if (static_cast<int>(votes.size()) >= options_.blacklist_votes &&
         blacklist_.count(machine) == 0) {
-      DisableMachine(machine, "blacklisted by " +
-                                  std::to_string(votes.size()) + " apps");
+      eligible.emplace_back(votes.size(), machine);
     }
+  }
+  std::sort(eligible.begin(), eligible.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (const auto& [votes, machine] : eligible) {
+    DisableMachine(machine, "blacklisted by " + std::to_string(votes) +
+                                " apps");
   }
   // Starvation guard: long-waiting demands get an aging boost (heavy
   // non-urgent work, handled in the roll-up like quota adjustment).

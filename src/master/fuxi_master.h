@@ -46,6 +46,12 @@ struct FuxiMasterOptions {
   double app_master_timeout = 20.0;
   /// Starvation aging period fed to the scheduler (0 = disabled).
   double starvation_age_after = 0;
+  /// Chaos-testing fault: when false, a newly elected primary opens
+  /// machines for scheduling WITHOUT restoring the grants their agents
+  /// report (skipping the Figure 7 soft-state rebuild). This reproduces
+  /// the double-grant failover bug the chaos InvariantMonitor must
+  /// catch; production behaviour is `true`.
+  bool failover_restore_grants = true;
   /// Quota groups to create on election (cluster configuration).
   std::vector<std::pair<std::string, cluster::ResourceVector>> quota_groups;
   resource::SchedulerOptions scheduler;
@@ -130,6 +136,9 @@ class FuxiMaster : public sim::Actor {
     double health_ewma = 1.0;
     double unhealthy_since = -1;
     bool online = false;
+    /// Sequence stamp for AgentCapacityRpc messages to this machine
+    /// (replay/reorder guard; see the message comment).
+    uint64_t capacity_seq = 0;
   };
 
   // --- election / failover ---
@@ -162,6 +171,10 @@ class FuxiMaster : public sim::Actor {
   /// masters and capacity deltas to agents.
   void Dispatch(const resource::SchedulingResult& result);
   void SendFullGrantState(AppRecord* record);
+  /// Pushes the scheduler's authoritative per-app capacity for one
+  /// machine as a full snapshot — the repair step of the periodic
+  /// agent/master capacity reconcile.
+  void SendFullCapacity(MachineId machine);
 
   // --- periodic work ---
   void MonitorTick();

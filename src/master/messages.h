@@ -84,6 +84,14 @@ struct AgentCapacityRpc {
     resource::ScheduleUnitDef def;
     int64_t delta = 0;  ///< delta, or absolute count when `full`
   };
+  /// Per-(master generation, machine) sequence number. Deltas commute,
+  /// so reordering among them is harmless, but a duplicated delta would
+  /// double-apply and a delta reordered behind a later full snapshot
+  /// would re-add capacity the snapshot already covers. The agent drops
+  /// any message whose seq it has already applied and any message older
+  /// than the last full snapshot.
+  uint64_t master_generation = 0;
+  uint64_t seq = 0;
   bool full = false;
   std::vector<Entry> entries;
 };
@@ -153,13 +161,17 @@ struct StartWorkerRpc {
   Json plan;
 };
 
-/// FuxiAgent → application master: worker launch outcome.
+/// FuxiAgent → application master: worker launch outcome. On a
+/// capacity refusal the agent reports the workers it already runs for
+/// that (app, slot): if the AM's original start reply was lost it can
+/// adopt the orphan instead of retrying into the same refusal forever.
 struct WorkerStartedRpc {
   uint64_t plan_id = 0;
   WorkerId worker;
   MachineId machine;
   bool ok = false;
   std::string error;
+  std::vector<WorkerId> running;  ///< set only on refusal
 };
 
 /// Application master → FuxiAgent: stop a worker.

@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <typeindex>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/ids.h"
 #include "common/logging.h"
@@ -70,11 +72,37 @@ struct NetworkStats {
   uint64_t bytes_sent = 0;
 };
 
+/// Cancellation token for a Flap() schedule. Cancelling stops future
+/// flap transitions and heals the node if the flap left it partitioned.
+class FlapHandle {
+ public:
+  FlapHandle() = default;
+
+  void Cancel() {
+    if (auto p = active_.lock()) *p = false;
+  }
+  bool active() const {
+    auto p = active_.lock();
+    return p && *p;
+  }
+
+ private:
+  friend class Network;
+  explicit FlapHandle(std::weak_ptr<bool> active)
+      : active_(std::move(active)) {}
+
+  std::weak_ptr<bool> active_;
+};
+
 /// Simulated datacenter network. Delivers payloads between registered
 /// endpoints with configurable latency, and can inject the failure modes
 /// the incremental protocol must survive: message loss, duplication, and
-/// (via random jitter) reordering. Nodes can be partitioned to model
-/// machine death or network disconnection.
+/// (via random jitter) reordering. Fault surfaces, from coarse to fine:
+///   * Partition(node)     — symmetric: the node is cut off entirely
+///   * CutLink(from, to)   — asymmetric: one direction of one link dies
+///   * Flap(node, ...)     — periodic partition/heal cycle
+/// In-flight messages crossing a partition or cut link at delivery time
+/// vanish, modelling queue drops in a dying switch.
 class Network {
  public:
   struct Config {
@@ -100,11 +128,36 @@ class Network {
   bool IsRegistered(NodeId node) const { return endpoints_.count(node) > 0; }
 
   /// Cuts a node off: in-flight and future messages to/from it vanish,
-  /// modelling a machine halt or link failure.
+  /// modelling a machine halt or full network disconnection. This is
+  /// the symmetric special case of per-link cuts.
   void Partition(NodeId node) { partitioned_.insert(node); }
   void Heal(NodeId node) { partitioned_.erase(node); }
   bool IsPartitioned(NodeId node) const {
     return partitioned_.count(node) > 0;
+  }
+
+  /// Cuts one direction of one link: messages from `from` to `to` are
+  /// dropped (including in-flight ones) while traffic the other way
+  /// still flows — the asymmetric failure mode that breaks protocols
+  /// which assume "I can hear you" implies "you can hear me".
+  void CutLink(NodeId from, NodeId to) { cut_links_.insert({from, to}); }
+  void HealLink(NodeId from, NodeId to) { cut_links_.erase({from, to}); }
+  bool IsLinkCut(NodeId from, NodeId to) const {
+    return cut_links_.count({from, to}) > 0;
+  }
+  size_t cut_link_count() const { return cut_links_.size(); }
+
+  /// Starts a network flap on `node`: each `period`, the node is
+  /// partitioned for `duty * period` seconds then healed for the rest.
+  /// Runs until the returned handle is cancelled (cancel also heals).
+  /// Deterministic: transitions are scheduled on the shared simulator.
+  FlapHandle Flap(NodeId node, double period, double duty) {
+    FUXI_CHECK(period > 0);
+    if (duty < 0) duty = 0;
+    if (duty > 1) duty = 1;
+    auto active = std::make_shared<bool>(true);
+    ScheduleFlapCycle(node, period, duty, active);
+    return FlapHandle(active);
   }
 
   /// Sends `payload` from `from` to `to`. `size_hint` approximates wire
@@ -113,7 +166,7 @@ class Network {
   void Send(NodeId from, NodeId to, T payload, size_t size_hint = 64) {
     stats_.messages_sent++;
     stats_.bytes_sent += size_hint;
-    if (IsPartitioned(from) || IsPartitioned(to)) {
+    if (Blocked(from, to)) {
       stats_.messages_dropped++;
       return;
     }
@@ -135,7 +188,11 @@ class Network {
       env.wire_seq = next_wire_seq_++;
       env.sent_at = sim_->Now();
       env.size_hint = size_hint;
-      env.payload = payload;  // copy: duplicates need their own payload
+      if (i + 1 < copies) {
+        env.payload = payload;  // an injected duplicate needs its own copy
+      } else {
+        env.payload = std::move(payload);
+      }
       double latency = SampleLatency();
       sim_->Schedule(latency, [this, env = std::move(env)]() {
         Deliver(env);
@@ -149,6 +206,10 @@ class Network {
   Config* mutable_config() { return &config_; }
 
  private:
+  bool Blocked(NodeId from, NodeId to) const {
+    return IsPartitioned(from) || IsPartitioned(to) || IsLinkCut(from, to);
+  }
+
   double SampleLatency() {
     double jitter =
         config_.latency_jitter * (2.0 * rng_.NextDouble() - 1.0);
@@ -157,7 +218,7 @@ class Network {
   }
 
   void Deliver(const Envelope& env) {
-    if (IsPartitioned(env.from) || IsPartitioned(env.to)) {
+    if (Blocked(env.from, env.to)) {
       stats_.messages_dropped++;
       return;
     }
@@ -170,12 +231,29 @@ class Network {
     it->second->Dispatch(env);
   }
 
+  void ScheduleFlapCycle(NodeId node, double period, double duty,
+                         std::shared_ptr<bool> active) {
+    if (!*active) return;
+    if (duty > 0) Partition(node);
+    sim_->Schedule(duty * period, [this, node, period, duty, active] {
+      // Heal even when the flap was cancelled mid-outage: a cancelled
+      // flap must never leave the node dark forever.
+      Heal(node);
+      if (!*active) return;
+      sim_->Schedule((1.0 - duty) * period,
+                     [this, node, period, duty, active] {
+                       ScheduleFlapCycle(node, period, duty, active);
+                     });
+    });
+  }
+
   sim::Simulator* sim_;
   Config config_;
   Rng rng_;
   uint64_t next_wire_seq_ = 0;
   std::unordered_map<NodeId, Endpoint*> endpoints_;
   std::unordered_set<NodeId> partitioned_;
+  std::set<std::pair<NodeId, NodeId>> cut_links_;
   NetworkStats stats_;
 };
 

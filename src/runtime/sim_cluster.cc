@@ -53,11 +53,24 @@ void SimCluster::KillPrimaryMaster() {
 
 void SimCluster::HaltMachine(MachineId machine) {
   agent(machine)->HaltMachine();
+  halted_.insert(machine);
 }
 
 void SimCluster::ReviveMachine(MachineId machine) {
+  halted_.erase(machine);
   agent::FuxiAgent* a = agent(machine);
   if (!a->is_alive()) a->Restart();
+}
+
+int SimCluster::RestartDeadMasters() {
+  int restarted = 0;
+  for (auto& m : masters_) {
+    if (!m->is_alive()) {
+      m->Restart();
+      ++restarted;
+    }
+  }
+  return restarted;
 }
 
 void SimCluster::SetMachineHealth(MachineId machine, double score) {

@@ -2,6 +2,7 @@
 #define FUXI_RUNTIME_SIM_CLUSTER_H_
 
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "agent/fuxi_agent.h"
@@ -46,6 +47,7 @@ class SimCluster {
   // --- component access -------------------------------------------------
 
   sim::Simulator& sim() { return sim_; }
+  const SimClusterOptions& options() const { return options_; }
   net::Network& network() { return *network_; }
   coord::LockService& locks() { return *locks_; }
   coord::CheckpointStore& checkpoint() { return checkpoint_; }
@@ -88,6 +90,18 @@ class SimCluster {
   /// Brings a halted machine back (fresh agent, empty process host).
   void ReviveMachine(MachineId machine);
 
+  /// Machines currently halted via HaltMachine (not mere agent
+  /// crashes). The chaos InvariantMonitor uses this to assert a dead
+  /// machine cannot host live processes.
+  bool machine_halted(MachineId machine) const {
+    return halted_.count(machine) > 0;
+  }
+  const std::set<MachineId>& halted_machines() const { return halted_; }
+
+  /// Restarts every crashed FuxiMaster replica (chaos recovery step
+  /// after crash-loop campaigns). Returns how many were restarted.
+  int RestartDeadMasters();
+
   /// SlowMachine: lowers the health score the agent reports, eventually
   /// tripping the master's plugin-based disabling.
   void SetMachineHealth(MachineId machine, double score);
@@ -112,6 +126,7 @@ class SimCluster {
   std::vector<std::unique_ptr<agent::ProcessHost>> hosts_;
   std::vector<std::unique_ptr<agent::FuxiAgent>> agents_;
   std::vector<double> slowdown_;
+  std::set<MachineId> halted_;
   int64_t next_node_id_ = 10000;
 };
 

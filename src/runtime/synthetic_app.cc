@@ -9,6 +9,9 @@ namespace fuxi::runtime {
 namespace {
 /// Worker-start plans time out and are retried after this long.
 constexpr double kPlanRetryDelay = 0.5;
+/// A plan nobody answered (agent died, or the message/reply was lost)
+/// is garbage-collected and the launch retried after this long.
+constexpr double kPlanTimeout = 10.0;
 }  // namespace
 
 SyntheticApp::SyntheticApp(SimCluster* cluster, AppId app,
@@ -218,6 +221,20 @@ void SyntheticApp::TryStartWorkers(StageState* stage, MachineId machine) {
     rpc.plan = std::move(plan);
     stage->pending_plans.emplace(rpc.plan_id, machine);
     plan_sent_at_[rpc.plan_id] = cluster_->sim().Now();
+    // Plans are not fire-and-forget: if the StartWorkerRpc or its reply
+    // is lost the pending entry would block this machine's launch slot
+    // forever. Time the plan out and retry while the grant stands.
+    uint64_t plan_id = rpc.plan_id;
+    uint64_t life = life_;
+    cluster_->sim().Schedule(kPlanTimeout,
+                             [this, life, plan_id, stage, machine] {
+                               if (!running_ || life != life_) return;
+                               auto it = stage->pending_plans.find(plan_id);
+                               if (it == stage->pending_plans.end()) return;
+                               stage->pending_plans.erase(it);
+                               plan_sent_at_.erase(plan_id);
+                               TryStartWorkers(stage, machine);
+                             });
     cluster_->network().Send(node_, cluster_->agent(machine)->node(), rpc,
                              256);
     ++pending;
@@ -250,6 +267,18 @@ void SyntheticApp::OnWorkerStarted(const master::WorkerStartedRpc& rpc) {
     return;
   }
   if (!rpc.ok) {
+    // The agent may already run workers of ours it reported in the
+    // refusal — a started worker whose reply was lost. Adopt them so
+    // the retry loop cannot spin against a phantom capacity deficit.
+    for (WorkerId id : rpc.running) {
+      if (workers_.count(id) > 0) continue;
+      WorkerRecord orphan;
+      orphan.worker = id;
+      orphan.machine = rpc.machine;
+      orphan.slot_id = owning_stage->config.slot_id;
+      auto [oit, inserted] = workers_.emplace(id, std::move(orphan));
+      if (inserted) AssignWork(&oit->second);
+    }
     // Capacity message may still be in flight to the agent; retry while
     // the grant stands.
     uint64_t life = life_;

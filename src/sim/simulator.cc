@@ -26,6 +26,7 @@ bool Simulator::Step() {
     if (*ev.cancelled) continue;
     ++executed_;
     ev.fn();
+    if (post_event_hook_) post_event_hook_(now_);
     return true;
   }
   return false;

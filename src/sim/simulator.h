@@ -76,6 +76,16 @@ class Simulator {
   size_t PendingEvents() const { return queue_.size(); }
   uint64_t ExecutedEvents() const { return executed_; }
 
+  /// Installs an observer invoked after every executed event, with the
+  /// event's virtual time. Observers see the state every transition
+  /// leaves behind — this is what lets an invariant monitor check the
+  /// cluster *continuously* instead of only at test end. The observer
+  /// must not schedule unbounded new work from inside itself (it runs
+  /// on the hot path) but may call Schedule(). Pass nullptr to remove.
+  void SetPostEventHook(std::function<void(SimTime)> hook) {
+    post_event_hook_ = std::move(hook);
+  }
+
  private:
   struct Event {
     SimTime time;
@@ -94,6 +104,7 @@ class Simulator {
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::function<void(SimTime)> post_event_hook_;
 };
 
 /// Base class for simulated components (FuxiMaster, FuxiAgent, masters,

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.h"
+#include "chaos/fault_schedule.h"
+#include "chaos/invariant_monitor.h"
+#include "runtime/sim_cluster.h"
+#include "runtime/synthetic_app.h"
+
+namespace fuxi::chaos {
+namespace {
+
+/// Seeds swept by the acceptance campaign. Every seed expands into a
+/// different random fault schedule; all of them must hold every
+/// invariant and finish their jobs once faults cease.
+constexpr uint64_t kFirstSeed = 1;
+constexpr int kSweepSeeds = 50;
+
+TEST(ChaosCampaign, FiftySeedSweepHoldsAllInvariants) {
+  CampaignConfig config;
+  SweepResult sweep = RunSeedSweep(kFirstSeed, kSweepSeeds, config);
+  EXPECT_EQ(sweep.passed, kSweepSeeds);
+  if (sweep.failed > 0) {
+    ADD_FAILURE() << FormatCampaignFailure(sweep.failures.front());
+  }
+}
+
+TEST(ChaosCampaign, ReplayFromSeedIsByteIdentical) {
+  CampaignConfig config;
+  CampaignResult first = RunCampaign(7, config);
+  CampaignResult second = RunCampaign(7, config);
+  // Byte-identical replay: the fault schedule, the periodic digest
+  // trace, the folded state hash and the event count all match.
+  EXPECT_EQ(first.fault_log, second.fault_log);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.state_hash, second.state_hash);
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.completed_at, second.completed_at);
+  EXPECT_EQ(first.violations.size(), second.violations.size());
+}
+
+TEST(ChaosCampaign, DistinctSeedsProduceDistinctSchedules) {
+  CampaignConfig config;
+  config.plan.duration = 20.0;  // shorter window keeps this test quick
+  CampaignResult a = RunCampaign(101, config);
+  CampaignResult b = RunCampaign(102, config);
+  EXPECT_NE(a.fault_log, b.fault_log);
+  EXPECT_NE(a.state_hash, b.state_hash);
+}
+
+/// Harness for scripted (non-random) chaos scenarios: a tiny cluster
+/// whose machines a single app fills completely, so a failover that
+/// skips the Figure 7 grant restore must double-book them.
+class ScriptedChaosTest : public ::testing::Test {
+ protected:
+  runtime::SimClusterOptions TinyClusterOptions(bool restore_grants) {
+    runtime::SimClusterOptions options;
+    options.topology.racks = 1;
+    options.topology.machines_per_rack = 2;
+    options.topology.machine_capacity = cluster::ResourceVector(400, 8192);
+    options.master.failover_restore_grants = restore_grants;
+    // Disable the periodic agent/master capacity reconcile: it would
+    // repair the seeded double-grant before the sustained window
+    // elapses, which is exactly what production wants and exactly what
+    // this test must prevent.
+    options.agent.allocation_report_every = 0;
+    return options;
+  }
+
+  /// One app whose 8 long-running workers fill both machines
+  /// (memory-bound: 4 x 2048 MB per 8192 MB machine).
+  std::unique_ptr<runtime::SyntheticApp> SubmitFillingApp(
+      runtime::SimCluster* cluster) {
+    runtime::SyntheticStage stage;
+    stage.slot_id = 0;
+    stage.workers = 8;
+    stage.instances = 8;
+    stage.instance_duration = 120.0;  // busy for the whole test
+    auto app = std::make_unique<runtime::SyntheticApp>(
+        cluster, AppId(1), std::vector<runtime::SyntheticStage>{stage}, 7);
+    master::SubmitAppRpc submit;
+    submit.app = AppId(1);
+    submit.client = cluster->AllocateNodeId();
+    cluster->network().Send(submit.client, cluster->primary()->node(),
+                            submit);
+    cluster->RunFor(0.2);
+    app->StartMaster();
+    return app;
+  }
+};
+
+TEST_F(ScriptedChaosTest, MonitorCatchesDoubleGrantWhenRestoreIsSkipped) {
+  runtime::SimCluster cluster(TinyClusterOptions(/*restore_grants=*/false));
+  InvariantMonitor monitor(&cluster);
+  ChaosEngine engine(&cluster);
+  cluster.Start();
+  monitor.Start();
+  cluster.RunFor(2.0);
+  auto app = SubmitFillingApp(&cluster);
+  cluster.RunFor(15.0);  // all 8 workers granted and running
+
+  engine.Inject(engine.KillPrimaryMaster());
+  // Standby takes over after the lease lapses, opens the machines
+  // WITHOUT restoring their grants, and re-grants the app's full
+  // resync demand onto machines still running the old workers. The
+  // agents' capacity tables then promise 2x physical capacity, which
+  // the monitor must flag once sustained.
+  cluster.RunFor(30.0);
+
+  bool caught = false;
+  for (const Violation& violation : monitor.violations()) {
+    if (violation.invariant.rfind("agent-overcommit", 0) == 0) caught = true;
+  }
+  EXPECT_TRUE(caught) << monitor.Summary();
+}
+
+TEST_F(ScriptedChaosTest, NoViolationWhenFailoverRestoresGrants) {
+  runtime::SimCluster cluster(TinyClusterOptions(/*restore_grants=*/true));
+  InvariantMonitor monitor(&cluster);
+  ChaosEngine engine(&cluster);
+  cluster.Start();
+  monitor.Start();
+  cluster.RunFor(2.0);
+  auto app = SubmitFillingApp(&cluster);
+  cluster.RunFor(15.0);
+
+  engine.Inject(engine.KillPrimaryMaster());
+  cluster.RunFor(30.0);
+
+  EXPECT_TRUE(monitor.violations().empty()) << monitor.Summary();
+}
+
+TEST_F(ScriptedChaosTest, AsymmetricUplinkCutRevokesAndRecovers) {
+  runtime::SimCluster cluster(TinyClusterOptions(/*restore_grants=*/true));
+  InvariantMonitor monitor(&cluster);
+  ChaosEngine engine(&cluster);
+  cluster.Start();
+  monitor.Start();
+  cluster.RunFor(2.0);
+  auto app = SubmitFillingApp(&cluster);
+  cluster.RunFor(15.0);
+
+  // Cut only agent->master: the master goes deaf and marks the machine
+  // down; the machine still hears the resulting revocations.
+  MachineId machine(0);
+  engine.Inject(engine.CutAgentUplink(machine));
+  cluster.RunFor(10.0);
+  EXPECT_FALSE(
+      cluster.primary()->scheduler()->machine_state(machine).online);
+
+  engine.Inject(engine.HealAgentUplink(machine));
+  cluster.RunFor(10.0);
+  EXPECT_TRUE(
+      cluster.primary()->scheduler()->machine_state(machine).online);
+  EXPECT_TRUE(monitor.violations().empty()) << monitor.Summary();
+}
+
+}  // namespace
+}  // namespace fuxi::chaos

@@ -386,6 +386,87 @@ TEST_F(IntegrationTest, SubmitViaMasterLaunchesAppMasterOnAgent) {
   EXPECT_TRUE(cluster_.checkpoint().Contains("fuxi/app/9"));
 }
 
+TEST_F(IntegrationTest, ReviveMachineReschedulesWorkOntoIt) {
+  // Capacity-bound: 16 workers of (100, 4096) fill all 8 machines
+  // exactly (memory-bound, 2 per machine).
+  SyntheticStage stage;
+  stage.slot_id = 0;
+  stage.unit = cluster::ResourceVector(100, 4096);
+  stage.workers = 16;
+  stage.instances = 4000;
+  stage.instance_duration = 1.0;
+  SyntheticApp* app = AddApp(AppId(1), {stage});
+  cluster_.RunFor(10.0);
+  ASSERT_EQ(app->running_workers(), 16);
+
+  MachineId victim(0);
+  ASSERT_GT(cluster_.host(victim)->alive_count(), 0u);
+  cluster_.HaltMachine(victim);
+  cluster_.RunFor(15.0);
+  // The displaced workers cannot all migrate: the other 7 machines are
+  // already full, so demand waits.
+  EXPECT_EQ(app->running_workers(), 14);
+  EXPECT_EQ(cluster_.host(victim)->alive_count(), 0u);
+
+  cluster_.ReviveMachine(victim);
+  cluster_.RunFor(10.0);
+  // The fresh agent's heartbeats bring the machine back online and the
+  // waiting demand is granted onto it.
+  EXPECT_TRUE(cluster_.primary()->scheduler()->machine_state(victim).online);
+  EXPECT_EQ(cluster_.host(victim)->alive_count(), 2u);
+  EXPECT_EQ(app->running_workers(), 16);
+  // And the job keeps making progress on the revived machine.
+  int64_t done_before = app->stats().instances_done;
+  cluster_.RunFor(10.0);
+  EXPECT_GT(app->stats().instances_done, done_before);
+}
+
+TEST(BlacklistEvictionTest, CapPrefersMostVotedThenLowestMachineId) {
+  SimClusterOptions options = SmallClusterOptions();
+  options.master.blacklist_cap_fraction = 0.25;  // 8 machines -> cap 2
+  SimCluster cluster(options);
+  cluster.Start();
+  cluster.RunFor(2.0);
+
+  std::vector<std::unique_ptr<SyntheticApp>> apps;
+  SyntheticStage tiny;
+  tiny.slot_id = 0;
+  tiny.workers = 1;
+  tiny.instances = 1000;
+  tiny.instance_duration = 1.0;
+  for (int64_t id = 1; id <= 4; ++id) {
+    apps.push_back(std::make_unique<SyntheticApp>(
+        &cluster, AppId(id), std::vector<SyntheticStage>{tiny}, 7));
+    master::SubmitAppRpc submit;
+    submit.app = AppId(id);
+    submit.client = cluster.AllocateNodeId();
+    cluster.network().Send(submit.client, cluster.primary()->node(), submit);
+    cluster.RunFor(0.1);
+    apps.back()->StartMaster();
+  }
+  cluster.RunFor(3.0);
+
+  // m5 is reported bad by 4 apps, m2 and m7 by 3 each; only 2 blacklist
+  // slots exist, so the most-voted machine wins one and the tie between
+  // m2 and m7 breaks toward the lower id.
+  auto report = [&](MachineId machine, std::vector<int64_t> voters) {
+    for (int64_t app : voters) {
+      master::BadMachineReportRpc rpc;
+      rpc.app = AppId(app);
+      rpc.machine = machine;
+      cluster.network().Send(apps[static_cast<size_t>(app - 1)]->node(),
+                             cluster.primary()->node(), rpc);
+    }
+  };
+  report(MachineId(5), {1, 2, 3, 4});
+  report(MachineId(2), {1, 2, 3});
+  report(MachineId(7), {2, 3, 4});
+  cluster.RunFor(15.0);  // roll-up tick evaluates the votes
+
+  std::vector<MachineId> expected = {MachineId(2), MachineId(5)};
+  EXPECT_EQ(cluster.primary()->Blacklisted(), expected);
+}
+
 TEST_F(IntegrationTest, MasterKillAddsOnlySmallDelay) {
   // The §5.4 observation: killing FuxiMaster once adds only seconds.
   SyntheticStage stage;

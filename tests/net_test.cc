@@ -138,6 +138,110 @@ TEST_F(NetworkTest, JitterReordersMessages) {
   EXPECT_TRUE(reordered) << "jitter should cause at least one reordering";
 }
 
+TEST_F(NetworkTest, CutLinkDropsOnlyOneDirection) {
+  int at_a = 0, at_b = 0;
+  a_.Handle<Ping>([&](const Envelope&, const Ping&) { ++at_a; });
+  b_.Handle<Ping>([&](const Envelope&, const Ping&) { ++at_b; });
+  network_.CutLink(NodeId(1), NodeId(2));
+  EXPECT_TRUE(network_.IsLinkCut(NodeId(1), NodeId(2)));
+  EXPECT_FALSE(network_.IsLinkCut(NodeId(2), NodeId(1)));
+  network_.Send(NodeId(1), NodeId(2), Ping{1});  // cut direction: dropped
+  network_.Send(NodeId(2), NodeId(1), Ping{2});  // reverse still flows
+  sim_.RunToCompletion();
+  EXPECT_EQ(at_b, 0);
+  EXPECT_EQ(at_a, 1);
+
+  network_.HealLink(NodeId(1), NodeId(2));
+  EXPECT_EQ(network_.cut_link_count(), 0u);
+  network_.Send(NodeId(1), NodeId(2), Ping{3});
+  sim_.RunToCompletion();
+  EXPECT_EQ(at_b, 1);
+}
+
+TEST_F(NetworkTest, CutLinkKillsInFlightMessagesInThatDirectionOnly) {
+  int at_a = 0, at_b = 0;
+  a_.Handle<Ping>([&](const Envelope&, const Ping&) { ++at_a; });
+  b_.Handle<Ping>([&](const Envelope&, const Ping&) { ++at_b; });
+  network_.mutable_config()->latency_mean = 1.0;
+  network_.Send(NodeId(1), NodeId(2), Ping{1});
+  network_.Send(NodeId(2), NodeId(1), Ping{2});
+  sim_.Schedule(0.5, [&] { network_.CutLink(NodeId(1), NodeId(2)); });
+  sim_.RunToCompletion();
+  EXPECT_EQ(at_b, 0) << "in-flight message crossed a cut link";
+  EXPECT_EQ(at_a, 1) << "reverse direction must be unaffected";
+}
+
+TEST_F(NetworkTest, PartitionIsSymmetricSpecialCaseOfCuts) {
+  // Partition blocks both directions even with no per-link cuts, and
+  // healing the partition cannot resurrect an independent link cut.
+  network_.Partition(NodeId(2));
+  network_.CutLink(NodeId(1), NodeId(2));
+  network_.Heal(NodeId(2));
+  int at_b = 0;
+  b_.Handle<Ping>([&](const Envelope&, const Ping&) { ++at_b; });
+  network_.Send(NodeId(1), NodeId(2), Ping{1});
+  sim_.RunToCompletion();
+  EXPECT_EQ(at_b, 0);
+  network_.HealLink(NodeId(1), NodeId(2));
+  network_.Send(NodeId(1), NodeId(2), Ping{2});
+  sim_.RunToCompletion();
+  EXPECT_EQ(at_b, 1);
+}
+
+TEST_F(NetworkTest, FlapAlternatesOutageAndRecovery) {
+  network_.mutable_config()->latency_mean = 0.0;
+  network_.mutable_config()->latency_jitter = 0.0;
+  int at_b = 0;
+  b_.Handle<Ping>([&](const Envelope&, const Ping&) { ++at_b; });
+  // Period 1s, dark for the first 0.4s of each cycle.
+  FlapHandle flap = network_.Flap(NodeId(2), 1.0, 0.4);
+  // Probe once per cycle inside the dark window and once in the light.
+  int dark_hits = 0, light_hits = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    sim_.Schedule(cycle * 1.0 + 0.2, [&] {
+      int before = at_b;
+      network_.Send(NodeId(1), NodeId(2), Ping{0});
+      sim_.Schedule(0.01, [&, before] { dark_hits += at_b - before; });
+    });
+    sim_.Schedule(cycle * 1.0 + 0.7, [&] {
+      int before = at_b;
+      network_.Send(NodeId(1), NodeId(2), Ping{0});
+      sim_.Schedule(0.01, [&, before] { light_hits += at_b - before; });
+    });
+  }
+  sim_.RunUntil(3.5);
+  EXPECT_EQ(dark_hits, 0);
+  EXPECT_EQ(light_hits, 3);
+
+  // Cancel mid-outage (the 4th cycle goes dark at t=4.0): the pending
+  // heal still fires, so a cancelled flap never leaves the node dark.
+  sim_.RunUntil(4.1);
+  EXPECT_TRUE(network_.IsPartitioned(NodeId(2)));
+  flap.Cancel();
+  sim_.RunUntil(5.0);
+  EXPECT_FALSE(flap.active());
+  EXPECT_FALSE(network_.IsPartitioned(NodeId(2)));
+  int before = at_b;
+  network_.Send(NodeId(1), NodeId(2), Ping{9});
+  sim_.RunToCompletion();
+  EXPECT_EQ(at_b, before + 1);
+}
+
+TEST_F(NetworkTest, MovedPayloadStillDuplicatesCorrectly) {
+  // Send moves the payload into the final envelope; an injected
+  // duplicate must still carry its own intact copy.
+  network_.mutable_config()->duplicate_probability = 1.0;
+  std::vector<std::string> received;
+  b_.Handle<std::string>([&](const Envelope&, const std::string& s) {
+    received.push_back(s);
+  });
+  network_.Send(NodeId(1), NodeId(2), std::string("payload-content"));
+  sim_.RunToCompletion();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], "payload-content");
+  EXPECT_EQ(received[1], "payload-content");
+}
+
 TEST_F(NetworkTest, SendToUnregisteredNodeIsDropped) {
   network_.Send(NodeId(1), NodeId(99), Ping{1});
   sim_.RunToCompletion();
