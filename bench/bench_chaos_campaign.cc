@@ -6,15 +6,23 @@
 //   bench_chaos_campaign --seeds 200     # wider sweep
 //   bench_chaos_campaign --first 1000    # different seed range
 //   bench_chaos_campaign --seed 50       # replay one seed, full dump
+//   bench_chaos_campaign --seed 1 --seed-restore-bug
+//                        # seed the Figure 7 double-grant regression;
+//                        # the run must FAIL and dump its causal trace
 //
 // Exit status is non-zero when any campaign violates an invariant or
 // fails to complete; the failure dump contains the fault schedule and
 // the digest trace, both of which replay byte-identically from the
-// seed.
+// seed. When a campaign fails, the flight-recorder snapshot taken at
+// the first violation is written to fuxi_trace_seed<N>.json — load it
+// in Perfetto or run tools/trace_stats on it to walk the message chain
+// that led to the violation.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
 
 #include "chaos/campaign.h"
 
@@ -22,6 +30,7 @@ int main(int argc, char** argv) {
   uint64_t first_seed = 1;
   int count = 25;
   bool single = false;
+  bool seed_restore_bug = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       count = std::atoi(argv[++i]);
@@ -31,14 +40,25 @@ int main(int argc, char** argv) {
       first_seed = std::strtoull(argv[++i], nullptr, 10);
       count = 1;
       single = true;
+    } else if (std::strcmp(argv[i], "--seed-restore-bug") == 0) {
+      seed_restore_bug = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--seeds N] [--first S] [--seed S]\n", argv[0]);
+                   "usage: %s [--seeds N] [--first S] [--seed S] "
+                   "[--seed-restore-bug]\n",
+                   argv[0]);
       return 2;
     }
   }
 
   fuxi::chaos::CampaignConfig config;
+  if (seed_restore_bug) {
+    config.seed_restore_bug = true;
+    // The periodic agent/master allocation reconcile would repair the
+    // double grant before the monitor's sustained window elapses; the
+    // seeded regression disables it, like the scripted chaos tests.
+    config.cluster.agent.allocation_report_every = 0;
+  }
   int failed = 0;
   for (int i = 0; i < count; ++i) {
     uint64_t seed = first_seed + static_cast<uint64_t>(i);
@@ -56,6 +76,13 @@ int main(int argc, char** argv) {
       if (!result.ok()) ++failed;
       std::string dump = fuxi::chaos::FormatCampaignFailure(result);
       std::fputs(dump.c_str(), result.ok() ? stdout : stderr);
+      if (!result.chrome_trace.empty()) {
+        std::string path = "fuxi_trace_seed" + std::to_string(seed) + ".json";
+        std::ofstream out(path, std::ios::binary);
+        out << result.chrome_trace;
+        std::fprintf(stderr, "flight-recorder trace written to %s\n",
+                     path.c_str());
+      }
     }
   }
   std::printf("chaos sweep: %d/%d campaigns passed\n", count - failed, count);

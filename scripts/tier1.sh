@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full build + test suite, then the chaos
-# campaign sweep again under ASan/UBSan (memory errors in failover and
-# fault-recovery paths are exactly what the campaigns shake out).
+# Tier-1 verification: the full build + test suite, a build with causal
+# tracing compiled out (both FUXI_OBS_TRACING configurations must stay
+# green), then the chaos campaign sweep again under ASan/UBSan (memory
+# errors in failover and fault-recovery paths are exactly what the
+# campaigns shake out).
 #
 # Usage: scripts/tier1.sh [--skip-asan]
 set -euo pipefail
@@ -14,6 +16,13 @@ echo "== tier-1: build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
+
+echo "== tier-1: tracing compiled out (FUXI_OBS_TRACING=OFF) =="
+cmake -B build-notrace -S . -DFUXI_OBS_TRACING=OFF >/dev/null
+cmake --build build-notrace -j"$(nproc)" --target fuxi_tests
+(cd build-notrace &&
+ ./tests/fuxi_tests \
+   --gtest_filter='*Obs*:*Trace*:NetworkTest.*:ChaosCampaign.*:ScriptedChaosTest.*')
 
 if [[ "$skip_asan" == 1 ]]; then
   echo "== tier-1: ASan/UBSan pass skipped =="

@@ -242,6 +242,7 @@ void FuxiAgent::EnforceCapacity(AppId app, uint32_t slot_id) {
     note.restarted = false;
     host_->Kill(victim->id);
     ++workers_killed_for_capacity_;
+    if (killed_capacity_counter_ != nullptr) killed_capacity_counter_->Add();
     network_->Send(self_, owner, note);
   }
 }
@@ -275,6 +276,7 @@ void FuxiAgent::EnforceOverload() {
     NodeId owner = victim->owner_am;
     host_->Kill(victim->id);
     ++workers_killed_for_overload_;
+    if (killed_overload_counter_ != nullptr) killed_overload_counter_->Add();
     network_->Send(self_, owner, note);
   }
 }
@@ -329,6 +331,7 @@ void FuxiAgent::OnStartWorker(const net::Envelope& env,
     WorkerId worker = host_->Launch(plan.app, plan.slot_id, plan.am_node,
                                     limit, plan.plan, Now());
     ++workers_started_;
+    if (started_counter_ != nullptr) started_counter_->Add();
     late_reply.ok = true;
     late_reply.worker = worker;
     network_->Send(self_, plan.am_node, late_reply);
@@ -373,6 +376,7 @@ void FuxiAgent::InjectWorkerCrash(WorkerId worker) {
                                          copy.owner_am, copy.limit,
                                          copy.plan, Now());
     ++workers_started_;
+    if (started_counter_ != nullptr) started_counter_->Add();
     note.restarted = true;
     note.replacement = replacement;
   }
@@ -390,6 +394,19 @@ cluster::ResourceVector FuxiAgent::TotalGrantedCapacity() const {
     total += entry.def.resources * entry.count;
   }
   return total;
+}
+
+void FuxiAgent::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    started_counter_ = killed_capacity_counter_ = killed_overload_counter_ =
+        nullptr;
+    return;
+  }
+  started_counter_ = metrics->GetCounter("agent.workers_started");
+  killed_capacity_counter_ =
+      metrics->GetCounter("agent.workers_killed_for_capacity");
+  killed_overload_counter_ =
+      metrics->GetCounter("agent.workers_killed_for_overload");
 }
 
 void FuxiAgent::OnStartAppMaster(const master::StartAppMasterRpc& rpc) {

@@ -14,6 +14,7 @@
 #include "coord/lock_service.h"
 #include "master/messages.h"
 #include "net/network.h"
+#include "obs/metrics_registry.h"
 #include "sim/simulator.h"
 
 namespace fuxi::agent {
@@ -110,6 +111,11 @@ class FuxiAgent : public sim::Actor {
     return workers_killed_for_overload_;
   }
 
+  /// Wires the cluster metrics registry in (null detaches). All agents
+  /// of a cluster share the same instruments, so the counters aggregate
+  /// cluster-wide starts/kills.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   struct CapacityEntry {
     resource::ScheduleUnitDef def;
@@ -171,6 +177,10 @@ class FuxiAgent : public sim::Actor {
   uint64_t workers_started_ = 0;
   uint64_t workers_killed_for_capacity_ = 0;
   uint64_t workers_killed_for_overload_ = 0;
+
+  obs::Counter* started_counter_ = nullptr;
+  obs::Counter* killed_capacity_counter_ = nullptr;
+  obs::Counter* killed_overload_counter_ = nullptr;
 };
 
 }  // namespace fuxi::agent

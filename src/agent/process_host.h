@@ -9,6 +9,7 @@
 #include "cluster/resource_vector.h"
 #include "common/ids.h"
 #include "common/json.h"
+#include "obs/metrics_registry.h"
 
 namespace fuxi::agent {
 
@@ -49,6 +50,11 @@ class ProcessHost {
   void set_launch_hook(LaunchHook hook) { launch_hook_ = std::move(hook); }
   void set_kill_hook(KillHook hook) { kill_hook_ = std::move(hook); }
 
+  /// Level gauge tracking live processes. Shared across the cluster's
+  /// hosts (one gauge, every machine adds/subtracts), giving the
+  /// cluster-wide running-process count without per-machine series.
+  void set_running_gauge(obs::Gauge* gauge) { running_gauge_ = gauge; }
+
   MachineId machine() const { return machine_; }
 
   /// Starts a process and returns its id.
@@ -60,6 +66,7 @@ class ProcessHost {
     Process process{id,    app, slot_id, owner_am, limit, limit,
                     std::move(plan), now, true};
     auto [it, inserted] = processes_.emplace(id, std::move(process));
+    if (running_gauge_ != nullptr) running_gauge_->Add(1);
     if (launch_hook_) launch_hook_(it->second);
     return id;
   }
@@ -69,6 +76,7 @@ class ProcessHost {
     auto it = processes_.find(id);
     if (it == processes_.end() || !it->second.alive) return false;
     it->second.alive = false;
+    if (running_gauge_ != nullptr) running_gauge_->Add(-1);
     if (kill_hook_) kill_hook_(it->second);
     processes_.erase(it);
     return true;
@@ -142,6 +150,7 @@ class ProcessHost {
   std::map<WorkerId, Process> processes_;
   LaunchHook launch_hook_;
   KillHook kill_hook_;
+  obs::Gauge* running_gauge_ = nullptr;
 };
 
 }  // namespace fuxi::agent

@@ -145,6 +145,7 @@ CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
       residual << "\n";
     }
     result.residual_state = residual.str();
+    result.chrome_trace = monitor.trace_dump();
   }
   monitor.Stop();
   return result;
@@ -167,6 +168,22 @@ std::string FormatCampaignFailure(const CampaignResult& result) {
   out << "-- event trace --\n" << result.trace;
   if (!result.residual_state.empty()) {
     out << "-- residual state --\n" << result.residual_state;
+  }
+  if (!result.chrome_trace.empty()) {
+    // Report the span count, not the byte size: wall-clock annotations
+    // inside the JSON vary in width across runs, and this dump must
+    // stay byte-identical on same-seed replay.
+    size_t spans = 0;
+    for (size_t pos = result.chrome_trace.find("\"ph\":");
+         pos != std::string::npos;
+         pos = result.chrome_trace.find("\"ph\":", pos + 1)) {
+      ++spans;
+    }
+    out << "-- flight recorder --\n"
+        << "chrome_trace: " << spans
+        << " spans of trace_event JSON captured at the first violation "
+           "(write to a .json file, open in Perfetto, or feed to "
+           "trace_stats)\n";
   }
   return out.str();
 }

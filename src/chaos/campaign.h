@@ -55,6 +55,11 @@ struct CampaignResult {
   /// Captured only when the campaign failed: per-machine live
   /// processes and agent capacity tables at the end of the run.
   std::string residual_state;
+  /// Chrome trace_event JSON from the flight recorder, snapshotted at
+  /// the first violation (see InvariantMonitor::trace_dump). Not part
+  /// of the determinism-compared replay artifacts: it carries wall-
+  /// clock annotations on scheduler spans.
+  std::string chrome_trace;
 
   bool ok() const { return completed && violations.empty(); }
 };

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "obs/exporters.h"
 
 namespace fuxi::chaos {
 
@@ -52,6 +53,11 @@ void InvariantMonitor::Record(double now, const std::string& invariant,
   if (violations_.size() >= options_.max_violations) return;
   FUXI_LOG(kWarning) << "invariant violated at t=" << now << ": "
                      << invariant << " (" << detail << ")";
+  if (violations_.empty() && obs::kTracingEnabled) {
+    // Dump the flight recorder NOW, before the traffic that follows the
+    // first failure overwrites the causal history that produced it.
+    trace_dump_ = obs::ExportChromeTrace(cluster_->obs().trace.Snapshot());
+  }
   violations_.push_back(Violation{now, invariant, detail});
 }
 

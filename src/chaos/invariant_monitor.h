@@ -97,6 +97,14 @@ class InvariantMonitor {
   void Report(const std::string& invariant, const std::string& detail);
 
   const std::vector<Violation>& violations() const { return violations_; }
+
+  /// Chrome trace_event JSON dumped from the cluster's flight recorder
+  /// the instant the FIRST violation fired — the causal message history
+  /// leading up to the failure, before later traffic overwrites the
+  /// ring. Empty while no violation has been recorded (or when tracing
+  /// is compiled out).
+  const std::string& trace_dump() const { return trace_dump_; }
+
   uint64_t heavy_checks_run() const { return checks_; }
   /// FNV-1a digest folded over every heavy sweep's observed state.
   /// Identical seeds must replay to identical digests.
@@ -133,6 +141,7 @@ class InvariantMonitor {
   uint64_t hash_ = 1469598103934665603ull;  // FNV-1a offset basis
   std::map<std::string, PendingCondition> pending_;
   std::vector<Violation> violations_;
+  std::string trace_dump_;
 };
 
 }  // namespace fuxi::chaos

@@ -39,6 +39,7 @@ void Histogram::Clear() {
   max_ = -std::numeric_limits<double>::infinity();
   samples_.clear();
   sorted_ = false;
+  rng_state_ = 0x5a17ab1e5eed0000ull;
 }
 
 double TimeSeries::MeanValue() const {

@@ -9,11 +9,19 @@
 
 namespace fuxi {
 
-/// Streaming summary statistics (count/mean/min/max/variance) plus an
-/// exact sample buffer for percentile queries. The benchmark harnesses
-/// use this to report the same aggregates the paper's tables carry.
+/// Streaming summary statistics (count/mean/min/max/variance) plus a
+/// sample buffer for percentile queries. The benchmark harnesses use
+/// this to report the same aggregates the paper's tables carry.
+///
+/// The buffer is exact up to `sample_cap()` samples; beyond that it
+/// switches to reservoir sampling (Algorithm R) driven by a fixed-seed
+/// generator, so memory stays bounded over arbitrarily long chaos
+/// campaigns and identical Add() sequences still yield identical
+/// percentiles on replay. Streaming stats always cover every sample.
 class Histogram {
  public:
+  static constexpr size_t kDefaultSampleCap = 1 << 16;
+
   void Add(double value) {
     ++count_;
     sum_ += value;
@@ -23,8 +31,30 @@ class Histogram {
     double delta = value - mean_;
     mean_ += delta / static_cast<double>(count_);
     m2_ += delta * (value - mean_);
-    samples_.push_back(value);
+    if (samples_.size() < sample_cap_) {
+      samples_.push_back(value);
+      return;
+    }
+    // Reservoir: keep with probability cap/count, evicting uniformly.
+    uint64_t j = NextRandom() % count_;
+    if (j < samples_.size()) {
+      samples_[static_cast<size_t>(j)] = value;
+      sorted_ = false;
+    }
   }
+
+  /// Caps the percentile buffer; takes effect immediately (the buffer
+  /// is truncated if already above `cap`). A cap of 0 keeps streaming
+  /// stats only — Percentile() then returns 0.
+  void SetSampleCap(size_t cap) {
+    sample_cap_ = cap;
+    if (samples_.size() > cap) {
+      samples_.resize(cap);
+      sorted_ = false;
+    }
+  }
+  size_t sample_cap() const { return sample_cap_; }
+  size_t sample_count() const { return samples_.size(); }
 
   uint64_t count() const { return count_; }
   double sum() const { return sum_; }
@@ -45,12 +75,23 @@ class Histogram {
   void Clear();
 
  private:
+  // splitmix64: deterministic, seedless (fixed initial state) so two
+  // histograms fed the same values keep identical reservoirs.
+  uint64_t NextRandom() {
+    uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
   uint64_t count_ = 0;
   double sum_ = 0;
   double mean_ = 0;
   double m2_ = 0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  size_t sample_cap_ = kDefaultSampleCap;
+  uint64_t rng_state_ = 0x5a17ab1e5eed0000ull;
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
 };

@@ -2,6 +2,11 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+
+#if defined(__GNUG__)
+#include <cxxabi.h>
+#endif
 
 namespace fuxi {
 
@@ -68,6 +73,21 @@ std::string FormatBytes(double bytes) {
 
 std::string FormatDouble(double value, int precision) {
   return StrFormat("%.*f", precision, value);
+}
+
+std::string Demangle(const char* mangled) {
+#if defined(__GNUG__)
+  int status = 0;
+  char* demangled =
+      abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+  if (status == 0 && demangled != nullptr) {
+    std::string out(demangled);
+    std::free(demangled);
+    return out;
+  }
+  std::free(demangled);
+#endif
+  return mangled;
 }
 
 }  // namespace fuxi

@@ -30,6 +30,10 @@ std::string FormatBytes(double bytes);
 /// Fixed-precision double formatting ("12.34").
 std::string FormatDouble(double value, int precision = 2);
 
+/// Demangles a `typeid(...).name()` string where the ABI supports it
+/// (Itanium/cxxabi); returns the mangled input unchanged elsewhere.
+std::string Demangle(const char* mangled);
+
 }  // namespace fuxi
 
 #endif  // FUXI_COMMON_STRINGS_H_

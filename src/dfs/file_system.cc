@@ -58,6 +58,11 @@ Result<const FileInfo*> FileSystem::CreateFile(const std::string& path,
 
   auto [it, inserted] = files_.emplace(path, std::move(info));
   FUXI_CHECK(inserted);
+  if (files_created_counter_ != nullptr) {
+    files_created_counter_->Add();
+    blocks_placed_counter_->Add(it->second.blocks.size());
+    bytes_written_counter_->Add(static_cast<uint64_t>(size_bytes));
+  }
   return &it->second;
 }
 
@@ -96,8 +101,18 @@ Locality FileSystem::ClosestLocality(MachineId reader,
   Locality best = Locality::kRemote;
   for (MachineId replica : block.replicas) {
     if (IsDead(replica)) continue;
-    if (replica == reader) return Locality::kLocal;
+    if (replica == reader) {
+      best = Locality::kLocal;
+      break;
+    }
     if (topology_->SameRack(replica, reader)) best = Locality::kRack;
+  }
+  if (read_local_counter_ != nullptr) {
+    switch (best) {
+      case Locality::kLocal: read_local_counter_->Add(); break;
+      case Locality::kRack: read_rack_counter_->Add(); break;
+      case Locality::kRemote: read_remote_counter_->Add(); break;
+    }
   }
   return best;
 }
@@ -114,6 +129,22 @@ std::unordered_map<MachineId, int64_t> FileSystem::LocalityMap(
     }
   }
   return bytes_by_machine;
+}
+
+void FileSystem::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    files_created_counter_ = blocks_placed_counter_ = nullptr;
+    bytes_written_counter_ = nullptr;
+    read_local_counter_ = read_rack_counter_ = read_remote_counter_ =
+        nullptr;
+    return;
+  }
+  files_created_counter_ = metrics->GetCounter("dfs.files_created");
+  blocks_placed_counter_ = metrics->GetCounter("dfs.blocks_placed");
+  bytes_written_counter_ = metrics->GetCounter("dfs.bytes_written");
+  read_local_counter_ = metrics->GetCounter("dfs.reads.local");
+  read_rack_counter_ = metrics->GetCounter("dfs.reads.rack");
+  read_remote_counter_ = metrics->GetCounter("dfs.reads.remote");
 }
 
 }  // namespace fuxi::dfs

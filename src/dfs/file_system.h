@@ -11,6 +11,7 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/metrics_registry.h"
 
 namespace fuxi::dfs {
 
@@ -70,6 +71,11 @@ class FileSystem {
   void MarkMachineDead(MachineId machine) { dead_.insert(machine); }
   void MarkMachineAlive(MachineId machine) { dead_.erase(machine); }
 
+  /// Wires the metrics registry in (null detaches): file/block creation
+  /// volume plus replica-read locality tiers — the data-plane side of
+  /// the bandwidth model.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   bool IsDead(MachineId machine) const { return dead_.count(machine) > 0; }
 
@@ -78,6 +84,15 @@ class FileSystem {
   uint64_t next_block_id_ = 1;
   std::unordered_map<std::string, FileInfo> files_;
   std::unordered_set<MachineId> dead_;
+
+  obs::Counter* files_created_counter_ = nullptr;
+  obs::Counter* blocks_placed_counter_ = nullptr;
+  obs::Counter* bytes_written_counter_ = nullptr;
+  // Mutated from the const read path; counting reads is not a logical
+  // state change.
+  obs::Counter* read_local_counter_ = nullptr;
+  obs::Counter* read_rack_counter_ = nullptr;
+  obs::Counter* read_remote_counter_ = nullptr;
 };
 
 }  // namespace fuxi::dfs

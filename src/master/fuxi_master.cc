@@ -58,6 +58,29 @@ FuxiMaster::FuxiMaster(sim::Simulator* simulator, net::Network* network,
       });
 }
 
+void FuxiMaster::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs == nullptr) {
+    grant_units_counter_ = revoke_units_counter_ = nullptr;
+    blacklist_adds_counter_ = machines_down_counter_ = nullptr;
+    elections_counter_ = am_restarts_counter_ = nullptr;
+    apps_gauge_ = blacklist_gauge_ = request_backlog_gauge_ = nullptr;
+    schedule_wall_us_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& m = obs->metrics;
+  grant_units_counter_ = m.GetCounter("master.grant_units");
+  revoke_units_counter_ = m.GetCounter("master.revoke_units");
+  blacklist_adds_counter_ = m.GetCounter("master.blacklist_adds");
+  machines_down_counter_ = m.GetCounter("master.machines_down");
+  elections_counter_ = m.GetCounter("master.elections");
+  am_restarts_counter_ = m.GetCounter("master.am_restarts");
+  apps_gauge_ = m.GetGauge("master.apps");
+  blacklist_gauge_ = m.GetGauge("master.blacklist_size");
+  request_backlog_gauge_ = m.GetGauge("master.request_backlog");
+  schedule_wall_us_ = m.GetHistogram("master.schedule_wall_us");
+}
+
 void FuxiMaster::Start() {
   network_->Register(self_, &endpoint_);
   TryBecomePrimary();
@@ -65,6 +88,7 @@ void FuxiMaster::Start() {
 
 void FuxiMaster::Crash() {
   if (!alive_) return;
+  bool was_primary = primary_;
   alive_ = false;
   primary_ = false;
   ++life_;
@@ -76,6 +100,9 @@ void FuxiMaster::Crash() {
   agents_.clear();
   blacklist_.clear();
   blacklist_votes_.clear();
+  // Gauges mirror *the primary's* soft state; a crashing standby must
+  // not zero what the live primary owns.
+  if (was_primary) SyncStateGauges();
 }
 
 void FuxiMaster::Restart() {
@@ -112,11 +139,13 @@ void FuxiMaster::BecomePrimary() {
   checkpoint_->Put(kGenerationKey, Json(static_cast<int64_t>(generation_)));
   FUXI_LOG(kInfo) << "FuxiMaster node " << self_.value()
                   << " became primary, generation " << generation_;
+  if (elections_counter_ != nullptr) elections_counter_->Add();
 
   resource::SchedulerOptions scheduler_options = options_.scheduler;
   scheduler_options.starvation_age_after = options_.starvation_age_after;
   scheduler_ = std::make_unique<resource::Scheduler>(topology_,
                                                      scheduler_options);
+  if (obs_ != nullptr) scheduler_->set_metrics(&obs_->metrics);
   for (const auto& [name, quota] : options_.quota_groups) {
     Status s = scheduler_->CreateQuotaGroup(name, quota);
     FUXI_CHECK(s.ok()) << s.ToString();
@@ -129,6 +158,7 @@ void FuxiMaster::BecomePrimary() {
     scheduler_->SetMachineOffline(machine.id, &scratch);
   }
   RecoverHardState();
+  SyncStateGauges();
 
   uint64_t life = life_;
   After(options_.lock_renew_every, [this, life] {
@@ -147,7 +177,23 @@ void FuxiMaster::StepDown() {
   scheduler_.reset();
   apps_.clear();
   agents_.clear();
+  SyncStateGauges();
   TryBecomePrimary();
+}
+
+/// Level gauges mirror primary-only soft state; recompute them at the
+/// state transitions (election, step-down, crash) where that state is
+/// rebuilt or discarded wholesale, so the incremental updates in the
+/// hot paths always start from a correct base.
+void FuxiMaster::SyncStateGauges() {
+  if (apps_gauge_ == nullptr) return;
+  apps_gauge_->Set(static_cast<double>(apps_.size()));
+  blacklist_gauge_->Set(static_cast<double>(blacklist_.size()));
+  double backlog = 0;
+  for (const auto& [app, record] : apps_) {
+    backlog += static_cast<double>(record.request_receiver.buffered());
+  }
+  request_backlog_gauge_->Set(backlog);
 }
 
 void FuxiMaster::RenewLease() {
@@ -234,6 +280,7 @@ void FuxiMaster::OnSubmitApp(const net::Envelope& env,
     break;
   }
   apps_.emplace(rpc.app, std::move(record));
+  if (apps_gauge_ != nullptr) apps_gauge_->Add(1);
   reply.accepted = true;
   network_->Send(self_, rpc.client, reply);
 }
@@ -249,6 +296,11 @@ void FuxiMaster::OnStopApp(const net::Envelope& env, const StopAppRpc& rpc) {
     network_->Send(self_, it->second.am_node, StopAppRpc{rpc.app});
   }
   checkpoint_->Delete(AppKey(rpc.app));
+  if (apps_gauge_ != nullptr) {
+    apps_gauge_->Add(-1);
+    request_backlog_gauge_->Add(
+        -static_cast<double>(it->second.request_receiver.buffered()));
+  }
   apps_.erase(it);
   // Freed resources flowed to other apps' queues; tell them.
   Dispatch(result);
@@ -266,16 +318,28 @@ void FuxiMaster::OnRequest(const net::Envelope& env, const RequestRpc& rpc) {
   if (rpc.incarnation != record->am_incarnation) {
     // The application master restarted: both delta channels start over.
     record->am_incarnation = rpc.incarnation;
+    if (request_backlog_gauge_ != nullptr) {
+      request_backlog_gauge_->Add(
+          -static_cast<double>(record->request_receiver.buffered()));
+    }
     record->request_receiver =
         resource::DeltaReceiver<resource::RequestMessage>();
     record->grant_sender = resource::DeltaSender<resource::GrantMessage>();
   }
+  // Delta-channel queue depth, tracked incrementally: Receive() may
+  // buffer an out-of-order message or drain earlier buffered ones.
+  size_t buffered_before = record->request_receiver.buffered();
   using Outcome = resource::DeltaReceiver<resource::RequestMessage>::Outcome;
   Outcome outcome = record->request_receiver.Receive(
       rpc.msg, [this, record](const resource::RequestMessage& msg,
                               bool is_full) {
         ApplyRequestMessage(record, msg, is_full);
       });
+  if (request_backlog_gauge_ != nullptr) {
+    request_backlog_gauge_->Add(
+        static_cast<double>(record->request_receiver.buffered()) -
+        static_cast<double>(buffered_before));
+  }
   if (outcome == Outcome::kNeedResync) {
     ResyncRpc resync;
     resync.app = rpc.app;
@@ -291,6 +355,10 @@ void FuxiMaster::OnResync(const net::Envelope& env, const ResyncRpc& rpc) {
   record->last_contact = Now();
   if (rpc.incarnation != 0 && rpc.incarnation != record->am_incarnation) {
     record->am_incarnation = rpc.incarnation;
+    if (request_backlog_gauge_ != nullptr) {
+      request_backlog_gauge_->Add(
+          -static_cast<double>(record->request_receiver.buffered()));
+    }
     record->request_receiver =
         resource::DeltaReceiver<resource::RequestMessage>();
     record->grant_sender = resource::DeltaSender<resource::GrantMessage>();
@@ -301,8 +369,18 @@ void FuxiMaster::OnResync(const net::Envelope& env, const ResyncRpc& rpc) {
 void FuxiMaster::ApplyRequestMessage(AppRecord* record,
                                      const resource::RequestMessage& msg,
                                      bool is_full) {
+  // The Figure 9 measurement: real wall-clock time of the full request
+  // path. Measured when either the legacy sample vector or the registry
+  // histogram wants it; the span additionally carries the cost so a
+  // trace dump shows where scheduler time went.
+  bool timing = time_decisions_ || schedule_wall_us_ != nullptr;
   std::chrono::steady_clock::time_point start;
-  if (time_decisions_) start = std::chrono::steady_clock::now();
+  if (timing) start = std::chrono::steady_clock::now();
+  uint64_t span = 0;
+  if (obs_ != nullptr) {
+    span = obs_->trace.BeginSpan("sched",
+                                 is_full ? "ApplyFullState" : "ApplyRequest");
+  }
 
   if (is_full) {
     ApplyFullState(record, msg);
@@ -331,13 +409,17 @@ void FuxiMaster::ApplyRequestMessage(AppRecord* record,
     Dispatch(result);
   }
 
-  if (time_decisions_) {
+  double wall_us = -1;
+  if (timing) {
     auto end = std::chrono::steady_clock::now();
-    decision_micros_.push_back(
+    wall_us =
         std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
             .count() /
-        1000.0);
+        1000.0;
+    if (time_decisions_) decision_micros_.push_back(wall_us);
+    if (schedule_wall_us_ != nullptr) schedule_wall_us_->Add(wall_us);
   }
+  if (obs_ != nullptr) obs_->trace.EndSpan(span, wall_us);
 }
 
 void FuxiMaster::ApplyFullState(AppRecord* record,
@@ -456,6 +538,18 @@ void FuxiMaster::ApplyFullState(AppRecord* record,
 
 void FuxiMaster::Dispatch(const resource::SchedulingResult& result) {
   if (result.empty()) return;
+  if (grant_units_counter_ != nullptr) {
+    uint64_t granted = 0;
+    for (const resource::Assignment& a : result.assignments) {
+      granted += static_cast<uint64_t>(a.count);
+    }
+    if (granted > 0) grant_units_counter_->Add(granted);
+    uint64_t revoked = 0;
+    for (const resource::Revocation& r : result.revocations) {
+      revoked += static_cast<uint64_t>(r.count);
+    }
+    if (revoked > 0) revoke_units_counter_->Add(revoked);
+  }
   // Group grant changes per application and capacity changes per agent.
   std::map<AppId, resource::GrantMessage> per_app;
   std::map<MachineId, AgentCapacityRpc> per_machine;
@@ -660,6 +754,7 @@ void FuxiMaster::RollupTick() {
         if (!agent.online || blacklist_.count(machine) > 0) continue;
         FUXI_LOG(kInfo) << "restarting application master for app "
                         << app.value();
+        if (am_restarts_counter_ != nullptr) am_restarts_counter_->Add();
         network_->Send(self_, agent.node,
                        StartAppMasterRpc{app, record.description});
         record.last_contact = Now();  // give the new AM time to come up
@@ -676,6 +771,7 @@ void FuxiMaster::RollupTick() {
 void FuxiMaster::MarkMachineDown(MachineId machine, const std::string& why) {
   auto it = agents_.find(machine);
   if (it != agents_.end()) it->second.online = false;
+  if (machines_down_counter_ != nullptr) machines_down_counter_->Add();
   FUXI_LOG(kInfo) << "machine " << machine.value() << " down: " << why;
   resource::SchedulingResult result;
   scheduler_->SetMachineOffline(machine, &result);
@@ -694,6 +790,10 @@ void FuxiMaster::DisableMachine(MachineId machine, const std::string& why) {
   }
   FUXI_LOG(kInfo) << "disabling machine " << machine.value() << ": " << why;
   blacklist_.insert(machine);
+  if (blacklist_adds_counter_ != nullptr) {
+    blacklist_adds_counter_->Add();
+    blacklist_gauge_->Set(static_cast<double>(blacklist_.size()));
+  }
   CheckpointBlacklist();
   MarkMachineDown(machine, why);
 }

@@ -15,6 +15,7 @@
 #include "coord/lock_service.h"
 #include "master/messages.h"
 #include "net/network.h"
+#include "obs/observability.h"
 #include "resource/delta_channel.h"
 #include "resource/scheduler.h"
 #include "sim/simulator.h"
@@ -109,6 +110,11 @@ class FuxiMaster : public sim::Actor {
   }
   void EnableDecisionTiming(bool on) { time_decisions_ = on; }
 
+  /// Wires the cluster-wide observability bundle in (null detaches).
+  /// Resolves every instrument once so message handlers touch only
+  /// plain pointers.
+  void set_observability(obs::Observability* obs);
+
  private:
   struct AppRecord {
     AppId app;
@@ -182,6 +188,7 @@ class FuxiMaster : public sim::Actor {
   void MarkMachineDown(MachineId machine, const std::string& why);
   void DisableMachine(MachineId machine, const std::string& why);
   void CheckpointBlacklist();
+  void SyncStateGauges();
 
   AppRecord* FindApp(AppId app);
   resource::ScheduleUnitDef LookupDef(AppId app, uint32_t slot) const;
@@ -209,6 +216,18 @@ class FuxiMaster : public sim::Actor {
 
   bool time_decisions_ = false;
   std::vector<double> decision_micros_;
+
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* grant_units_counter_ = nullptr;
+  obs::Counter* revoke_units_counter_ = nullptr;
+  obs::Counter* blacklist_adds_counter_ = nullptr;
+  obs::Counter* machines_down_counter_ = nullptr;
+  obs::Counter* elections_counter_ = nullptr;
+  obs::Counter* am_restarts_counter_ = nullptr;
+  obs::Gauge* apps_gauge_ = nullptr;
+  obs::Gauge* blacklist_gauge_ = nullptr;
+  obs::Gauge* request_backlog_gauge_ = nullptr;
+  Histogram* schedule_wall_us_ = nullptr;
 };
 
 }  // namespace fuxi::master

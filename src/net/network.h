@@ -4,6 +4,7 @@
 #include <any>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -12,9 +13,13 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/metrics_registry.h"
+
 #include "common/ids.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/strings.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace fuxi::net {
@@ -26,12 +31,14 @@ struct Envelope {
   uint64_t wire_seq = 0;   ///< global send order, for debugging
   double sent_at = 0;      ///< virtual send time
   size_t size_hint = 0;    ///< approximate wire bytes (caller supplied)
+  uint64_t span = 0;       ///< causal trace span of this copy (0 = untraced)
   std::any payload;
 };
 
 /// A network attachment point for one simulated process. Handlers are
-/// registered per payload type; unhandled payload types are counted and
-/// dropped (like an unknown RPC method).
+/// registered per payload type; unhandled payload types are counted
+/// (in aggregate and per type), logged once per type, and dropped
+/// (like an unknown RPC method).
 class Endpoint {
  public:
   /// Registers a handler for messages whose payload holds a T.
@@ -48,6 +55,15 @@ class Endpoint {
     auto it = handlers_.find(std::type_index(env.payload.type()));
     if (it == handlers_.end()) {
       ++unhandled_;
+      uint64_t& per_type =
+          unhandled_by_type_[std::type_index(env.payload.type())];
+      if (++per_type == 1) {
+        FUXI_LOG(kWarning)
+            << "endpoint at node " << env.to.value()
+            << " has no handler for payload type "
+            << Demangle(env.payload.type().name())
+            << " (further drops of this type counted silently)";
+      }
       return false;
     }
     it->second(env);
@@ -56,10 +72,20 @@ class Endpoint {
 
   uint64_t unhandled() const { return unhandled_; }
 
+  /// Per-payload-type unhandled counts, keyed by demangled type name.
+  std::map<std::string, uint64_t> UnhandledByType() const {
+    std::map<std::string, uint64_t> out;
+    for (const auto& [type, count] : unhandled_by_type_) {
+      out[Demangle(type.name())] += count;
+    }
+    return out;
+  }
+
  private:
   std::unordered_map<std::type_index, std::function<void(const Envelope&)>>
       handlers_;
   uint64_t unhandled_ = 0;
+  std::unordered_map<std::type_index, uint64_t> unhandled_by_type_;
 };
 
 /// Aggregate transport counters, used by the incremental-communication
@@ -166,13 +192,17 @@ class Network {
   void Send(NodeId from, NodeId to, T payload, size_t size_hint = 64) {
     stats_.messages_sent++;
     stats_.bytes_sent += size_hint;
+    if (sent_counter_ != nullptr) {
+      sent_counter_->Add();
+      bytes_counter_->Add(size_hint);
+    }
     if (Blocked(from, to)) {
-      stats_.messages_dropped++;
+      NoteDrop();
       return;
     }
     if (config_.drop_probability > 0 &&
         rng_.Bernoulli(config_.drop_probability)) {
-      stats_.messages_dropped++;
+      NoteDrop();
       return;
     }
     int copies = 1;
@@ -188,6 +218,13 @@ class Network {
       env.wire_seq = next_wire_seq_++;
       env.sent_at = sim_->Now();
       env.size_hint = size_hint;
+      if (tracer_ != nullptr) {
+        // One span per copy: it opens here (parented to whatever span
+        // the sender is running under) and closes when the receiving
+        // handler returns, so the span covers wire latency + handling.
+        env.span = tracer_->BeginMessageSpan(typeid(T), from.value(),
+                                             to.value(), size_hint);
+      }
       if (i + 1 < copies) {
         env.payload = payload;  // an injected duplicate needs its own copy
       } else {
@@ -205,6 +242,24 @@ class Network {
 
   Config* mutable_config() { return &config_; }
 
+  /// Wires tracing and metrics in. Either may be null; hot paths guard
+  /// with one pointer test (and with tracing compiled out the recorder
+  /// calls are no-ops the optimizer removes entirely).
+  void SetObservability(obs::TraceRecorder* tracer,
+                        obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+    if (metrics != nullptr) {
+      sent_counter_ = metrics->GetCounter("net.messages_sent");
+      delivered_counter_ = metrics->GetCounter("net.messages_delivered");
+      dropped_counter_ = metrics->GetCounter("net.messages_dropped");
+      bytes_counter_ = metrics->GetCounter("net.bytes_sent");
+    } else {
+      sent_counter_ = delivered_counter_ = dropped_counter_ =
+          bytes_counter_ = nullptr;
+    }
+  }
+
  private:
   bool Blocked(NodeId from, NodeId to) const {
     return IsPartitioned(from) || IsPartitioned(to) || IsLinkCut(from, to);
@@ -217,18 +272,40 @@ class Network {
     return latency > 0 ? latency : 0.0;
   }
 
+  void NoteDrop() {
+    stats_.messages_dropped++;
+    if (dropped_counter_ != nullptr) dropped_counter_->Add();
+  }
+
   void Deliver(const Envelope& env) {
     if (Blocked(env.from, env.to)) {
-      stats_.messages_dropped++;
+      NoteDrop();
+      if (tracer_ != nullptr) tracer_->DropSpan(env.span);
       return;
     }
     auto it = endpoints_.find(env.to);
     if (it == endpoints_.end()) {
-      stats_.messages_dropped++;
+      NoteDrop();
+      if (tracer_ != nullptr) tracer_->DropSpan(env.span);
       return;
     }
     stats_.messages_delivered++;
-    it->second->Dispatch(env);
+    if (delivered_counter_ != nullptr) delivered_counter_->Add();
+    bool handled;
+    if (tracer_ != nullptr && env.span != 0) {
+      // While the handler runs, this message is the ambient parent —
+      // anything it sends in turn chains off it.
+      obs::TraceRecorder::Scope scope(tracer_, env.span);
+      handled = it->second->Dispatch(env);
+      tracer_->EndSpan(env.span);
+    } else {
+      handled = it->second->Dispatch(env);
+    }
+    if (!handled && metrics_ != nullptr) {
+      metrics_->GetCounter("net.unhandled." +
+                           Demangle(env.payload.type().name()))
+          ->Add();
+    }
   }
 
   void ScheduleFlapCycle(NodeId node, double period, double duty,
@@ -250,6 +327,12 @@ class Network {
   sim::Simulator* sim_;
   Config config_;
   Rng rng_;
+  obs::TraceRecorder* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* sent_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
   uint64_t next_wire_seq_ = 0;
   std::unordered_map<NodeId, Endpoint*> endpoints_;
   std::unordered_set<NodeId> partitioned_;

@@ -1,0 +1,32 @@
+#ifndef FUXI_OBS_EXPORTERS_H_
+#define FUXI_OBS_EXPORTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
+
+namespace fuxi::obs {
+
+/// Serializes spans as Chrome `trace_event` JSON — complete ("ph":"X")
+/// events with microsecond timestamps derived from virtual seconds —
+/// loadable in Perfetto / chrome://tracing. Each event's args carry the
+/// causal links (span/parent ids), endpoints, byte size, drop flag and,
+/// when measured, the real wall-clock cost.
+std::string ExportChromeTrace(const std::vector<SpanRecord>& spans);
+
+/// Same document as a Json value, for tests and tools that inspect the
+/// dump instead of writing it to disk.
+Json ChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+/// All instruments (and any snapshot series) as one JSON object.
+Json MetricsToJson(const MetricsRegistry& registry);
+
+/// "kind,name,value,..." CSV — one row per instrument, sorted by name.
+std::string MetricsToCsv(const MetricsRegistry& registry);
+
+}  // namespace fuxi::obs
+
+#endif  // FUXI_OBS_EXPORTERS_H_

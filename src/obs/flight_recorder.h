@@ -1,0 +1,83 @@
+#ifndef FUXI_OBS_FLIGHT_RECORDER_H_
+#define FUXI_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fuxi::obs {
+
+/// One completed causal span. Message spans cover a simulated RPC from
+/// Send() to the end of the receiving handler; local spans cover a
+/// named region of work (e.g. one scheduler request application).
+/// `parent` links to the span that was ambient when this one began, so
+/// a dump reconstructs the causal chain master → agent → job → worker.
+struct SpanRecord {
+  uint64_t id = 0;      ///< deterministic, from the recorder's counter
+  uint64_t parent = 0;  ///< 0 = root (no causal predecessor)
+  double begin = 0;     ///< virtual seconds
+  double end = 0;       ///< virtual seconds
+  double wall_us = -1;  ///< real wall-clock cost when timed, else -1
+  int64_t from = -1;    ///< sender NodeId for message spans, else -1
+  int64_t to = -1;      ///< receiver NodeId for message spans, else -1
+  uint64_t bytes = 0;   ///< approximate wire bytes (message spans)
+  bool dropped = false; ///< the message vanished in the network
+  const char* category = "";  ///< interned; stable for recorder lifetime
+  const char* name = "";      ///< interned; stable for recorder lifetime
+};
+
+/// Bounded ring buffer of completed spans — the "black box" the chaos
+/// InvariantMonitor dumps when an invariant fires. Bounded so tracing
+/// can stay on for arbitrarily long campaigns: when full, the oldest
+/// span is overwritten, keeping the most recent history leading up to
+/// the violation.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  void Push(const SpanRecord& span) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(span);
+    } else {
+      ring_[static_cast<size_t>(total_ % capacity_)] = span;
+    }
+    ++total_;
+  }
+
+  /// Retained spans, oldest first.
+  std::vector<SpanRecord> Snapshot() const {
+    std::vector<SpanRecord> out;
+    out.reserve(ring_.size());
+    if (total_ <= capacity_) {
+      out = ring_;
+      return out;
+    }
+    size_t start = static_cast<size_t>(total_ % capacity_);
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(start + i) % capacity_]);
+    }
+    return out;
+  }
+
+  size_t size() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t total_pushed() const { return total_; }
+  /// Spans lost to the ring bound (overwritten).
+  uint64_t overwritten() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+
+  void Clear() {
+    ring_.clear();
+    total_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::vector<SpanRecord> ring_;
+};
+
+}  // namespace fuxi::obs
+
+#endif  // FUXI_OBS_FLIGHT_RECORDER_H_

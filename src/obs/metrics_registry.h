@@ -1,0 +1,80 @@
+#ifndef FUXI_OBS_METRICS_REGISTRY_H_
+#define FUXI_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+
+namespace fuxi::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time level (queue depth, running processes, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Named instruments for the whole cluster. Get*() returns a stable
+/// pointer (instruments never move or disappear), so hot paths resolve
+/// a name once at wiring time and afterwards touch only the instrument
+/// — no map lookup, no string hashing per event.
+///
+/// Backed by std::map so every export and snapshot iterates in sorted
+/// name order — deterministic output for golden files and replay
+/// comparison.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Histograms default to the capped reservoir buffer (see
+  /// Histogram::SetSampleCap) so long campaigns stay bounded.
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Appends the current value of every counter and gauge to its
+  /// virtual-time series (one point per instrument per call).
+  void SnapshotAt(double now);
+
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms()
+      const {
+    return histograms_;
+  }
+  /// Snapshot series for an instrument; null before the first SnapshotAt.
+  const TimeSeries* series(const std::string& name) const;
+  const std::map<std::string, TimeSeries>& all_series() const {
+    return series_;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace fuxi::obs
+
+#endif  // FUXI_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,30 @@
+#ifndef FUXI_OBS_OBSERVABILITY_H_
+#define FUXI_OBS_OBSERVABILITY_H_
+
+#include <cstddef>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace fuxi::obs {
+
+struct ObsOptions {
+  /// Completed spans retained by the flight recorder ring.
+  size_t trace_ring_capacity = TraceRecorderImpl::kDefaultRingCapacity;
+};
+
+/// The per-cluster observability bundle: one trace recorder and one
+/// metrics registry shared by every component of a SimCluster. Owned
+/// by the cluster (constructed right after the Simulator, before the
+/// network) so instruments outlive everything that points at them.
+struct Observability {
+  explicit Observability(sim::Simulator* sim, const ObsOptions& options = {})
+      : trace(sim, options.trace_ring_capacity) {}
+
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+};
+
+}  // namespace fuxi::obs
+
+#endif  // FUXI_OBS_OBSERVABILITY_H_

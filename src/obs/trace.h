@@ -1,0 +1,170 @@
+#ifndef FUXI_OBS_TRACE_H_
+#define FUXI_OBS_TRACE_H_
+
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <typeinfo>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "sim/simulator.h"
+
+// Compile-time tracing switch. The build defines FUXI_OBS_TRACING=0/1
+// (CMake option FUXI_OBS_TRACING, default ON); when OFF, TraceRecorder
+// aliases NoopTraceRecorder and every call site inlines to nothing, so
+// the traced build and the stripped build share one set of sources.
+#ifndef FUXI_OBS_TRACING
+#define FUXI_OBS_TRACING 1
+#endif
+
+namespace fuxi::obs {
+
+inline constexpr bool kTracingEnabled = FUXI_OBS_TRACING != 0;
+
+/// Records causal spans for simulated RPCs and named local work.
+///
+/// Determinism rules (required by the chaos replay gate):
+///  * span IDs come from a per-recorder monotonic counter, never from
+///    wall clock or addresses — same seed, same IDs;
+///  * begin/end stamps are virtual time from the Simulator;
+///  * real wall-clock durations may be *attached* to a span (scheduler
+///    hot paths) but never participate in IDs, ordering, or hashes.
+///
+/// Causality: each recorder keeps one ambient "current span". A message
+/// span begun in Network::Send records the sender's ambient span as its
+/// parent; while the receiving handler runs, Network::Deliver makes the
+/// message span ambient (RAII Scope), so any message the handler sends
+/// in turn is parented to it. That chains master→agent→job→worker
+/// through arbitrarily many deterministic hops.
+class TraceRecorderImpl {
+ public:
+  explicit TraceRecorderImpl(sim::Simulator* sim,
+                             size_t ring_capacity = kDefaultRingCapacity);
+
+  /// Begins a local (non-message) span parented to the ambient span.
+  uint64_t BeginSpan(const char* category, const char* name);
+
+  /// Begins a span for one in-flight message copy; the name is the
+  /// demangled payload type, interned so the span stores no allocation.
+  uint64_t BeginMessageSpan(const std::type_info& payload_type,
+                            int64_t from, int64_t to, uint64_t bytes);
+
+  /// Completes a span. `wall_us` >= 0 attaches a measured real
+  /// wall-clock cost (scheduler hot paths); it is annotation only.
+  void EndSpan(uint64_t id, double wall_us = -1);
+
+  /// Completes a message span whose envelope vanished in the network
+  /// (drop, partition, dead endpoint) — kept in the trace, flagged.
+  void DropSpan(uint64_t id);
+
+  /// Makes `span` the ambient parent for the duration of a handler.
+  class Scope {
+   public:
+    Scope(TraceRecorderImpl* recorder, uint64_t span)
+        : recorder_(recorder), saved_(recorder->current_) {
+      recorder_->current_ = span;
+    }
+    ~Scope() { recorder_->current_ = saved_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TraceRecorderImpl* recorder_;
+    uint64_t saved_;
+  };
+
+  uint64_t current() const { return current_; }
+  static constexpr bool enabled() { return true; }
+
+  /// Completed spans retained by the flight recorder, oldest first.
+  std::vector<SpanRecord> Snapshot() const { return flight_.Snapshot(); }
+  const FlightRecorder& flight() const { return flight_; }
+
+  uint64_t spans_begun() const { return next_id_ - 1; }
+  size_t open_spans() const { return open_.size(); }
+
+  /// Demangles and interns a payload type name; the returned pointer
+  /// stays valid for the recorder's lifetime.
+  const char* InternTypeName(const std::type_info& type);
+
+  void Clear();
+
+  static constexpr size_t kDefaultRingCapacity = 1 << 16;
+
+ private:
+  void Finish(uint64_t id, double wall_us, bool dropped);
+
+  sim::Simulator* sim_;
+  uint64_t next_id_ = 1;  // 0 is "no span"
+  uint64_t current_ = 0;
+  std::unordered_map<uint64_t, SpanRecord> open_;
+  // unique_ptr<string> so interned c_str() pointers survive rehashing.
+  std::unordered_map<std::type_index, std::unique_ptr<std::string>> names_;
+  FlightRecorder flight_;
+};
+
+/// The compiled-out stand-in: identical surface, every member an empty
+/// inline. With FUXI_OBS_TRACING=0 all instrumentation collapses to
+/// comparisons against null/0 the optimizer deletes.
+class NoopTraceRecorder {
+ public:
+  explicit NoopTraceRecorder(sim::Simulator* /*sim*/, size_t /*cap*/ = 0) {}
+
+  uint64_t BeginSpan(const char*, const char*) { return 0; }
+  uint64_t BeginMessageSpan(const std::type_info&, int64_t, int64_t,
+                            uint64_t) {
+    return 0;
+  }
+  void EndSpan(uint64_t, double = -1) {}
+  void DropSpan(uint64_t) {}
+
+  class Scope {
+   public:
+    Scope(NoopTraceRecorder*, uint64_t) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+
+  uint64_t current() const { return 0; }
+  static constexpr bool enabled() { return false; }
+  std::vector<SpanRecord> Snapshot() const { return {}; }
+  uint64_t spans_begun() const { return 0; }
+  size_t open_spans() const { return 0; }
+  const char* InternTypeName(const std::type_info&) { return ""; }
+  void Clear() {}
+};
+
+/// Compile-time interface contract: both recorders must stay drop-in
+/// interchangeable, so flipping FUXI_OBS_TRACING can never break a
+/// call site only exercised in the other configuration.
+template <typename R>
+concept TraceSink = requires(R r, const std::type_info& t) {
+  { r.BeginSpan("cat", "name") } -> std::convertible_to<uint64_t>;
+  { r.BeginMessageSpan(t, int64_t{}, int64_t{}, uint64_t{}) }
+      -> std::convertible_to<uint64_t>;
+  r.EndSpan(uint64_t{}, 0.0);
+  r.DropSpan(uint64_t{});
+  { r.current() } -> std::convertible_to<uint64_t>;
+  { R::enabled() } -> std::convertible_to<bool>;
+  { r.Snapshot() } -> std::convertible_to<std::vector<SpanRecord>>;
+  { r.InternTypeName(t) } -> std::convertible_to<const char*>;
+  typename R::Scope;
+};
+static_assert(TraceSink<TraceRecorderImpl>,
+              "TraceRecorderImpl must satisfy TraceSink");
+static_assert(TraceSink<NoopTraceRecorder>,
+              "NoopTraceRecorder must satisfy TraceSink");
+
+#if FUXI_OBS_TRACING
+using TraceRecorder = TraceRecorderImpl;
+#else
+using TraceRecorder = NoopTraceRecorder;
+#endif
+
+}  // namespace fuxi::obs
+
+#endif  // FUXI_OBS_TRACE_H_

@@ -233,6 +233,7 @@ void Scheduler::PlaceDemand(PendingDemand* demand, SchedulingResult* result) {
       if (count > 0) {
         CommitGrant(demand, machine, count, result);
         tree_.ConsumeGrant(demand, machine, count);
+        NoteGrantTier(LocalityLevel::kMachine, count);
       }
     }
   }
@@ -256,6 +257,7 @@ void Scheduler::PlaceDemand(PendingDemand* demand, SchedulingResult* result) {
         if (count > 0) {
           CommitGrant(demand, machine, count, result);
           tree_.ConsumeGrant(demand, machine, count);
+          NoteGrantTier(LocalityLevel::kRack, count);
         }
       }
     }
@@ -281,6 +283,7 @@ void Scheduler::PlaceDemand(PendingDemand* demand, SchedulingResult* result) {
           if (count > 0) {
             CommitGrant(demand, machine, count, result);
             tree_.ConsumeGrant(demand, machine, count);
+            NoteGrantTier(LocalityLevel::kCluster, count);
             last_granted = machine;
             progressed = true;
           }
@@ -293,6 +296,7 @@ void Scheduler::PlaceDemand(PendingDemand* demand, SchedulingResult* result) {
 
 void Scheduler::SchedulePass(MachineId machine, SchedulingResult* result) {
   ++scheduling_passes_;
+  if (passes_counter_ != nullptr) passes_counter_->Add();
   MachineState& state = machines_[static_cast<size_t>(machine.value())];
   if (!state.online || state.free.IsZero()) return;
   size_t examined = 0;
@@ -316,6 +320,7 @@ void Scheduler::SchedulePass(MachineId machine, SchedulingResult* result) {
         int64_t count = FitCount(*demand, state, limit);
         if (count > 0) {
           CommitGrant(demand, machine, count, result);
+          NoteGrantTier(level, count);
           // The tree consumes the grant after we return.
         }
         return count;
@@ -559,6 +564,9 @@ void Scheduler::TryPreempt(PendingDemand* demand, SchedulingResult* result) {
       if (count > 0) {
         CommitGrant(demand, victim.machine, count, result);
         tree_.ConsumeGrant(demand, victim.machine, count);
+        if (preempt_units_counter_ != nullptr) {
+          preempt_units_counter_->Add(static_cast<uint64_t>(count));
+        }
       }
     }
   }
@@ -692,6 +700,19 @@ bool Scheduler::CheckInvariants() const {
     }
   }
   return true;
+}
+
+void Scheduler::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    tier_machine_counter_ = tier_rack_counter_ = tier_cluster_counter_ =
+        preempt_units_counter_ = passes_counter_ = nullptr;
+    return;
+  }
+  tier_machine_counter_ = metrics->GetCounter("sched.grant_units.machine");
+  tier_rack_counter_ = metrics->GetCounter("sched.grant_units.rack");
+  tier_cluster_counter_ = metrics->GetCounter("sched.grant_units.cluster");
+  preempt_units_counter_ = metrics->GetCounter("sched.preempt_units");
+  passes_counter_ = metrics->GetCounter("sched.schedule_passes");
 }
 
 }  // namespace fuxi::resource

@@ -11,6 +11,7 @@
 #include "cluster/topology.h"
 #include "common/ids.h"
 #include "common/status.h"
+#include "obs/metrics_registry.h"
 #include "resource/locality_tree.h"
 #include "resource/quota.h"
 #include "resource/request.h"
@@ -171,6 +172,11 @@ class Scheduler {
   /// quota usage matches grants, tree invariants). For tests.
   bool CheckInvariants() const;
 
+  /// Wires the metrics registry in (null detaches). Grants are counted
+  /// by the locality tier that satisfied them — the Figure 5 hit-rate
+  /// breakdown — plus preemption takebacks as their own bucket.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   struct AppState {
     AppId app;
@@ -208,6 +214,21 @@ class Scheduler {
   int64_t FitCount(const PendingDemand& demand, const MachineState& state,
                    int64_t limit) const;
 
+  void NoteGrantTier(LocalityLevel level, int64_t count) {
+    if (tier_machine_counter_ == nullptr) return;
+    switch (level) {
+      case LocalityLevel::kMachine:
+        tier_machine_counter_->Add(static_cast<uint64_t>(count));
+        break;
+      case LocalityLevel::kRack:
+        tier_rack_counter_->Add(static_cast<uint64_t>(count));
+        break;
+      case LocalityLevel::kCluster:
+        tier_cluster_counter_->Add(static_cast<uint64_t>(count));
+        break;
+    }
+  }
+
   MachineState& mutable_machine_state(MachineId machine);
 
   const cluster::ClusterTopology* topology_;
@@ -224,6 +245,12 @@ class Scheduler {
   /// Virtual "now" for waiting_since stamps, fed by AgeWaitingDemands.
   double now_hint_ = 0;
   std::vector<SchedulingResult> aged_results_;
+
+  obs::Counter* tier_machine_counter_ = nullptr;
+  obs::Counter* tier_rack_counter_ = nullptr;
+  obs::Counter* tier_cluster_counter_ = nullptr;
+  obs::Counter* preempt_units_counter_ = nullptr;
+  obs::Counter* passes_counter_ = nullptr;
 };
 
 }  // namespace fuxi::resource

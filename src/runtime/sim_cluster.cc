@@ -6,23 +6,30 @@ namespace fuxi::runtime {
 
 SimCluster::SimCluster(SimClusterOptions options)
     : options_(options),
+      obs_(&sim_, options.obs),
       topology_(cluster::ClusterTopology::Build(options.topology)) {
   network_ = std::make_unique<net::Network>(&sim_, options_.network,
                                             options_.seed);
+  network_->SetObservability(&obs_.trace, &obs_.metrics);
   locks_ = std::make_unique<coord::LockService>(&sim_);
   dfs_ = std::make_unique<dfs::FileSystem>(&topology_, options_.seed + 1);
+  dfs_->set_metrics(&obs_.metrics);
 
   for (int i = 0; i < options_.master_replicas; ++i) {
     masters_.push_back(std::make_unique<master::FuxiMaster>(
         &sim_, network_.get(), locks_.get(), &checkpoint_, &topology_,
         NodeId(1 + i), options_.master));
+    masters_.back()->set_observability(&obs_);
   }
   slowdown_.assign(topology_.machine_count(), 1.0);
+  obs::Gauge* running = obs_.metrics.GetGauge("agent.running_processes");
   for (const cluster::Machine& machine : topology_.machines()) {
     hosts_.push_back(std::make_unique<agent::ProcessHost>(machine.id));
+    hosts_.back()->set_running_gauge(running);
     agents_.push_back(std::make_unique<agent::FuxiAgent>(
         &sim_, network_.get(), locks_.get(), hosts_.back().get(),
         &topology_, NodeId(100 + machine.id.value()), options_.agent));
+    agents_.back()->set_metrics(&obs_.metrics);
   }
 }
 

@@ -13,6 +13,7 @@
 #include "dfs/file_system.h"
 #include "master/fuxi_master.h"
 #include "net/network.h"
+#include "obs/observability.h"
 #include "sim/simulator.h"
 
 namespace fuxi::runtime {
@@ -22,6 +23,7 @@ struct SimClusterOptions {
   net::Network::Config network;
   master::FuxiMasterOptions master;
   agent::FuxiAgentOptions agent;
+  obs::ObsOptions obs;
   int master_replicas = 2;  ///< hot-standby pair by default
   uint64_t seed = 42;
 };
@@ -53,6 +55,11 @@ class SimCluster {
   coord::CheckpointStore& checkpoint() { return checkpoint_; }
   cluster::ClusterTopology& topology() { return topology_; }
   dfs::FileSystem& dfs() { return *dfs_; }
+
+  /// The cluster-wide trace recorder + metrics registry. Every
+  /// component is wired to it at construction.
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
 
   master::FuxiMaster* master(int index) { return masters_[index].get(); }
   int master_count() const { return static_cast<int>(masters_.size()); }
@@ -117,6 +124,9 @@ class SimCluster {
  private:
   SimClusterOptions options_;
   sim::Simulator sim_;
+  /// Declared before the components that register instruments with it,
+  /// after the simulator the recorder stamps time from.
+  obs::Observability obs_;
   cluster::ClusterTopology topology_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<coord::LockService> locks_;

@@ -254,6 +254,64 @@ TEST(HistogramTest, PercentileAfterAddStaysCorrect) {
   EXPECT_DOUBLE_EQ(h.Percentile(100), 20);
 }
 
+TEST(HistogramTest, ReservoirCapsBufferButStreamsExactAggregates) {
+  Histogram h;
+  h.SetSampleCap(100);
+  for (int i = 1; i <= 10000; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_EQ(h.sample_count(), 100u);  // buffer bounded
+  // Streaming stats still cover every sample exactly.
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10000.0);
+  EXPECT_NEAR(h.mean(), 5000.5, 1e-9);
+  // The reservoir is an unbiased uniform sample, so the median estimate
+  // lands near the true median (loose bound: +/- 20% is far outside
+  // what Algorithm R with 100 samples produces for this range).
+  EXPECT_NEAR(h.Percentile(50), 5000.0, 2000.0);
+}
+
+TEST(HistogramTest, ReservoirIsDeterministicAcrossInstances) {
+  Histogram a;
+  Histogram b;
+  a.SetSampleCap(64);
+  b.SetSampleCap(64);
+  for (int i = 0; i < 5000; ++i) {
+    a.Add(i * 3.0);
+    b.Add(i * 3.0);
+  }
+  // Fixed-seed generator: identical Add() sequences keep identical
+  // reservoirs, so replayed campaigns report identical percentiles.
+  for (double q : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(q), b.Percentile(q));
+  }
+  a.Clear();
+  for (int i = 0; i < 5000; ++i) a.Add(i * 3.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(50), b.Percentile(50));  // Clear reseeds
+}
+
+TEST(HistogramTest, PercentilesExactBelowCap) {
+  Histogram h;
+  h.SetSampleCap(100);
+  for (int i = 1; i <= 100; ++i) h.Add(i);
+  EXPECT_EQ(h.sample_count(), 100u);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 0.01);  // exact, no sampling yet
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100);
+}
+
+TEST(HistogramTest, ShrinkingCapTruncatesAndZeroCapDisablesPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(i);
+  h.SetSampleCap(10);
+  EXPECT_EQ(h.sample_count(), 10u);
+  h.SetSampleCap(0);
+  EXPECT_EQ(h.sample_count(), 0u);
+  h.Add(42);
+  EXPECT_EQ(h.sample_count(), 0u);       // streaming-only mode
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0);  // no buffer, documented zero
+  EXPECT_EQ(h.count(), 1001u);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
 TEST(TimeSeriesTest, DownsampleAveragesBuckets) {
   TimeSeries series;
   for (int i = 0; i < 100; ++i) {
@@ -262,6 +320,45 @@ TEST(TimeSeriesTest, DownsampleAveragesBuckets) {
   TimeSeries down = series.Downsample(10);
   EXPECT_LE(down.size(), 10u);
   for (const auto& p : down.points()) EXPECT_NEAR(p.value, 1.0, 0.3);
+}
+
+TEST(TimeSeriesTest, DownsampleEmptySeriesIsEmpty) {
+  TimeSeries series;
+  EXPECT_TRUE(series.Downsample(5).empty());
+  EXPECT_TRUE(series.Downsample(0).empty());
+}
+
+TEST(TimeSeriesTest, DownsampleMoreBucketsThanPointsIsIdentity) {
+  TimeSeries series;
+  series.Add(0, 1);
+  series.Add(1, 5);
+  series.Add(2, 3);
+  TimeSeries down = series.Downsample(10);
+  ASSERT_EQ(down.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(down.points()[i].time, series.points()[i].time);
+    EXPECT_DOUBLE_EQ(down.points()[i].value, series.points()[i].value);
+  }
+}
+
+TEST(TimeSeriesTest, DownsampleSingleBucketAveragesEverything) {
+  TimeSeries series;
+  for (int i = 0; i < 10; ++i) series.Add(i, i);
+  TimeSeries down = series.Downsample(1);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_DOUBLE_EQ(down.points()[0].value, 4.5);
+}
+
+TEST(TimeSeriesTest, DownsampleZeroTimeWidthCollapsesToMean) {
+  TimeSeries series;  // all points share one timestamp
+  series.Add(3.0, 2);
+  series.Add(3.0, 4);
+  series.Add(3.0, 6);
+  series.Add(3.0, 8);
+  TimeSeries down = series.Downsample(2);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_DOUBLE_EQ(down.points()[0].time, 3.0);
+  EXPECT_DOUBLE_EQ(down.points()[0].value, 5.0);
 }
 
 TEST(TimeSeriesTest, MeanAndMax) {

@@ -71,6 +71,53 @@ TEST(SimulatorTest, CancelAfterFiringIsNoop) {
   EXPECT_EQ(fired, 1);
 }
 
+TEST(SimulatorTest, CancelRacingSameTimestampWinsWhenScheduledFirst) {
+  // Two events share t=1.0; insertion order breaks the tie. The earlier
+  // event cancels the later one before it runs — the classic "timeout
+  // answered at the same instant" race.
+  Simulator sim;
+  bool victim_fired = false;
+  EventHandle victim = sim.Schedule(1.0, [&] { victim_fired = true; });
+  sim.Schedule(1.0, [&] { victim.Cancel(); });
+  sim.RunToCompletion();
+  // `victim` was inserted before the cancelling event, so it fires
+  // first; the cancel must be a harmless no-op.
+  EXPECT_TRUE(victim_fired);
+
+  // Reverse order: canceller runs first, victim never fires.
+  bool second_fired = false;
+  EventHandle second;
+  sim.Schedule(1.0, [&] { second.Cancel(); });
+  second = sim.Schedule(1.0, [&] { second_fired = true; });
+  sim.RunToCompletion();
+  EXPECT_FALSE(second_fired);
+  EXPECT_FALSE(second.active());
+}
+
+TEST(SimulatorTest, CancelInsideOwnCallbackIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle handle;
+  handle = sim.Schedule(1.0, [&] {
+    ++fired;
+    handle.Cancel();  // cancelling the event that is executing
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(handle.active());
+}
+
+TEST(SimulatorTest, DoubleCancelIsIdempotent) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle handle = sim.Schedule(1.0, [&] { fired = true; });
+  handle.Cancel();
+  handle.Cancel();
+  EXPECT_FALSE(handle.active());
+  sim.RunToCompletion();
+  EXPECT_FALSE(fired);
+}
+
 TEST(SimulatorTest, NegativeDelayClampsToNow) {
   Simulator sim;
   sim.Schedule(5.0, [] {});

@@ -1,0 +1,105 @@
+// Summarizes a Chrome-trace JSON dump produced by fuxi::obs (the chaos
+// flight recorder or any exported span snapshot) as per-message-type
+// latency/volume tables:
+//
+//   trace_stats trace.json
+//
+// For every span name (demangled payload type for RPCs, region name
+// for local spans) it prints the count, drop count, total bytes, and
+// the virtual-latency distribution; wall-clock-annotated spans get a
+// second table with real costs.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+
+namespace {
+
+struct NameStats {
+  uint64_t count = 0;
+  uint64_t dropped = 0;
+  uint64_t bytes = 0;
+  fuxi::Histogram latency_ms;  // virtual dur
+  fuxi::Histogram wall_us;     // only spans carrying args.wall_us
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <chrome-trace.json>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "trace_stats: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  fuxi::Result<fuxi::Json> parsed = fuxi::Json::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "trace_stats: %s: %s\n", argv[1],
+                 parsed.status().message().c_str());
+    return 2;
+  }
+  const fuxi::Json* events = parsed.value().Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "trace_stats: %s has no traceEvents array\n",
+                 argv[1]);
+    return 2;
+  }
+
+  std::map<std::string, NameStats> by_name;
+  for (const fuxi::Json& event : events->as_array()) {
+    std::string name = event.GetString("name", "<unnamed>");
+    NameStats& stats = by_name[name];
+    ++stats.count;
+    stats.latency_ms.Add(event.GetNumber("dur", 0) / 1000.0);
+    if (const fuxi::Json* args = event.Find("args")) {
+      stats.bytes += static_cast<uint64_t>(args->GetInt("bytes", 0));
+      if (args->GetBool("dropped", false)) ++stats.dropped;
+      if (const fuxi::Json* wall = args->Find("wall_us")) {
+        stats.wall_us.Add(wall->as_number());
+      }
+    }
+  }
+
+  std::printf("%-48s %8s %7s %10s %9s %9s %9s\n", "span", "count", "drops",
+              "bytes", "lat p50", "lat p95", "lat max");
+  std::printf("%-48s %8s %7s %10s %9s %9s %9s\n", "(name)", "", "",
+              "", "(ms)", "(ms)", "(ms)");
+  uint64_t total = 0;
+  for (const auto& [name, stats] : by_name) {
+    total += stats.count;
+    std::printf("%-48.48s %8llu %7llu %10s %9.3f %9.3f %9.3f\n",
+                name.c_str(), static_cast<unsigned long long>(stats.count),
+                static_cast<unsigned long long>(stats.dropped),
+                fuxi::FormatBytes(static_cast<double>(stats.bytes)).c_str(),
+                stats.latency_ms.Percentile(50),
+                stats.latency_ms.Percentile(95), stats.latency_ms.max());
+  }
+  std::printf("total: %llu spans across %zu distinct names\n",
+              static_cast<unsigned long long>(total), by_name.size());
+
+  bool header = false;
+  for (const auto& [name, stats] : by_name) {
+    if (stats.wall_us.count() == 0) continue;
+    if (!header) {
+      std::printf("\n%-48s %8s %9s %9s %9s\n", "wall-clock span", "count",
+                  "mean(us)", "p95(us)", "max(us)");
+      header = true;
+    }
+    std::printf("%-48.48s %8llu %9.1f %9.1f %9.1f\n", name.c_str(),
+                static_cast<unsigned long long>(stats.wall_us.count()),
+                stats.wall_us.mean(), stats.wall_us.Percentile(95),
+                stats.wall_us.max());
+  }
+  return 0;
+}
