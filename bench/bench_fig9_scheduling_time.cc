@@ -6,17 +6,50 @@
 // The scheduler code is real; each request's handling is timed with the
 // wall clock while the surrounding cluster is simulated. Paper: average
 // 0.88 ms per request, peaks < 3 ms.
+//
+//   bench_fig9_scheduling_time               # single point, env-scaled
+//   bench_fig9_scheduling_time --ladder      # cluster-size ladder
+//   bench_fig9_scheduling_time --smoke       # one short point (CI guard)
+//   bench_fig9_scheduling_time --json PATH   # where to write the report
+//
+// Every mode writes a machine-readable BENCH_fig9.json (p50/p99 per
+// cluster size); scripts/check_fig9_regression.py compares such a
+// report against bench/baselines/BENCH_fig9.json and fails on >2x
+// regression — the CI smoke step that guards the incremental-scheduling
+// fast path.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "common/json.h"
 #include "common/metrics.h"
 
-int main() {
-  using namespace fuxi;
-  SetLogLevel(LogLevel::kError);
-  bench::BenchScale scale = bench::BenchScale::FromEnv();
+namespace {
 
+using namespace fuxi;
+
+struct PointResult {
+  bench::BenchScale scale;
+  uint64_t requests = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+  uint64_t schedule_passes = 0;
+  uint64_t passes_skipped = 0;
+};
+
+/// Runs one cluster size and collects the per-request decision-time
+/// distribution. The first half of the run is warm-up (queues deepen
+/// until demand saturates supply); percentiles are computed over the
+/// steady-state second half only. `print_series` additionally prints
+/// the Figure 9 style windowed time series (single-point mode only).
+PointResult RunPoint(const bench::BenchScale& scale, bool print_series) {
   runtime::SimCluster cluster(bench::BenchClusterOptions(scale.machines));
   cluster.Start();
   cluster.RunFor(2.0);
@@ -31,6 +64,7 @@ int main() {
   // Sample the decision-time series in 10-virtual-second windows.
   TimeSeries series;
   size_t consumed = 0;
+  size_t steady_from = 0;
   while (cluster.sim().Now() - t0 < scale.duration) {
     cluster.RunFor(10.0);
     const std::vector<double>& samples = primary->decision_micros();
@@ -39,30 +73,155 @@ int main() {
       window.Add(samples[i] / 1000.0);  // ms
     }
     consumed = samples.size();
+    if (cluster.sim().Now() - t0 <= scale.duration / 2) {
+      steady_from = samples.size();
+    }
     if (window.count() > 0) {
       series.Add(cluster.sim().Now() - t0, window.mean());
     }
   }
 
   Histogram all;
-  for (double us : primary->decision_micros()) all.Add(us / 1000.0);
+  const std::vector<double>& samples = primary->decision_micros();
+  for (size_t i = steady_from; i < samples.size(); ++i) {
+    all.Add(samples[i] / 1000.0);
+  }
+
+  PointResult point;
+  point.scale = scale;
+  point.requests = all.count();
+  point.mean_ms = all.mean();
+  point.p50_ms = all.Percentile(50);
+  point.p95_ms = all.Percentile(95);
+  point.p99_ms = all.Percentile(99);
+  point.max_ms = all.max();
+  point.schedule_passes = primary->scheduler()->scheduling_passes();
+  point.passes_skipped = primary->scheduler()->passes_skipped();
 
   std::printf(
-      "=== Figure 9: FuxiMaster scheduling time (%d machines, %d "
-      "concurrent jobs, %.0f s) ===\n",
-      scale.machines, scale.concurrent_jobs, scale.duration);
-  std::printf("jobs completed during the window: %lld\n",
-              static_cast<long long>(driver.jobs_completed()));
-  std::printf("requests scheduled: %llu\n",
-              static_cast<unsigned long long>(all.count()));
-  std::printf("\ntime(s)  mean scheduling time per window (ms)\n");
-  for (const TimeSeries::Point& p : series.Downsample(30).points()) {
-    std::printf("%7.0f  %.4f\n", p.time, p.value);
+      "machines=%d jobs=%d duration=%.0fs: requests=%llu mean=%.4f "
+      "p50=%.4f p95=%.4f p99=%.4f max=%.4f ms (passes=%llu skipped=%llu)\n",
+      scale.machines, scale.concurrent_jobs, scale.duration,
+      static_cast<unsigned long long>(point.requests), point.mean_ms,
+      point.p50_ms, point.p95_ms, point.p99_ms, point.max_ms,
+      static_cast<unsigned long long>(point.schedule_passes),
+      static_cast<unsigned long long>(point.passes_skipped));
+  if (print_series) {
+    std::printf("jobs completed during the window: %lld\n",
+                static_cast<long long>(driver.jobs_completed()));
+    std::printf("\ntime(s)  mean scheduling time per window (ms)\n");
+    for (const TimeSeries::Point& p : series.Downsample(30).points()) {
+      std::printf("%7.0f  %.4f\n", p.time, p.value);
+    }
+    std::printf("\nper-request scheduling time (ms): %s\n",
+                all.Summary().c_str());
   }
-  std::printf("\nper-request scheduling time (ms): %s\n",
-              all.Summary().c_str());
+  return point;
+}
+
+Json ToJson(const std::vector<PointResult>& points, const char* mode) {
+  Json report = Json::MakeObject();
+  report["bench"] = "fig9_scheduling_time";
+  report["mode"] = mode;
+  report["workload"] = "synthetic WordCount/TeraSort mix, seed 42";
+  Json array = Json::MakeArray();
+  for (const PointResult& p : points) {
+    Json entry = Json::MakeObject();
+    entry["machines"] = p.scale.machines;
+    entry["concurrent_jobs"] = p.scale.concurrent_jobs;
+    entry["duration_s"] = p.scale.duration;
+    entry["requests"] = p.requests;
+    entry["mean_ms"] = p.mean_ms;
+    entry["p50_ms"] = p.p50_ms;
+    entry["p95_ms"] = p.p95_ms;
+    entry["p99_ms"] = p.p99_ms;
+    entry["max_ms"] = p.max_ms;
+    entry["schedule_passes"] = p.schedule_passes;
+    entry["passes_skipped"] = p.passes_skipped;
+    array.Append(std::move(entry));
+  }
+  report["points"] = std::move(array);
+  return report;
+}
+
+/// Short-duration points so the full ladder (including the paper's
+/// 5,000-machine size) stays runnable in CI-class time budgets.
+std::vector<bench::BenchScale> LadderScales() {
+  std::vector<bench::BenchScale> scales;
+  struct Shape {
+    int machines;
+    int jobs;
+    double duration;
+  };
+  for (const Shape& shape : std::vector<Shape>{{500, 450, 120},
+                                               {1000, 600, 90},
+                                               {2000, 800, 70},
+                                               {5000, 1000, 60}}) {
+    bench::BenchScale scale;
+    scale.machines = shape.machines;
+    scale.concurrent_jobs = shape.jobs;
+    scale.duration = shape.duration;
+    scales.push_back(scale);
+  }
+  return scales;
+}
+
+std::vector<bench::BenchScale> SmokeScales() {
+  bench::BenchScale scale;
+  scale.machines = 500;
+  scale.concurrent_jobs = 450;
+  scale.duration = 60;
+  return {scale};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fuxi;
+  SetLogLevel(LogLevel::kError);
+
+  const char* mode = "single";
+  std::string json_path = "BENCH_fig9.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ladder") == 0) {
+      mode = "ladder";
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      mode = "smoke";
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--ladder|--smoke] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<bench::BenchScale> scales;
+  bool print_series = false;
+  if (std::strcmp(mode, "ladder") == 0) {
+    scales = LadderScales();
+  } else if (std::strcmp(mode, "smoke") == 0) {
+    scales = SmokeScales();
+  } else {
+    scales = {bench::BenchScale::FromEnv()};
+    print_series = true;
+  }
+
+  std::printf("=== Figure 9: FuxiMaster scheduling time (%s) ===\n", mode);
+  std::vector<PointResult> points;
+  for (const bench::BenchScale& scale : scales) {
+    points.push_back(RunPoint(scale, print_series));
+  }
   std::printf(
       "paper: average 0.88 ms, peak < 3 ms on 5,000 machines / 1,000 "
       "jobs\n");
+
+  std::ofstream out(json_path, std::ios::binary);
+  out << ToJson(points, mode).Pretty() << "\n";
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("report written to %s\n", json_path.c_str());
   return 0;
 }

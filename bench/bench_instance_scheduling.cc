@@ -11,6 +11,7 @@
 
 #include "cluster/topology.h"
 #include "job/job_master.h"
+#include "obs/metrics_registry.h"
 #include "resource/scheduler.h"
 
 namespace {
@@ -75,6 +76,8 @@ cluster::ClusterTopology* BigTopology() {
 void BM_SchedulerIncrementalRequest(benchmark::State& state) {
   cluster::ClusterTopology* topo = BigTopology();
   resource::Scheduler scheduler(topo);
+  obs::MetricsRegistry metrics;
+  scheduler.set_metrics(&metrics);
   // Background load: 200 apps holding most of the cluster.
   resource::SchedulingResult scratch;
   for (int64_t a = 1; a <= 200; ++a) {
@@ -115,6 +118,12 @@ void BM_SchedulerIncrementalRequest(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(round += result.assignments.size());
   }
+  // Surface the fast-path effectiveness next to the wall-clock numbers:
+  // how many machine passes ran vs were skipped by the epoch check.
+  state.counters["passes"] = static_cast<double>(
+      metrics.GetCounter("sched.schedule_passes")->value());
+  state.counters["passes_skipped"] = static_cast<double>(
+      metrics.GetCounter("sched.passes_skipped")->value());
 }
 BENCHMARK(BM_SchedulerIncrementalRequest)->Unit(benchmark::kMicrosecond);
 
@@ -123,6 +132,8 @@ BENCHMARK(BM_SchedulerIncrementalRequest)->Unit(benchmark::kMicrosecond);
 void BM_SchedulerFreeUpPass(benchmark::State& state) {
   cluster::ClusterTopology* topo = BigTopology();
   resource::Scheduler scheduler(topo);
+  obs::MetricsRegistry metrics;
+  scheduler.set_metrics(&metrics);
   resource::SchedulingResult scratch;
   // Saturate the cluster, then queue 100 waiting apps.
   for (int64_t a = 1; a <= 300; ++a) {
@@ -156,6 +167,10 @@ void BM_SchedulerFreeUpPass(benchmark::State& state) {
     (void)scheduler.Release(holder, 0, machine, 1, &result);
     benchmark::DoNotOptimize(result.assignments.size());
   }
+  state.counters["passes"] = static_cast<double>(
+      metrics.GetCounter("sched.schedule_passes")->value());
+  state.counters["passes_skipped"] = static_cast<double>(
+      metrics.GetCounter("sched.passes_skipped")->value());
 }
 BENCHMARK(BM_SchedulerFreeUpPass)->Unit(benchmark::kMicrosecond);
 

@@ -17,12 +17,16 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
+echo "== tier-1: Figure 9 scheduling-time smoke vs checked-in baseline =="
+./build/bench/bench_fig9_scheduling_time --smoke --json build/BENCH_fig9_smoke.json
+python3 scripts/check_fig9_regression.py build/BENCH_fig9_smoke.json
+
 echo "== tier-1: tracing compiled out (FUXI_OBS_TRACING=OFF) =="
 cmake -B build-notrace -S . -DFUXI_OBS_TRACING=OFF >/dev/null
 cmake --build build-notrace -j"$(nproc)" --target fuxi_tests
 (cd build-notrace &&
  ./tests/fuxi_tests \
-   --gtest_filter='*Obs*:*Trace*:NetworkTest.*:ChaosCampaign.*:ScriptedChaosTest.*')
+   --gtest_filter='*Obs*:*Trace*:NetworkTest.*:ChaosCampaign.*:ScriptedChaosTest.*:*Differential*:*Golden*:*HintSort*')
 
 if [[ "$skip_asan" == 1 ]]; then
   echo "== tier-1: ASan/UBSan pass skipped =="

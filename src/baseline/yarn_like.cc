@@ -14,6 +14,15 @@ YarnLikeScheduler::YarnLikeScheduler(
     machines_[static_cast<size_t>(machine.id.value())].free =
         machine.capacity;
   }
+  for (size_t m = 0; m < machines_.size(); ++m) SyncFreeIndex(m);
+}
+
+void YarnLikeScheduler::SyncFreeIndex(size_t m) {
+  if (machines_[m].free.IsZero()) {
+    free_index_.erase(m);
+  } else {
+    free_index_.insert(m);
+  }
 }
 
 Status YarnLikeScheduler::RegisterApp(
@@ -33,11 +42,13 @@ Status YarnLikeScheduler::RegisterApp(
 Status YarnLikeScheduler::UnregisterApp(AppId app) {
   auto it = apps_.find(app);
   if (it == apps_.end()) return Status::NotFound("no app");
-  for (MachineState& machine : machines_) {
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    MachineState& machine = machines_[m];
     auto mit = machine.containers.find(app);
     if (mit != machine.containers.end()) {
       machine.free += it->second.container * mit->second;
       machine.containers.erase(mit);
+      SyncFreeIndex(m);
     }
   }
   apps_.erase(it);
@@ -57,10 +68,14 @@ Status YarnLikeScheduler::Heartbeat(AppId app, int64_t outstanding) {
 }
 
 void YarnLikeScheduler::Tick(resource::SchedulingResult* result) {
-  // Node-heartbeat-driven assignment: walk every machine and hand free
-  // space to applications in FIFO order.
-  for (size_t m = 0; m < machines_.size(); ++m) {
+  // Node-heartbeat-driven assignment: hand free space to applications
+  // in FIFO order. Only machines in the free index are examined; free
+  // pools can only shrink inside a tick, so machines packed full here
+  // drop out of the index after the walk.
+  std::vector<size_t> filled;
+  for (size_t m : free_index_) {
     MachineState& machine = machines_[m];
+    ++stats_.tick_machines_visited;
     for (AppId app : fifo_) {
       AppState& state = apps_[app];
       while (state.outstanding > 0 &&
@@ -74,7 +89,9 @@ void YarnLikeScheduler::Tick(resource::SchedulingResult* result) {
             app, 0, MachineId(static_cast<int64_t>(m)), 1});
       }
     }
+    if (machine.free.IsZero()) filled.push_back(m);
   }
+  for (size_t m : filled) free_index_.erase(m);
 }
 
 Status YarnLikeScheduler::CompleteContainer(
@@ -91,6 +108,7 @@ Status YarnLikeScheduler::CompleteContainer(
   mit->second -= 1;
   if (mit->second == 0) state.containers.erase(mit);
   state.free += it->second.container;
+  SyncFreeIndex(static_cast<size_t>(machine.value()));
   it->second.granted -= 1;
   ++stats_.containers_reclaimed;
   result->revocations.push_back(resource::Revocation{
@@ -117,6 +135,7 @@ void YarnLikeScheduler::FailoverLosesEverything(
     machine.containers.clear();
     machine.free =
         topology_->machine(MachineId(static_cast<int64_t>(m))).capacity;
+    SyncFreeIndex(m);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "cluster/topology.h"
@@ -34,6 +35,11 @@ class YarnLikeScheduler {
     uint64_t containers_granted = 0;
     uint64_t containers_reclaimed = 0;
     uint64_t restarts_on_failover = 0;
+    /// Machines actually examined by Tick. The free-machine index lets
+    /// a tick skip fully-packed machines, mirroring (in miniature) the
+    /// incremental indexes of resource::Scheduler — the comparison
+    /// benchmarks measure protocol overhead, not a strawman walk.
+    uint64_t tick_machines_visited = 0;
   };
 
   explicit YarnLikeScheduler(const cluster::ClusterTopology* topology);
@@ -75,9 +81,16 @@ class YarnLikeScheduler {
     std::map<AppId, int64_t> containers;
   };
 
+  /// Keeps `free_index_` consistent with machines_[m].free after any
+  /// change to that machine's free pool.
+  void SyncFreeIndex(size_t m);
+
   const cluster::ClusterTopology* topology_;
   std::map<AppId, AppState> apps_;
   std::vector<MachineState> machines_;
+  /// Machines with a non-empty free pool, ascending — Tick walks only
+  /// these instead of every machine in the cluster.
+  std::set<size_t> free_index_;
   std::deque<AppId> fifo_;
   uint64_t next_seq_ = 0;
   Stats stats_;

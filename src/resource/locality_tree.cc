@@ -140,25 +140,52 @@ void LocalityTree::ForEachCandidate(
   RackId rack = topology_->machine(machine).rack;
   std::unordered_set<SlotKey, SlotKeyHash> skipped;
 
-  auto first_eligible = [&](const Queue& queue) -> const QueueEntry* {
-    for (const QueueEntry& entry : queue) {
-      if (skipped.count(entry.key) > 0) continue;
+  // The queue objects are stable for the duration of the pass: consuming
+  // grants only erases entries, it never creates a machine/rack queue,
+  // so the lookups can be hoisted out of the candidate loop.
+  const Queue* machine_queue = nullptr;
+  auto mq = machine_queues_.find(machine);
+  if (mq != machine_queues_.end()) machine_queue = &mq->second;
+  const Queue* rack_queue = nullptr;
+  auto rq = rack_queues_.find(rack);
+  if (rq != rack_queues_.end()) rack_queue = &rq->second;
+
+  // Per-queue resume markers. Once an entry is found ineligible —
+  // skipped by `fn` (and a skip is final for the whole pass) or on the
+  // demand's avoid list (static during the pass) — every later scan of
+  // that queue restarts after it instead of re-walking the prefix. This
+  // keeps a deep-queue pass linear in the queue length instead of
+  // quadratic in the number of unplaceable demands.
+  struct Cursor {
+    bool active = false;
+    QueueEntry resume{};
+  };
+  Cursor cursors[3];
+
+  auto first_eligible = [&](const Queue& queue,
+                            Cursor* cursor) -> const QueueEntry* {
+    auto it = cursor->active ? queue.upper_bound(cursor->resume)
+                             : queue.begin();
+    for (; it != queue.end(); ++it) {
+      const QueueEntry& entry = *it;
+      if (skipped.count(entry.key) > 0) {
+        cursor->resume = entry;
+        cursor->active = true;
+        continue;
+      }
       const PendingDemand* demand = Find(entry.key);
       FUXI_CHECK(demand != nullptr);
-      if (demand->Avoids(machine)) continue;
+      if (demand->Avoids(machine)) {
+        cursor->resume = entry;
+        cursor->active = true;
+        continue;
+      }
       return &entry;
     }
     return nullptr;
   };
 
   while (true) {
-    const Queue* machine_queue = nullptr;
-    auto mq = machine_queues_.find(machine);
-    if (mq != machine_queues_.end()) machine_queue = &mq->second;
-    const Queue* rack_queue = nullptr;
-    auto rq = rack_queues_.find(rack);
-    if (rq != rack_queues_.end()) rack_queue = &rq->second;
-
     // Heads of the three queues, in level-precedence order so that
     // machine-level waiters win priority ties (paper §3.3).
     struct Candidate {
@@ -166,11 +193,13 @@ void LocalityTree::ForEachCandidate(
       LocalityLevel level;
     };
     Candidate candidates[3] = {
-        {machine_queue ? first_eligible(*machine_queue) : nullptr,
+        {machine_queue ? first_eligible(*machine_queue, &cursors[0])
+                       : nullptr,
          LocalityLevel::kMachine},
-        {rack_queue ? first_eligible(*rack_queue) : nullptr,
+        {rack_queue ? first_eligible(*rack_queue, &cursors[1]) : nullptr,
          LocalityLevel::kRack},
-        {first_eligible(cluster_queue_), LocalityLevel::kCluster},
+        {first_eligible(cluster_queue_, &cursors[2]),
+         LocalityLevel::kCluster},
     };
 
     const Candidate* best = nullptr;

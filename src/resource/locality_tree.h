@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -35,11 +36,29 @@ struct SlotKeyHash {
   }
 };
 
+/// Ordering functor for the persistent hint indexes. It counts every
+/// invocation so tests can prove the fast path no longer re-sorts
+/// unchanged hints on each placement: a std::map keeps its keys sorted
+/// permanently, so iterating preferences costs zero comparisons, versus
+/// the old rebuild-and-std::sort which paid O(k log k) per call.
+template <typename Id>
+struct InstrumentedIdLess {
+  inline static thread_local uint64_t comparisons = 0;
+  bool operator()(const Id& a, const Id& b) const {
+    ++comparisons;
+    return a < b;
+  }
+};
+
 /// One unsatisfied ScheduleUnit demand queued in the locality tree
 /// (Figure 5's "App1: P1, 4" entries). `total_remaining` is the
 /// cluster-level outstanding count; per-machine/rack counts cap how many
 /// units the application wants from that subtree. A grant from machine M
 /// decrements M's count, M's rack count and the total together.
+///
+/// The per-machine/rack preference indexes are *sorted* maps: placement
+/// walks them in id order directly instead of snapshotting the keys and
+/// re-sorting on every PlaceDemand call.
 struct PendingDemand {
   SlotKey key;
   ScheduleUnitDef def;
@@ -52,8 +71,9 @@ struct PendingDemand {
   double waiting_since = 0;
 
   int64_t total_remaining = 0;
-  std::unordered_map<MachineId, int64_t> machine_remaining;
-  std::unordered_map<RackId, int64_t> rack_remaining;
+  std::map<MachineId, int64_t, InstrumentedIdLess<MachineId>>
+      machine_remaining;
+  std::map<RackId, int64_t, InstrumentedIdLess<RackId>> rack_remaining;
   /// Machines this application refuses (its bad-node list).
   std::unordered_set<MachineId> avoid;
 
@@ -119,6 +139,11 @@ class LocalityTree {
   void ForEachCandidate(
       MachineId machine,
       const std::function<int64_t(PendingDemand*, LocalityLevel)>& fn);
+
+  /// True when any demand has outstanding units — the cluster queue
+  /// holds every live demand, so this is O(1). Scheduling passes use it
+  /// to skip queue walks entirely on an idle tree.
+  bool HasLiveDemands() const { return !cluster_queue_.empty(); }
 
   /// Sum over demands of total_remaining (unit counts, not resources).
   int64_t TotalWaitingUnits() const;

@@ -8,23 +8,26 @@ namespace fuxi::resource {
 
 namespace {
 
-/// Applies `fn` to each machine id in `free_machines` starting after
-/// `cursor`, wrapping around once. `fn` returns false to stop early.
+/// Applies `fn` to each machine in `free_machines` starting after
+/// `cursor` and wrapping around once. The walk is live, advancing by
+/// key: `fn` (a placement attempt) may erase the machine it was just
+/// handed when a grant exhausts its free pool, and never inserts — so
+/// upper_bound on the previous id always resumes correctly and the
+/// rotation needs no snapshot of the set. `fn` returns false to stop.
 void ForEachFreeMachineRoundRobin(
     const std::set<MachineId>& free_machines, MachineId cursor,
     const std::function<bool(MachineId)>& fn) {
-  // Snapshot the rotation first: grants made inside `fn` mutate the set.
-  std::vector<MachineId> rotation;
-  rotation.reserve(free_machines.size());
-  auto start = free_machines.upper_bound(cursor);
-  for (auto it = start; it != free_machines.end(); ++it) {
-    rotation.push_back(*it);
-  }
-  for (auto it = free_machines.begin(); it != start; ++it) {
-    rotation.push_back(*it);
-  }
-  for (MachineId machine : rotation) {
+  auto it = free_machines.upper_bound(cursor);
+  while (it != free_machines.end()) {
+    MachineId machine = *it;
     if (!fn(machine)) return;
+    it = free_machines.upper_bound(machine);
+  }
+  it = free_machines.begin();
+  while (it != free_machines.end() && !(cursor < *it)) {
+    MachineId machine = *it;
+    if (!fn(machine)) return;
+    it = free_machines.upper_bound(machine);
   }
 }
 
@@ -35,18 +38,24 @@ Scheduler::Scheduler(const cluster::ClusterTopology* topology,
     : topology_(topology), options_(options), tree_(topology) {
   FUXI_CHECK(topology != nullptr);
   machines_.resize(topology->machine_count());
+  rack_free_.resize(topology->rack_count());
   for (const cluster::Machine& machine : topology->machines()) {
     MachineState& state = machines_[static_cast<size_t>(machine.id.value())];
     state.online = true;
     state.capacity = machine.capacity;
     state.free = machine.capacity;
-    if (!state.free.IsZero()) free_machines_.insert(machine.id);
+    if (!state.free.IsZero()) {
+      free_machines_.insert(machine.id);
+      rack_free_[static_cast<size_t>(machine.rack.value())].insert(
+          machine.id);
+    }
   }
   rr_cursor_ = MachineId(0);
 }
 
 Status Scheduler::CreateQuotaGroup(const std::string& name,
                                    const cluster::ResourceVector& quota) {
+  NoteMutation();
   return quota_.CreateGroup(name, quota);
 }
 
@@ -58,6 +67,7 @@ Status Scheduler::RegisterApp(AppId app, const std::string& quota_group) {
   if (!quota_group.empty()) {
     FUXI_RETURN_IF_ERROR(quota_.AssignApp(app, quota_group));
   }
+  NoteMutation();
   apps_.emplace(app, AppState{app, {}});
   return Status::Ok();
 }
@@ -67,22 +77,25 @@ Status Scheduler::UnregisterApp(AppId app, SchedulingResult* result) {
   if (it == apps_.end()) {
     return Status::NotFound("app not registered: " + app.ToString());
   }
+  NoteMutation();
   // Revoke every grant (as releases: the app is gone, nothing to
-  // restore) and reschedule the freed machines.
-  std::vector<MachineId> touched;
-  for (size_t m = 0; m < machines_.size(); ++m) {
-    MachineState& state = machines_[m];
-    std::vector<std::pair<SlotKey, int64_t>> to_revoke;
-    for (const auto& [key, count] : state.grants) {
-      if (key.app == app) to_revoke.emplace_back(key, count);
+  // restore). The site index yields them in (slot, machine) order; sort
+  // to (machine, slot) — the order a per-machine sweep produces, which
+  // the replay goldens pin down.
+  std::vector<std::pair<MachineId, SlotKey>> to_revoke;
+  for (auto site = grant_sites_.lower_bound(SlotKey{app, 0});
+       site != grant_sites_.end() && site->first.app == app; ++site) {
+    for (MachineId machine : site->second) {
+      to_revoke.emplace_back(machine, site->first);
     }
-    for (const auto& [key, count] : to_revoke) {
-      RevokeGrant(key, MachineId(static_cast<int64_t>(m)), count,
-                  RevocationReason::kAppRelease, result);
-    }
-    if (!to_revoke.empty()) {
-      touched.push_back(MachineId(static_cast<int64_t>(m)));
-    }
+  }
+  std::sort(to_revoke.begin(), to_revoke.end());
+  for (const auto& [machine, key] : to_revoke) {
+    MachineState& state = machines_[static_cast<size_t>(machine.value())];
+    auto grant = state.grants.find(key);
+    FUXI_CHECK(grant != state.grants.end());
+    RevokeGrant(key, machine, grant->second, RevocationReason::kAppRelease,
+                result);
   }
   // Clear waiting demand accounting before dropping the demands.
   for (uint32_t slot : it->second.slots) {
@@ -99,7 +112,8 @@ Status Scheduler::UnregisterApp(AppId app, SchedulingResult* result) {
     FUXI_CHECK(s.ok()) << s.ToString();
   }
   apps_.erase(it);
-  for (MachineId machine : touched) SchedulePass(machine, result);
+  // The revokes marked the freed machines dirty; reschedule them now.
+  FlushDirtyPasses(result);
   return Status::Ok();
 }
 
@@ -127,6 +141,7 @@ Status Scheduler::ApplyRequest(const ResourceRequest& request,
 
 Status Scheduler::ApplyUnitDelta(AppId app, const UnitRequestDelta& delta,
                                  std::vector<PendingDemand*>* touched) {
+  NoteMutation();
   SlotKey key{app, delta.slot_id};
   PendingDemand* demand = tree_.Find(key);
   if (demand == nullptr) {
@@ -193,12 +208,26 @@ Status Scheduler::ApplyUnitDelta(AppId app, const UnitRequestDelta& delta,
   return Status::Ok();
 }
 
-int64_t Scheduler::FitCount(const PendingDemand& demand,
-                            const MachineState& state, int64_t limit) const {
+int64_t Scheduler::FitCount(const PendingDemand& demand, MachineState& state,
+                            int64_t limit) {
   if (!state.online || limit <= 0) return 0;
-  int64_t fit = state.free.DivideBy(demand.def.resources);
+  const cluster::ResourceVector& unit = demand.def.resources;
+  if (state.no_fit_epoch == state.free_epoch &&
+      state.no_fit_unit.FitsIn(unit)) {
+    // A unit no larger than this one already failed against the same
+    // free vector; by dominance this one fails too.
+    return 0;
+  }
+  int64_t fit = state.free.DivideBy(unit);
+  if (fit <= 0) {
+    // Cache the raw no-fit verdict. Only the quota-independent result
+    // may be cached: the clamp below moves with quota state, which
+    // changes without touching free_epoch.
+    state.no_fit_epoch = state.free_epoch;
+    state.no_fit_unit = unit;
+    return 0;
+  }
   int64_t count = std::min(fit, limit);
-  if (count <= 0) return 0;
   if (options_.enable_quota &&
       quota_.AnyOtherGroupHasDeficit(demand.key.app)) {
     // The app may only grow up to its group's guarantee while another
@@ -207,59 +236,68 @@ int64_t Scheduler::FitCount(const PendingDemand& demand,
     if (group != nullptr) {
       cluster::ResourceVector headroom =
           (group->quota - group->usage).ClampNonNegative();
-      count = std::min(count, headroom.DivideBy(demand.def.resources));
+      count = std::min(count, headroom.DivideBy(unit));
     }
   }
   return std::max<int64_t>(count, 0);
 }
 
 void Scheduler::PlaceDemand(PendingDemand* demand, SchedulingResult* result) {
-  // 1. Machine-level preferences (data locality first).
+  // 1. Machine-level preferences (data locality first). The hint index
+  // is a sorted map, so this walks it in id order with no per-call
+  // snapshot-and-sort. ConsumeGrant may erase the entry just granted
+  // from; the successor is captured first (map erase only invalidates
+  // the erased node).
   if (options_.locality_tree && !demand->machine_remaining.empty()) {
-    std::vector<MachineId> hinted;
-    hinted.reserve(demand->machine_remaining.size());
-    for (const auto& [machine, count] : demand->machine_remaining) {
-      hinted.push_back(machine);
-    }
-    std::sort(hinted.begin(), hinted.end());
-    for (MachineId machine : hinted) {
+    auto it = demand->machine_remaining.begin();
+    while (it != demand->machine_remaining.end()) {
       if (demand->total_remaining == 0) return;
-      if (demand->Avoids(machine)) continue;
-      auto hint_it = demand->machine_remaining.find(machine);
-      if (hint_it == demand->machine_remaining.end()) continue;
-      int64_t limit = std::min(hint_it->second, demand->total_remaining);
-      int64_t count = FitCount(
-          *demand, machines_[static_cast<size_t>(machine.value())], limit);
-      if (count > 0) {
-        CommitGrant(demand, machine, count, result);
-        tree_.ConsumeGrant(demand, machine, count);
-        NoteGrantTier(LocalityLevel::kMachine, count);
-      }
-    }
-  }
-  // 2. Rack-level preferences.
-  if (options_.locality_tree && !demand->rack_remaining.empty()) {
-    std::vector<RackId> racks;
-    racks.reserve(demand->rack_remaining.size());
-    for (const auto& [rack, count] : demand->rack_remaining) {
-      racks.push_back(rack);
-    }
-    std::sort(racks.begin(), racks.end());
-    for (RackId rack : racks) {
-      for (MachineId machine : topology_->rack(rack).machines) {
-        if (demand->total_remaining == 0) return;
-        auto rack_it = demand->rack_remaining.find(rack);
-        if (rack_it == demand->rack_remaining.end()) break;
-        if (demand->Avoids(machine)) continue;
-        int64_t limit = std::min(rack_it->second, demand->total_remaining);
+      MachineId machine = it->first;
+      auto next = std::next(it);
+      if (!demand->Avoids(machine)) {
+        int64_t limit = std::min(it->second, demand->total_remaining);
         int64_t count = FitCount(
             *demand, machines_[static_cast<size_t>(machine.value())], limit);
         if (count > 0) {
           CommitGrant(demand, machine, count, result);
           tree_.ConsumeGrant(demand, machine, count);
-          NoteGrantTier(LocalityLevel::kRack, count);
+          NoteGrantTier(LocalityLevel::kMachine, count);
         }
       }
+      it = next;
+    }
+  }
+  // 2. Rack-level preferences. Only machines with free capacity are
+  // visited (the per-rack free index; zero-free and offline machines
+  // could not grant anyway). Grants erase the granted machine from the
+  // index, so the walk advances by key.
+  if (options_.locality_tree && !demand->rack_remaining.empty()) {
+    auto rack_it = demand->rack_remaining.begin();
+    while (rack_it != demand->rack_remaining.end()) {
+      RackId rack = rack_it->first;
+      auto next_rack = std::next(rack_it);
+      const std::set<MachineId>& in_rack =
+          rack_free_[static_cast<size_t>(rack.value())];
+      auto mit = in_rack.begin();
+      while (mit != in_rack.end()) {
+        if (demand->total_remaining == 0) return;
+        auto entry = demand->rack_remaining.find(rack);
+        if (entry == demand->rack_remaining.end()) break;
+        MachineId machine = *mit;
+        if (!demand->Avoids(machine)) {
+          int64_t limit = std::min(entry->second, demand->total_remaining);
+          int64_t count = FitCount(
+              *demand, machines_[static_cast<size_t>(machine.value())],
+              limit);
+          if (count > 0) {
+            CommitGrant(demand, machine, count, result);
+            tree_.ConsumeGrant(demand, machine, count);
+            NoteGrantTier(LocalityLevel::kRack, count);
+          }
+        }
+        mit = in_rack.upper_bound(machine);
+      }
+      rack_it = next_rack;
     }
   }
   // 3. Anywhere in the cluster, round-robin over machines with free
@@ -298,12 +336,23 @@ void Scheduler::SchedulePass(MachineId machine, SchedulingResult* result) {
   ++scheduling_passes_;
   if (passes_counter_ != nullptr) passes_counter_->Add();
   MachineState& state = machines_[static_cast<size_t>(machine.value())];
+  dirty_machines_.erase(machine);
   if (!state.online || state.free.IsZero()) return;
+  if (!tree_.HasLiveDemands() || state.last_pass_epoch == world_epoch_) {
+    // Nothing is waiting anywhere, or nothing at all changed since this
+    // machine's last walk ran to fixpoint — the walk cannot grant.
+    ++passes_skipped_;
+    if (passes_skipped_counter_ != nullptr) passes_skipped_counter_->Add();
+    return;
+  }
   size_t examined = 0;
+  bool truncated = false;
+  size_t grants_before = result->assignments.size();
   tree_.ForEachCandidate(
       machine, [&](PendingDemand* demand, LocalityLevel level) -> int64_t {
         if (options_.max_candidates_per_pass > 0 &&
             ++examined > options_.max_candidates_per_pass) {
+          truncated = true;
           return -1;
         }
         int64_t limit = demand->total_remaining;
@@ -325,6 +374,20 @@ void Scheduler::SchedulePass(MachineId machine, SchedulingResult* result) {
         }
         return count;
       });
+  // Only a pass that ran to fixpoint granting nothing is provably
+  // idempotent (it mutated no state, so a literal re-run reproduces
+  // it); a granting or truncated pass leaves the stale epoch so the
+  // next pass re-walks.
+  if (!truncated && result->assignments.size() == grants_before) {
+    state.last_pass_epoch = world_epoch_;
+  }
+}
+
+void Scheduler::FlushDirtyPasses(SchedulingResult* result) {
+  while (!dirty_machines_.empty()) {
+    // SchedulePass removes the machine from the set.
+    SchedulePass(*dirty_machines_.begin(), result);
+  }
 }
 
 void Scheduler::CommitGrant(PendingDemand* demand, MachineId machine,
@@ -335,8 +398,10 @@ void Scheduler::CommitGrant(PendingDemand* demand, MachineId machine,
   FUXI_CHECK(amount.FitsIn(state.free))
       << "grant exceeds free pool on machine " << machine.value();
   state.free -= amount;
-  if (state.free.IsZero()) free_machines_.erase(machine);
+  SyncFreeIndex(machine, state);
   state.grants[demand->key] += count;
+  grant_sites_[demand->key].insert(machine);
+  total_granted_ += amount;
   quota_.OnGrant(demand->key.app, amount);
   quota_.OnWaitingChange(demand->key.app,
                          demand->def.resources * (-count));
@@ -352,16 +417,23 @@ int64_t Scheduler::RevokeGrant(const SlotKey& key, MachineId machine,
   if (it == state.grants.end() || count <= 0) return 0;
   int64_t revoked = std::min(count, it->second);
   it->second -= revoked;
-  if (it->second == 0) state.grants.erase(it);
+  if (it->second == 0) {
+    state.grants.erase(it);
+    auto site = grant_sites_.find(key);
+    FUXI_CHECK(site != grant_sites_.end());
+    site->second.erase(machine);
+    if (site->second.empty()) grant_sites_.erase(site);
+  }
 
   PendingDemand* demand = tree_.Find(key);
   FUXI_CHECK(demand != nullptr) << "grant without demand record";
   cluster::ResourceVector amount = demand->def.resources * revoked;
-  bool was_zero_free = state.free.IsZero();
   state.free += amount;
-  if (state.online && was_zero_free && !state.free.IsZero()) {
-    free_machines_.insert(machine);
-  }
+  SyncFreeIndex(machine, state);
+  total_granted_ -= amount;
+  // The machine's free pool grew without an immediate re-offer; the
+  // caller decides when to flush (or runs its own pass, clearing this).
+  if (state.online) dirty_machines_.insert(machine);
   quota_.OnRevoke(key.app, amount);
 
   // Involuntary revocations put the demand back in the waiting queues so
@@ -401,8 +473,10 @@ Status Scheduler::RestoreGrant(AppId app, const ScheduleUnitDef& def,
   tree_.GetOrCreate(key, def);
   apps_[app].slots.insert(def.slot_id);
   state.free -= amount;
-  if (state.free.IsZero()) free_machines_.erase(machine);
+  SyncFreeIndex(machine, state);
   state.grants[key] += count;
+  grant_sites_[key].insert(machine);
+  total_granted_ += amount;
   quota_.OnGrant(app, amount);
   return Status::Ok();
 }
@@ -439,7 +513,8 @@ void Scheduler::SetMachineOffline(MachineId machine,
   }
   state.online = false;
   state.free = cluster::ResourceVector();
-  free_machines_.erase(machine);
+  SyncFreeIndex(machine, state);
+  dirty_machines_.erase(machine);
   // Demands displaced from this machine re-entered the waiting queues;
   // try to place them elsewhere right away.
   std::vector<SlotKey> displaced;
@@ -459,7 +534,7 @@ void Scheduler::SetMachineOnline(MachineId machine, SchedulingResult* result,
   state.online = true;
   state.free = state.capacity;
   FUXI_CHECK(state.grants.empty());
-  if (!state.free.IsZero()) free_machines_.insert(machine);
+  SyncFreeIndex(machine, state);
   if (run_pass) SchedulePass(machine, result);
 }
 
@@ -491,21 +566,26 @@ void Scheduler::SetMachineCapacity(MachineId machine,
     // RevokeGrant already adjusted state.free; recompute cleanly below.
   }
   state.free = new_free.ClampNonNegative();
-  if (state.online && !state.free.IsZero()) {
-    free_machines_.insert(machine);
-  } else {
-    free_machines_.erase(machine);
-  }
+  SyncFreeIndex(machine, state);
   if (state.online) SchedulePass(machine, result);
 }
 
 void Scheduler::TryPreempt(PendingDemand* demand, SchedulingResult* result) {
   if (demand->total_remaining <= 0) return;
   const QuotaManager::Group* my_group = quota_.GroupOf(demand->key.app);
+  // Without a quota group the demand can neither priority-preempt
+  // (same-group only) nor quota-preempt — no victim can exist, so skip
+  // the scan entirely.
+  if (my_group == nullptr) return;
+  bool my_group_deficit =
+      options_.enable_quota && quota_.HasDeficit(*my_group);
 
   // Collect victim grants: (level, victim priority, machine, key).
   // Level 0 = priority preemption within the same group; level 1 =
   // quota preemption against over-quota groups (paper §3.4 order).
+  // The walk goes through the grant-site index app by app so that
+  // ineligible apps are skipped wholesale; cost is proportional to
+  // eligible grants, not cluster size.
   struct Victim {
     int level;
     Priority priority;
@@ -513,27 +593,37 @@ void Scheduler::TryPreempt(PendingDemand* demand, SchedulingResult* result) {
     SlotKey key;
   };
   std::vector<Victim> victims;
-  bool my_group_deficit =
-      options_.enable_quota && my_group != nullptr &&
-      quota_.HasDeficit(*my_group);
-  for (size_t m = 0; m < machines_.size(); ++m) {
-    MachineId machine(static_cast<int64_t>(m));
-    const MachineState& state = machines_[m];
-    if (!state.online || demand->Avoids(machine)) continue;
-    for (const auto& [key, count] : state.grants) {
-      if (key.app == demand->key.app) continue;
-      const PendingDemand* victim_demand = tree_.Find(key);
+  auto it = grant_sites_.begin();
+  while (it != grant_sites_.end()) {
+    AppId app = it->first.app;
+    auto next_app =
+        grant_sites_.lower_bound(SlotKey{AppId(app.value() + 1), 0});
+    if (app == demand->key.app) {
+      it = next_app;
+      continue;
+    }
+    const QuotaManager::Group* victim_group = quota_.GroupOf(app);
+    bool same_group = victim_group == my_group;
+    bool quota_eligible = my_group_deficit && victim_group != nullptr &&
+                          !same_group && quota_.OverQuota(*victim_group);
+    if (!same_group && !quota_eligible) {
+      it = next_app;
+      continue;
+    }
+    for (; it != next_app; ++it) {
+      const PendingDemand* victim_demand = tree_.Find(it->first);
       FUXI_CHECK(victim_demand != nullptr);
-      const QuotaManager::Group* victim_group = quota_.GroupOf(key.app);
-      bool same_group = my_group != nullptr && victim_group == my_group;
-      if (same_group &&
-          victim_demand->def.priority < demand->def.priority) {
+      int level;
+      if (same_group) {
+        if (victim_demand->def.priority >= demand->def.priority) continue;
+        level = 0;
+      } else {
+        level = 1;
+      }
+      for (MachineId machine : it->second) {
+        if (demand->Avoids(machine)) continue;
         victims.push_back(
-            {0, victim_demand->def.priority, machine, key});
-      } else if (my_group_deficit && victim_group != nullptr &&
-                 !same_group && quota_.OverQuota(*victim_group)) {
-        victims.push_back(
-            {1, victim_demand->def.priority, machine, key});
+            {level, victim_demand->def.priority, machine, it->first});
       }
     }
   }
@@ -546,14 +636,14 @@ void Scheduler::TryPreempt(PendingDemand* demand, SchedulingResult* result) {
             });
 
   for (const Victim& victim : victims) {
-    if (demand->total_remaining <= 0) return;
+    if (demand->total_remaining <= 0) break;
     MachineState& state =
         machines_[static_cast<size_t>(victim.machine.value())];
     // Revoke victim units one at a time until one of ours fits (or the
     // victim runs out on this machine).
     while (demand->total_remaining > 0) {
-      auto it = state.grants.find(victim.key);
-      if (it == state.grants.end()) break;
+      auto grant = state.grants.find(victim.key);
+      if (grant == state.grants.end()) break;
       RevocationReason reason = victim.level == 0
                                     ? RevocationReason::kPreemptPriority
                                     : RevocationReason::kPreemptQuota;
@@ -569,6 +659,11 @@ void Scheduler::TryPreempt(PendingDemand* demand, SchedulingResult* result) {
         }
       }
     }
+  }
+  // Preemption leftovers are not re-offered to other demands; drop the
+  // dirty marks the revokes above made.
+  for (const Victim& victim : victims) {
+    dirty_machines_.erase(victim.machine);
   }
 }
 
@@ -592,6 +687,7 @@ size_t Scheduler::AgeWaitingDemands(double now) {
   for (const SlotKey& key : to_boost) {
     PendingDemand* demand = tree_.Find(key);
     if (demand == nullptr) continue;
+    NoteMutation();
     tree_.SetEffectivePriority(demand, demand->effective_priority + 1);
     demand->waiting_since = now;  // one boost per aging period
     ++boosted;
@@ -627,43 +723,38 @@ cluster::ResourceVector Scheduler::TotalCapacity() const {
   return total;
 }
 
-cluster::ResourceVector Scheduler::TotalGranted() const {
-  cluster::ResourceVector total;
-  for (const MachineState& state : machines_) {
-    if (!state.online) continue;
-    total += state.capacity - state.free;
-  }
-  return total;
-}
-
 cluster::ResourceVector Scheduler::GrantedTo(AppId app) const {
   cluster::ResourceVector total;
-  for (const MachineState& state : machines_) {
-    for (const auto& [key, count] : state.grants) {
-      if (key.app != app) continue;
-      const PendingDemand* demand = tree_.Find(key);
-      FUXI_CHECK(demand != nullptr);
-      total += demand->def.resources * count;
+  for (auto it = grant_sites_.lower_bound(SlotKey{app, 0});
+       it != grant_sites_.end() && it->first.app == app; ++it) {
+    const PendingDemand* demand = tree_.Find(it->first);
+    FUXI_CHECK(demand != nullptr);
+    int64_t units = 0;
+    for (MachineId machine : it->second) {
+      const MachineState& state =
+          machines_[static_cast<size_t>(machine.value())];
+      auto grant = state.grants.find(it->first);
+      FUXI_CHECK(grant != state.grants.end());
+      units += grant->second;
     }
+    total += demand->def.resources * units;
   }
   return total;
 }
 
 std::vector<Scheduler::GrantEntry> Scheduler::GrantsOf(AppId app) const {
+  // The site index is (slot, machine)-ordered already.
   std::vector<GrantEntry> out;
-  for (size_t m = 0; m < machines_.size(); ++m) {
-    for (const auto& [key, count] : machines_[m].grants) {
-      if (key.app == app) {
-        out.push_back(
-            {key.slot_id, MachineId(static_cast<int64_t>(m)), count});
-      }
+  for (auto it = grant_sites_.lower_bound(SlotKey{app, 0});
+       it != grant_sites_.end() && it->first.app == app; ++it) {
+    for (MachineId machine : it->second) {
+      const MachineState& state =
+          machines_[static_cast<size_t>(machine.value())];
+      auto grant = state.grants.find(it->first);
+      FUXI_CHECK(grant != state.grants.end());
+      out.push_back({it->first.slot_id, machine, grant->second});
     }
   }
-  std::sort(out.begin(), out.end(),
-            [](const GrantEntry& a, const GrantEntry& b) {
-              if (a.slot_id != b.slot_id) return a.slot_id < b.slot_id;
-              return a.machine < b.machine;
-            });
   return out;
 }
 
@@ -677,35 +768,61 @@ int64_t Scheduler::GrantCount(AppId app, uint32_t slot_id,
 
 bool Scheduler::CheckInvariants() const {
   if (!tree_.CheckInvariants()) return false;
+  cluster::ResourceVector granted_total;
+  std::map<SlotKey, std::set<MachineId>> sites;
   for (size_t m = 0; m < machines_.size(); ++m) {
     const MachineState& state = machines_[m];
+    MachineId id(static_cast<int64_t>(m));
     cluster::ResourceVector granted;
     for (const auto& [key, count] : state.grants) {
       if (count <= 0) return false;
       const PendingDemand* demand = tree_.Find(key);
       if (demand == nullptr) return false;
       granted += demand->def.resources * count;
+      sites[key].insert(id);
     }
+    bool has_free = state.online && !state.free.IsZero();
+    if ((free_machines_.count(id) > 0) != has_free) return false;
+    size_t rack = static_cast<size_t>(topology_->machine(id).rack.value());
+    if ((rack_free_[rack].count(id) > 0) != has_free) return false;
     if (state.online) {
       if (!(granted + state.free == state.capacity)) return false;
       if (state.free.AnyNegative()) return false;
-      bool in_set = free_machines_.count(MachineId(
-                        static_cast<int64_t>(m))) > 0;
-      if (in_set != !state.free.IsZero()) return false;
     } else {
       if (!state.grants.empty()) return false;
-      if (free_machines_.count(MachineId(static_cast<int64_t>(m))) > 0) {
-        return false;
-      }
     }
+    granted_total += granted;
   }
+  // The incremental indexes must agree with the from-scratch recompute.
+  if (sites != grant_sites_) return false;
+  if (!(granted_total == total_granted_)) return false;
+  size_t rack_free_total = 0;
+  for (const std::set<MachineId>& rack_set : rack_free_) {
+    rack_free_total += rack_set.size();
+  }
+  if (rack_free_total != free_machines_.size()) return false;
   return true;
+}
+
+void Scheduler::SyncFreeIndex(MachineId machine, MachineState& state) {
+  NoteMutation();
+  ++state.free_epoch;
+  bool has_free = state.online && !state.free.IsZero();
+  size_t rack = static_cast<size_t>(topology_->machine(machine).rack.value());
+  if (has_free) {
+    free_machines_.insert(machine);
+    rack_free_[rack].insert(machine);
+  } else {
+    free_machines_.erase(machine);
+    rack_free_[rack].erase(machine);
+  }
 }
 
 void Scheduler::set_metrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     tier_machine_counter_ = tier_rack_counter_ = tier_cluster_counter_ =
-        preempt_units_counter_ = passes_counter_ = nullptr;
+        preempt_units_counter_ = passes_counter_ = passes_skipped_counter_ =
+            nullptr;
     return;
   }
   tier_machine_counter_ = metrics->GetCounter("sched.grant_units.machine");
@@ -713,6 +830,7 @@ void Scheduler::set_metrics(obs::MetricsRegistry* metrics) {
   tier_cluster_counter_ = metrics->GetCounter("sched.grant_units.cluster");
   preempt_units_counter_ = metrics->GetCounter("sched.preempt_units");
   passes_counter_ = metrics->GetCounter("sched.schedule_passes");
+  passes_skipped_counter_ = metrics->GetCounter("sched.passes_skipped");
 }
 
 }  // namespace fuxi::resource

@@ -26,6 +26,21 @@ struct MachineState {
   cluster::ResourceVector free;
   /// Units granted on this machine per (app, slot).
   std::map<SlotKey, int64_t> grants;
+
+  // --- incremental-index state, maintained by the Scheduler ----------
+
+  /// Bumped on every change to `free` (grant, revoke, capacity change,
+  /// online/offline flip). Versions the cached fit result below.
+  uint64_t free_epoch = 1;
+  /// Negative-fit cache: while `no_fit_epoch == free_epoch`, any unit
+  /// needing componentwise >= `no_fit_unit` cannot fit the free pool
+  /// (dominance: if some dimension of the cached unit exceeded the free
+  /// vector, a larger unit exceeds it too). 0 = nothing cached.
+  uint64_t no_fit_epoch = 0;
+  cluster::ResourceVector no_fit_unit;
+  /// Scheduler world epoch recorded when the last queue walk over this
+  /// machine completed; a pass re-run at an unchanged epoch is skipped.
+  uint64_t last_pass_epoch = 0;
 };
 
 /// FuxiMaster's incremental resource scheduler (paper §3). This class
@@ -38,7 +53,28 @@ struct MachineState {
 ///
 /// Incremental principle: every entry point touches only the machines
 /// implicated by the change (the machine a grant freed up on, the
-/// machines a new hint names, ...) — never the full cluster.
+/// machines a new hint names, ...) — never the full cluster. The
+/// supporting indexes, all updated on grant/revoke/delta instead of
+/// being rebuilt per decision:
+///   * sorted per-demand hint maps (see PendingDemand) — no per-call
+///     snapshot-and-sort;
+///   * `free_machines_` / `rack_free_` — machines with a non-empty free
+///     pool, cluster-wide and per rack, so placement walks only
+///     machines that could possibly grant;
+///   * `grant_sites_` — every machine holding units of a (app, slot),
+///     so preemption victim scans, app teardown and grant introspection
+///     are proportional to actual grants, not cluster size;
+///   * per-machine free epochs + a scheduler world epoch — versioning
+///     for the negative-FitCount cache and for skipping scheduling
+///     passes that provably cannot grant;
+///   * `dirty_machines_` — machines whose free pool grew without an
+///     immediate pass, flushed by the batch teardown paths.
+///
+/// The semantics (which demand wins which machine, in which order
+/// results are emitted) are specified by the reference oracle in
+/// reference_scheduler.h; tests/scheduler_differential_test.cc replays
+/// randomized operation streams through both and demands identical
+/// output at every step.
 struct SchedulerOptions {
   bool enable_quota = true;
   /// Two-level preemption (priority within group, then quota across
@@ -140,8 +176,9 @@ class Scheduler {
 
   /// Total capacity over online machines (FM_total in Figure 10).
   cluster::ResourceVector TotalCapacity() const;
-  /// Total currently granted (FM_planned in Figure 10).
-  cluster::ResourceVector TotalGranted() const;
+  /// Total currently granted (FM_planned in Figure 10). Maintained
+  /// incrementally; O(1).
+  cluster::ResourceVector TotalGranted() const { return total_granted_; }
   /// Granted to one application (AM_obtained component).
   cluster::ResourceVector GrantedTo(AppId app) const;
 
@@ -157,6 +194,8 @@ class Scheduler {
   std::vector<GrantEntry> GrantsOf(AppId app) const;
 
   uint64_t scheduling_passes() const { return scheduling_passes_; }
+  /// Passes answered from the epoch check without walking the queues.
+  uint64_t passes_skipped() const { return passes_skipped_; }
 
   /// Starvation-aging sweep (invoked from FuxiMaster's roll-up tick,
   /// §3.4's batched non-urgent work): demands waiting longer than
@@ -169,7 +208,9 @@ class Scheduler {
   std::vector<SchedulingResult> TakeAgedResults();
 
   /// Validates cross-structure consistency (free+granted == capacity,
-  /// quota usage matches grants, tree invariants). For tests.
+  /// quota usage matches grants, tree invariants, and that every
+  /// incremental index agrees with a from-scratch recomputation). For
+  /// tests.
   bool CheckInvariants() const;
 
   /// Wires the metrics registry in (null detaches). Grants are counted
@@ -197,6 +238,11 @@ class Scheduler {
   /// (locality-tree pass). Appends grants to `result`.
   void SchedulePass(MachineId machine, SchedulingResult* result);
 
+  /// Runs SchedulePass over every machine in `dirty_machines_` (in
+  /// ascending id order) — machines whose free pool grew without an
+  /// immediate re-offer, batched by the teardown paths.
+  void FlushDirtyPasses(SchedulingResult* result);
+
   /// Grants `count` units of `demand` on `machine`: updates free pool,
   /// grant table, quota usage, waiting totals, and the locality tree.
   void CommitGrant(PendingDemand* demand, MachineId machine, int64_t count,
@@ -210,9 +256,19 @@ class Scheduler {
   void TryPreempt(PendingDemand* demand, SchedulingResult* result);
 
   /// How many units of `demand` machine `m` could host right now
-  /// (respecting quota admission and fit), capped by `limit`.
-  int64_t FitCount(const PendingDemand& demand, const MachineState& state,
-                   int64_t limit) const;
+  /// (respecting quota admission and fit), capped by `limit`. Updates
+  /// the machine's negative-fit cache.
+  int64_t FitCount(const PendingDemand& demand, MachineState& state,
+                   int64_t limit);
+
+  /// Re-derives `machine`'s membership in the free indexes from its
+  /// state and bumps the fit/pass epochs. Must be called after every
+  /// mutation of a machine's free pool or online flag.
+  void SyncFreeIndex(MachineId machine, MachineState& state);
+
+  /// Records a world-state mutation (demand, quota, machine or grant
+  /// change): invalidates the per-machine pass-skip epoch.
+  void NoteMutation() { ++world_epoch_; }
 
   void NoteGrantTier(LocalityLevel level, int64_t count) {
     if (tier_machine_counter_ == nullptr) return;
@@ -238,10 +294,22 @@ class Scheduler {
   std::vector<MachineState> machines_;
   /// Machines with any free resources, for cluster-level placement.
   std::set<MachineId> free_machines_;
+  /// The same machines partitioned by rack, for rack-hint placement.
+  std::vector<std::set<MachineId>> rack_free_;
+  /// Machines holding units of each (app, slot): the preemption victim
+  /// index and the per-app grant iterator.
+  std::map<SlotKey, std::set<MachineId>> grant_sites_;
+  /// Machines whose free pool grew without an immediate pass.
+  std::set<MachineId> dirty_machines_;
+  /// Running total of granted resources (== FM_planned).
+  cluster::ResourceVector total_granted_;
+  /// Bumped on every state mutation; per-machine pass-skip versioning.
+  uint64_t world_epoch_ = 1;
   /// Round-robin cursor over free_machines_ for load balancing.
   MachineId rr_cursor_;
   std::unordered_map<AppId, AppState> apps_;
   uint64_t scheduling_passes_ = 0;
+  uint64_t passes_skipped_ = 0;
   /// Virtual "now" for waiting_since stamps, fed by AgeWaitingDemands.
   double now_hint_ = 0;
   std::vector<SchedulingResult> aged_results_;
@@ -251,6 +319,7 @@ class Scheduler {
   obs::Counter* tier_cluster_counter_ = nullptr;
   obs::Counter* preempt_units_counter_ = nullptr;
   obs::Counter* passes_counter_ = nullptr;
+  obs::Counter* passes_skipped_counter_ = nullptr;
 };
 
 }  // namespace fuxi::resource

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "baseline/yarn_like.h"
+#include "chaos/campaign.h"
+#include "resource/scheduler.h"
 #include "trace/workloads.h"
 
 namespace fuxi {
@@ -204,6 +208,178 @@ TEST(MesosLikeTest, IdleFrameworkWastesOfferRound) {
   EXPECT_GT(mesos.stats().offers_declined, 0u);
   mesos.OfferRound(&result);
   EXPECT_EQ(mesos.GrantedCount(AppId(2)), 2);
+}
+
+// --------------------------------------------------- golden replays
+//
+// These constants were captured from the chaos campaign engine BEFORE
+// the incremental-scheduling rewrite of src/resource/scheduler.cc and
+// verified byte-identical after it. They pin the end-to-end decision
+// stream of the whole stack (election, heartbeats, scheduling order,
+// failover restores, reconcile sweeps): any change to scheduler
+// tie-breaking, however subtle, shifts grant placement and shows up as
+// a different folded state hash or event count. Update them only for
+// an INTENTIONAL semantic change, never to quiet a refactor.
+
+struct GoldenCampaign {
+  uint64_t seed;
+  uint64_t state_hash;
+  uint64_t events;
+};
+
+TEST(ChaosGoldenReplayTest, CampaignsReplayByteIdentical) {
+  static constexpr GoldenCampaign kGolden[] = {
+      {1, 0x95ee2792e98cc143ull, 1957},
+      {2, 0x5a2f467fe15e3c0bull, 2025},
+      {3, 0x2b808efbc471373aull, 1978},
+  };
+  chaos::CampaignConfig config;
+  for (const GoldenCampaign& golden : kGolden) {
+    chaos::CampaignResult result = chaos::RunCampaign(golden.seed, config);
+    ASSERT_TRUE(result.ok())
+        << "seed " << golden.seed << ":\n"
+        << chaos::FormatCampaignFailure(result);
+    EXPECT_EQ(result.state_hash, golden.state_hash)
+        << "seed " << golden.seed << " digest drifted";
+    EXPECT_EQ(result.events, golden.events)
+        << "seed " << golden.seed << " event count drifted";
+    EXPECT_EQ(result.instances_done, 96) << "seed " << golden.seed;
+    EXPECT_DOUBLE_EQ(result.completed_at, 46.0) << "seed " << golden.seed;
+  }
+}
+
+// The seeded Figure 7 regression (skipping grant restore on failover)
+// must still FAIL deterministically — the refactor may not accidentally
+// mask the double-grant bug — and a seed whose fault schedule never
+// exercises the restore path must still pass with its exact old hash.
+TEST(ChaosGoldenReplayTest, SeededRestoreBugStillCaughtIdentically) {
+  chaos::CampaignConfig config;
+  config.seed_restore_bug = true;
+  // Mirror bench_chaos_campaign: the periodic allocation reconcile
+  // would repair the double grant before the sustained window elapses.
+  config.cluster.agent.allocation_report_every = 0;
+
+  chaos::CampaignResult bad = chaos::RunCampaign(8, config);
+  EXPECT_FALSE(bad.ok()) << "restore bug went undetected";
+  EXPECT_EQ(bad.state_hash, 0xadc97367ed072e9eull);
+  EXPECT_EQ(bad.events, 2030u);
+  ASSERT_FALSE(bad.violations.empty());
+  EXPECT_EQ(bad.violations[0].invariant.rfind("orphan-processes", 0), 0u)
+      << "unexpected first violation: " << bad.violations[0].invariant;
+
+  chaos::CampaignResult good = chaos::RunCampaign(3, config);
+  ASSERT_TRUE(good.ok()) << chaos::FormatCampaignFailure(good);
+  EXPECT_EQ(good.state_hash, 0x5b63e6aa9a3c9d7cull);
+  EXPECT_EQ(good.events, 1957u);
+}
+
+// Scheduler-level golden: folds the exact (assignment, revocation)
+// stream of a fixed scripted scenario — hints, quota, preemption,
+// offline/online churn, failover restore — into an FNV-1a digest.
+// Where the campaign goldens pin the system-level outcome, this pins
+// the raw grant log of the scheduler alone, so a tie-break change is
+// attributed directly without simulator noise.
+TEST(SchedulerGrantLogGoldenTest, ScriptedScenarioDigestIsStable) {
+  cluster::ClusterTopology::Options topo_options;
+  topo_options.racks = 3;
+  topo_options.machines_per_rack = 4;
+  topo_options.machine_capacity = cluster::ResourceVector(400, 8192);
+  cluster::ClusterTopology topo =
+      cluster::ClusterTopology::Build(topo_options);
+
+  resource::SchedulerOptions options;
+  options.enable_preemption = true;
+  resource::Scheduler scheduler(&topo, options);
+  ASSERT_TRUE(
+      scheduler.CreateQuotaGroup("g", cluster::ResourceVector(3600, 65536))
+          .ok());
+  ASSERT_TRUE(scheduler.RegisterApp(AppId(1), "g").ok());
+  ASSERT_TRUE(scheduler.RegisterApp(AppId(2), "g").ok());
+
+  uint64_t digest = 1469598103934665603ull;  // FNV-1a offset basis
+  auto fold = [&digest](const std::string& s) {
+    for (char c : s) {
+      digest ^= static_cast<unsigned char>(c);
+      digest *= 1099511628211ull;
+    }
+  };
+  auto fold_result = [&](const resource::SchedulingResult& result) {
+    std::ostringstream out;
+    for (const auto& a : result.assignments) {
+      out << "A " << a.app.value() << ' ' << a.slot_id << ' '
+          << a.machine.value() << ' ' << a.count << '\n';
+    }
+    for (const auto& r : result.revocations) {
+      out << "R " << r.app.value() << ' ' << r.slot_id << ' '
+          << r.machine.value() << ' ' << r.count << ' '
+          << static_cast<int>(r.reason) << '\n';
+    }
+    fold(out.str());
+  };
+
+  resource::SchedulingResult result;
+  auto request = [&](AppId app, uint32_t slot, resource::Priority priority,
+                     int64_t cpu, int64_t mem, int64_t count,
+                     std::vector<resource::LocalityHint> hints = {}) {
+    resource::ResourceRequest req;
+    req.app = app;
+    resource::UnitRequestDelta unit;
+    unit.slot_id = slot;
+    unit.has_def = true;
+    unit.def.slot_id = slot;
+    unit.def.priority = priority;
+    unit.def.resources = cluster::ResourceVector(cpu, mem);
+    unit.total_count_delta = count;
+    unit.hints = std::move(hints);
+    req.units.push_back(unit);
+    result.Clear();
+    ASSERT_TRUE(scheduler.ApplyRequest(req, &result).ok());
+    fold_result(result);
+  };
+
+  request(AppId(1), 0, 1, 100, 2048, 9,
+          {{resource::LocalityLevel::kMachine, topo.machine(MachineId(5)).hostname, 4},
+           {resource::LocalityLevel::kRack, topo.rack(RackId(0)).name, 3}});
+  request(AppId(2), 0, 2, 150, 4096, 6,
+          {{resource::LocalityLevel::kRack, topo.rack(RackId(2)).name, 6}});
+  request(AppId(1), 1, 3, 200, 4096, 8);  // high prio → preemption path
+
+  result.Clear();
+  scheduler.SetMachineOffline(MachineId(5), &result);
+  fold_result(result);
+  result.Clear();
+  scheduler.SetMachineOnline(MachineId(5), &result);
+  fold_result(result);
+
+  result.Clear();
+  ASSERT_TRUE(scheduler
+                  .Release(AppId(2), 0, MachineId(8), 1, &result,
+                           resource::RevocationReason::kAppRelease)
+                  .ok());
+  fold_result(result);
+
+  result.Clear();
+  scheduler.SetMachineCapacity(MachineId(3),
+                               cluster::ResourceVector(800, 16384), &result);
+  fold_result(result);
+
+  resource::ScheduleUnitDef restored;
+  restored.slot_id = 7;
+  restored.priority = 1;
+  restored.resources = cluster::ResourceVector(50, 1024);
+  ASSERT_TRUE(
+      scheduler.RestoreGrant(AppId(2), restored, MachineId(3), 2).ok());
+  result.Clear();
+  scheduler.RunSchedulePass(MachineId(3), &result);
+  fold_result(result);
+
+  result.Clear();
+  ASSERT_TRUE(scheduler.UnregisterApp(AppId(1), &result).ok());
+  fold_result(result);
+
+  ASSERT_TRUE(scheduler.CheckInvariants());
+  EXPECT_EQ(digest, 0xbe6e741939341a85ull)
+      << "grant-log digest changed: 0x" << std::hex << digest;
 }
 
 }  // namespace
