@@ -83,6 +83,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "flight-recorder trace written to %s\n",
                      path.c_str());
       }
+      if (!result.audit_json.empty()) {
+        std::string path = "fuxi_audit_seed" + std::to_string(seed) + ".json";
+        std::ofstream out(path, std::ios::binary);
+        out << result.audit_json;
+        std::fprintf(stderr,
+                     "decision-audit dump written to %s (query with "
+                     "fuxi_explain)\n",
+                     path.c_str());
+      }
     }
   }
   std::printf("chaos sweep: %d/%d campaigns passed\n", count - failed, count);

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full build + test suite, a build with causal
-# tracing compiled out (both FUXI_OBS_TRACING configurations must stay
+# tracing compiled out, a build with the decision audit compiled out
+# (every FUXI_OBS_TRACING / FUXI_OBS_AUDIT configuration must stay
 # green), then the chaos campaign sweep again under ASan/UBSan (memory
 # errors in failover and fault-recovery paths are exactly what the
 # campaigns shake out).
@@ -26,7 +27,17 @@ cmake -B build-notrace -S . -DFUXI_OBS_TRACING=OFF >/dev/null
 cmake --build build-notrace -j"$(nproc)" --target fuxi_tests
 (cd build-notrace &&
  ./tests/fuxi_tests \
-   --gtest_filter='*Obs*:*Trace*:NetworkTest.*:ChaosCampaign.*:ScriptedChaosTest.*:*Differential*:*Golden*:*HintSort*')
+   --gtest_filter='*Obs*:*Trace*:*Audit*:NetworkTest.*:ChaosCampaign.*:ScriptedChaosTest.*:*Differential*:*Golden*:*HintSort*')
+
+echo "== tier-1: decision audit compiled out (FUXI_OBS_AUDIT=OFF) =="
+# The differential suite still runs its audit-attached scheduler here
+# (against the no-op log), so byte-identical results are proven for the
+# OFF configuration too; the integration test self-skips.
+cmake -B build-noaudit -S . -DFUXI_OBS_AUDIT=OFF >/dev/null
+cmake --build build-noaudit -j"$(nproc)" --target fuxi_tests
+(cd build-noaudit &&
+ ./tests/fuxi_tests \
+   --gtest_filter='*Obs*:*Trace*:*Audit*:*Timeline*:ChaosCampaign.*:ScriptedChaosTest.*:*Differential*:*Golden*')
 
 if [[ "$skip_asan" == 1 ]]; then
   echo "== tier-1: ASan/UBSan pass skipped =="

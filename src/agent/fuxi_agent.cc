@@ -243,6 +243,7 @@ void FuxiAgent::EnforceCapacity(AppId app, uint32_t slot_id) {
     host_->Kill(victim->id);
     ++workers_killed_for_capacity_;
     if (killed_capacity_counter_ != nullptr) killed_capacity_counter_->Add();
+    AuditKill(app, slot_id, "capacity");
     network_->Send(self_, owner, note);
   }
 }
@@ -277,6 +278,7 @@ void FuxiAgent::EnforceOverload() {
     host_->Kill(victim->id);
     ++workers_killed_for_overload_;
     if (killed_overload_counter_ != nullptr) killed_overload_counter_->Add();
+    AuditKill(note.app, note.slot_id, "overload");
     network_->Send(self_, owner, note);
   }
 }
@@ -394,6 +396,18 @@ cluster::ResourceVector FuxiAgent::TotalGrantedCapacity() const {
     total += entry.def.resources * entry.count;
   }
   return total;
+}
+
+void FuxiAgent::AuditKill(AppId app, uint32_t slot_id, const char* cause) {
+  if (!obs::AuditLog::enabled() || audit_ == nullptr) return;
+  obs::DecisionRecord rec;
+  rec.kind = obs::DecisionKind::kAgentKill;
+  rec.app = app.value();
+  rec.slot = slot_id;
+  rec.machine = machine().value();
+  rec.units = 1;
+  rec.note = cause;
+  audit_->Commit(std::move(rec));
 }
 
 void FuxiAgent::set_metrics(obs::MetricsRegistry* metrics) {

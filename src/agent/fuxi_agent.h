@@ -14,6 +14,7 @@
 #include "coord/lock_service.h"
 #include "master/messages.h"
 #include "net/network.h"
+#include "obs/audit.h"
 #include "obs/metrics_registry.h"
 #include "sim/simulator.h"
 
@@ -116,7 +117,17 @@ class FuxiAgent : public sim::Actor {
   /// cluster-wide starts/kills.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  /// Wires the cluster decision-audit log in (null detaches). Each
+  /// compulsory worker kill (capacity ensurance / overload eviction)
+  /// commits a kAgentKill record so `fuxi_explain` can attribute lost
+  /// workers to the agent-side enforcement that killed them.
+  void set_audit(obs::AuditLog* audit) { audit_ = audit; }
+
  private:
+  /// Commits one kAgentKill decision record (no-op when detached or
+  /// compiled out).
+  void AuditKill(AppId app, uint32_t slot_id, const char* cause);
+
   struct CapacityEntry {
     resource::ScheduleUnitDef def;
     int64_t count = 0;
@@ -181,6 +192,7 @@ class FuxiAgent : public sim::Actor {
   obs::Counter* started_counter_ = nullptr;
   obs::Counter* killed_capacity_counter_ = nullptr;
   obs::Counter* killed_overload_counter_ = nullptr;
+  obs::AuditLog* audit_ = nullptr;
 };
 
 }  // namespace fuxi::agent

@@ -146,6 +146,7 @@ CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
     }
     result.residual_state = residual.str();
     result.chrome_trace = monitor.trace_dump();
+    result.audit_json = monitor.audit_dump();
   }
   monitor.Stop();
   return result;
@@ -184,6 +185,18 @@ std::string FormatCampaignFailure(const CampaignResult& result) {
         << " spans of trace_event JSON captured at the first violation "
            "(write to a .json file, open in Perfetto, or feed to "
            "trace_stats)\n";
+  }
+  if (!result.audit_json.empty()) {
+    size_t records = 0;
+    for (size_t pos = result.audit_json.find("\"kind\":");
+         pos != std::string::npos;
+         pos = result.audit_json.find("\"kind\":", pos + 1)) {
+      ++records;
+    }
+    out << "-- decision audit --\n"
+        << "audit_json: " << records
+        << " decision records captured at the first violation (write to "
+           "a .json file and feed to fuxi_explain)\n";
   }
   return out.str();
 }

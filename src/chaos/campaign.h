@@ -60,6 +60,11 @@ struct CampaignResult {
   /// of the determinism-compared replay artifacts: it carries wall-
   /// clock annotations on scheduler spans.
   std::string chrome_trace;
+  /// Decision-audit JSON from the audit ring, snapshotted at the first
+  /// violation (see InvariantMonitor::audit_dump) — the input for
+  /// tools/fuxi_explain. Fully virtual-time stamped, so unlike
+  /// chrome_trace it replays byte-identically from the seed.
+  std::string audit_json;
 
   bool ok() const { return completed && violations.empty(); }
 };

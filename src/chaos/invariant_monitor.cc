@@ -58,6 +58,11 @@ void InvariantMonitor::Record(double now, const std::string& invariant,
     // first failure overwrites the causal history that produced it.
     trace_dump_ = obs::ExportChromeTrace(cluster_->obs().trace.Snapshot());
   }
+  if (violations_.empty() && obs::kAuditEnabled) {
+    // Same urgency for the decision audit: the ring must be frozen
+    // before post-failure scheduling overwrites the decisions at fault.
+    audit_dump_ = obs::ExportAuditJson(cluster_->obs().audit.Snapshot());
+  }
   violations_.push_back(Violation{now, invariant, detail});
 }
 

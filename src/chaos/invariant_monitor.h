@@ -105,6 +105,12 @@ class InvariantMonitor {
   /// is compiled out).
   const std::string& trace_dump() const { return trace_dump_; }
 
+  /// Decision-audit JSON (obs::ExportAuditJson) dumped at the same
+  /// instant as trace_dump: the scheduling decisions leading up to the
+  /// first violation, ready for tools/fuxi_explain. Empty while no
+  /// violation has been recorded (or when audit is compiled out).
+  const std::string& audit_dump() const { return audit_dump_; }
+
   uint64_t heavy_checks_run() const { return checks_; }
   /// FNV-1a digest folded over every heavy sweep's observed state.
   /// Identical seeds must replay to identical digests.
@@ -142,6 +148,7 @@ class InvariantMonitor {
   std::map<std::string, PendingCondition> pending_;
   std::vector<Violation> violations_;
   std::string trace_dump_;
+  std::string audit_dump_;
 };
 
 }  // namespace fuxi::chaos

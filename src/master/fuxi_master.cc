@@ -145,7 +145,10 @@ void FuxiMaster::BecomePrimary() {
   scheduler_options.starvation_age_after = options_.starvation_age_after;
   scheduler_ = std::make_unique<resource::Scheduler>(topology_,
                                                      scheduler_options);
-  if (obs_ != nullptr) scheduler_->set_metrics(&obs_->metrics);
+  if (obs_ != nullptr) {
+    scheduler_->set_metrics(&obs_->metrics);
+    scheduler_->set_audit(&obs_->audit);
+  }
   for (const auto& [name, quota] : options_.quota_groups) {
     Status s = scheduler_->CreateQuotaGroup(name, quota);
     FUXI_CHECK(s.ok()) << s.ToString();
@@ -768,11 +771,22 @@ void FuxiMaster::RollupTick() {
   });
 }
 
+void FuxiMaster::AuditMachineEvent(MachineId machine,
+                                   const std::string& note) {
+  if (!obs::AuditLog::enabled() || obs_ == nullptr) return;
+  obs::DecisionRecord rec;
+  rec.kind = obs::DecisionKind::kMachineEvent;
+  rec.machine = machine.value();
+  rec.note = note;
+  obs_->audit.Commit(std::move(rec));
+}
+
 void FuxiMaster::MarkMachineDown(MachineId machine, const std::string& why) {
   auto it = agents_.find(machine);
   if (it != agents_.end()) it->second.online = false;
   if (machines_down_counter_ != nullptr) machines_down_counter_->Add();
   FUXI_LOG(kInfo) << "machine " << machine.value() << " down: " << why;
+  AuditMachineEvent(machine, "down: " + why);
   resource::SchedulingResult result;
   scheduler_->SetMachineOffline(machine, &result);
   Dispatch(result);
@@ -789,6 +803,7 @@ void FuxiMaster::DisableMachine(MachineId machine, const std::string& why) {
     return;
   }
   FUXI_LOG(kInfo) << "disabling machine " << machine.value() << ": " << why;
+  AuditMachineEvent(machine, "blacklist: " + why);
   blacklist_.insert(machine);
   if (blacklist_adds_counter_ != nullptr) {
     blacklist_adds_counter_->Add();

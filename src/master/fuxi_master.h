@@ -187,6 +187,10 @@ class FuxiMaster : public sim::Actor {
   void RollupTick();
   void MarkMachineDown(MachineId machine, const std::string& why);
   void DisableMachine(MachineId machine, const std::string& why);
+  /// Commits a kMachineEvent decision record (down / blacklist) so the
+  /// audit dump explains machine-availability flips alongside the
+  /// placement decisions they invalidate.
+  void AuditMachineEvent(MachineId machine, const std::string& note);
   void CheckpointBlacklist();
   void SyncStateGauges();
 

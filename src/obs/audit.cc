@@ -1,0 +1,257 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace fuxi::obs {
+
+namespace {
+
+constexpr std::string_view kKindNames[] = {
+    "place", "pass", "preempt", "revoke", "machine_event", "agent_kill",
+};
+
+constexpr std::string_view kReasonNames[] = {
+    "none",           "avoided",          "offline",
+    "no_free_capacity", "negative_fit_cache", "quota_headroom",
+    "pass_epoch_skip", "no_live_demands",  "no_free_machines",
+    "candidate_cap",  "grant_revoked",
+};
+
+constexpr std::string_view kTierNames[] = {"machine", "rack", "cluster"};
+
+template <typename Enum, size_t N>
+Enum FromName(const std::string_view (&names)[N], const std::string& name,
+              Enum fallback) {
+  for (size_t i = 0; i < N; ++i) {
+    if (names[i] == name) return static_cast<Enum>(i);
+  }
+  return fallback;
+}
+
+Json CandidateJson(const CandidateOutcome& c) {
+  Json out = Json::MakeObject();
+  if (c.app >= 0) out["app"] = c.app;
+  if (c.slot != 0) out["slot"] = static_cast<int64_t>(c.slot);
+  if (c.machine >= 0) out["m"] = c.machine;
+  out["tier"] = static_cast<int64_t>(c.tier);
+  if (c.reason != RejectReason::kNone) {
+    out["reason"] = std::string(RejectReasonName(c.reason));
+  }
+  if (c.granted != 0) out["granted"] = c.granted;
+  out["rem"] = c.remaining;
+  return out;
+}
+
+CandidateOutcome CandidateFromJson(const Json& json) {
+  CandidateOutcome c;
+  c.app = json.GetInt("app", -1);
+  c.slot = static_cast<uint32_t>(json.GetInt("slot", 0));
+  c.machine = json.GetInt("m", -1);
+  c.tier = static_cast<uint8_t>(json.GetInt("tier", 2));
+  c.reason = FromName(kReasonNames, json.GetString("reason", "none"),
+                      RejectReason::kNone);
+  c.granted = json.GetInt("granted", 0);
+  c.remaining = json.GetInt("rem", 0);
+  return c;
+}
+
+/// Does this record speak about demand (app, slot)?
+bool Mentions(const DecisionRecord& r, int64_t app, uint32_t slot) {
+  if (r.app == app && r.slot == slot) return true;
+  for (const CandidateOutcome& c : r.candidates) {
+    if (c.app == app && c.slot == slot) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view DecisionKindName(DecisionKind kind) {
+  return kKindNames[static_cast<size_t>(kind)];
+}
+
+std::string_view RejectReasonName(RejectReason reason) {
+  return kReasonNames[static_cast<size_t>(reason)];
+}
+
+std::string_view TierName(uint8_t tier) {
+  return tier < 3 ? kTierNames[tier] : "?";
+}
+
+Json AuditJson(const std::vector<DecisionRecord>& records) {
+  Json array = Json::MakeArray();
+  for (const DecisionRecord& r : records) {
+    Json out = Json::MakeObject();
+    out["id"] = r.id;
+    out["t"] = r.time;
+    out["kind"] = std::string(DecisionKindName(r.kind));
+    if (r.trace_span != 0) out["span"] = r.trace_span;
+    if (r.app >= 0) {
+      out["app"] = r.app;
+      out["slot"] = static_cast<int64_t>(r.slot);
+    }
+    if (r.machine >= 0) out["m"] = r.machine;
+    if (r.reason != RejectReason::kNone) {
+      out["reason"] = std::string(RejectReasonName(r.reason));
+    }
+    if (r.units != 0) out["units"] = r.units;
+    if (r.remaining_before != 0 || r.remaining_after != 0) {
+      out["before"] = r.remaining_before;
+      out["after"] = r.remaining_after;
+    }
+    if (r.candidates_dropped != 0) {
+      out["dropped"] = static_cast<int64_t>(r.candidates_dropped);
+    }
+    if (!r.note.empty()) out["note"] = r.note;
+    if (!r.candidates.empty()) {
+      Json cands = Json::MakeArray();
+      for (const CandidateOutcome& c : r.candidates) {
+        cands.Append(CandidateJson(c));
+      }
+      out["cand"] = std::move(cands);
+    }
+    array.Append(std::move(out));
+  }
+  Json doc = Json::MakeObject();
+  doc["auditRecords"] = std::move(array);
+  return doc;
+}
+
+std::string ExportAuditJson(const std::vector<DecisionRecord>& records) {
+  return AuditJson(records).Dump();
+}
+
+std::vector<DecisionRecord> AuditRecordsFromJson(const Json& doc) {
+  std::vector<DecisionRecord> out;
+  const Json* array = doc.Find("auditRecords");
+  if (array == nullptr || !array->is_array()) return out;
+  out.reserve(array->as_array().size());
+  for (const Json& json : array->as_array()) {
+    DecisionRecord r;
+    r.id = static_cast<uint64_t>(json.GetInt("id", 0));
+    r.time = json.GetNumber("t", 0);
+    r.kind = FromName(kKindNames, json.GetString("kind", "place"),
+                      DecisionKind::kPlace);
+    r.trace_span = static_cast<uint64_t>(json.GetInt("span", 0));
+    r.app = json.GetInt("app", -1);
+    r.slot = static_cast<uint32_t>(json.GetInt("slot", 0));
+    r.machine = json.GetInt("m", -1);
+    r.reason = FromName(kReasonNames, json.GetString("reason", "none"),
+                        RejectReason::kNone);
+    r.units = json.GetInt("units", 0);
+    r.remaining_before = json.GetInt("before", 0);
+    r.remaining_after = json.GetInt("after", 0);
+    r.candidates_dropped =
+        static_cast<uint32_t>(json.GetInt("dropped", 0));
+    r.note = json.GetString("note", "");
+    if (const Json* cands = json.Find("cand"); cands && cands->is_array()) {
+      for (const Json& c : cands->as_array()) {
+        r.candidates.push_back(CandidateFromJson(c));
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<const DecisionRecord*> ExplainDemand(
+    const std::vector<DecisionRecord>& records, int64_t app, uint32_t slot) {
+  std::vector<const DecisionRecord*> out;
+  for (const DecisionRecord& r : records) {
+    if (Mentions(r, app, slot)) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const DecisionRecord*> ExplainMachine(
+    const std::vector<DecisionRecord>& records, int64_t machine) {
+  std::vector<const DecisionRecord*> out;
+  for (const DecisionRecord& r : records) {
+    bool hit = r.machine == machine;
+    for (const CandidateOutcome& c : r.candidates) {
+      if (hit) break;
+      hit = c.machine == machine;
+    }
+    if (hit) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<CandidateOutcome> RejectionChain(
+    const std::vector<DecisionRecord>& records, int64_t app, uint32_t slot) {
+  std::vector<CandidateOutcome> chain;
+  for (const DecisionRecord& r : records) {
+    switch (r.kind) {
+      case DecisionKind::kPlace:
+      case DecisionKind::kPreempt:
+        if (r.app != app || r.slot != slot) break;
+        for (const CandidateOutcome& c : r.candidates) {
+          if (c.granted == 0 && c.reason != RejectReason::kNone) {
+            chain.push_back(c);
+          }
+        }
+        // Record-level failure (e.g. no machine had any free resources:
+        // there was no candidate to reject individually).
+        if (r.reason != RejectReason::kNone) {
+          chain.push_back({app, slot, -1, 2, r.reason, 0,
+                           r.remaining_after});
+        }
+        break;
+      case DecisionKind::kPass:
+        for (const CandidateOutcome& c : r.candidates) {
+          if (c.app == app && c.slot == slot && c.granted == 0 &&
+              c.reason != RejectReason::kNone) {
+            chain.push_back(c);
+          }
+        }
+        break;
+      case DecisionKind::kRevoke:
+        // A lost grant explains outstanding demand as well as any
+        // placement rejection does: the units were held and taken back.
+        if (r.app == app && r.slot == slot) {
+          chain.push_back({app, slot, r.machine, 2,
+                           RejectReason::kGrantRevoked, -r.units,
+                           r.remaining_after});
+        }
+        break;
+      case DecisionKind::kMachineEvent:
+      case DecisionKind::kAgentKill:
+        break;
+    }
+  }
+  return chain;
+}
+
+std::vector<UnplacedDemand> UnplacedAtEnd(
+    const std::vector<DecisionRecord>& records) {
+  // Last-known outstanding count per demand, folded over the dump in
+  // record order. kPass candidates carry the demand's remaining count
+  // because grants there bypass any kPlace record.
+  std::map<std::pair<int64_t, uint32_t>, int64_t> remaining;
+  for (const DecisionRecord& r : records) {
+    switch (r.kind) {
+      case DecisionKind::kPlace:
+      case DecisionKind::kPreempt:
+      case DecisionKind::kRevoke:
+        if (r.app >= 0) remaining[{r.app, r.slot}] = r.remaining_after;
+        break;
+      case DecisionKind::kPass:
+        for (const CandidateOutcome& c : r.candidates) {
+          if (c.app >= 0) remaining[{c.app, c.slot}] = c.remaining;
+        }
+        break;
+      case DecisionKind::kMachineEvent:
+      case DecisionKind::kAgentKill:
+        break;
+    }
+  }
+  std::vector<UnplacedDemand> out;
+  for (const auto& [key, units] : remaining) {
+    if (units > 0) out.push_back({key.first, key.second, units});
+  }
+  return out;
+}
+
+}  // namespace fuxi::obs

@@ -30,6 +30,21 @@ Json SpanToEvent(const SpanRecord& span) {
   return event;
 }
 
+/// RFC 4180 field quoting: names containing commas, quotes, or
+/// newlines are wrapped in double quotes with embedded quotes doubled.
+/// Metric names are caller-chosen strings, so the CSV export must not
+/// let one odd name shear every subsequent column.
+std::string CsvField(const std::string& value) {
+  if (value.find_first_of(",\"\r\n") == std::string::npos) return value;
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
 }  // namespace
 
 Json ChromeTraceJson(const std::vector<SpanRecord>& spans) {
@@ -90,15 +105,17 @@ Json MetricsToJson(const MetricsRegistry& registry) {
 std::string MetricsToCsv(const MetricsRegistry& registry) {
   std::string out = "kind,name,count,value,mean,p50,p95,p99,min,max\n";
   for (const auto& [name, counter] : registry.counters()) {
-    out += StrFormat("counter,%s,,%llu,,,,,,\n", name.c_str(),
+    out += StrFormat("counter,%s,,%llu,,,,,,\n", CsvField(name).c_str(),
                      static_cast<unsigned long long>(counter->value()));
   }
   for (const auto& [name, gauge] : registry.gauges()) {
-    out += StrFormat("gauge,%s,,%.6g,,,,,,\n", name.c_str(), gauge->value());
+    out += StrFormat("gauge,%s,,%.6g,,,,,,\n", CsvField(name).c_str(),
+                     gauge->value());
   }
   for (const auto& [name, histogram] : registry.histograms()) {
     out += StrFormat(
-        "histogram,%s,%llu,,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g\n", name.c_str(),
+        "histogram,%s,%llu,,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+        CsvField(name).c_str(),
         static_cast<unsigned long long>(histogram->count()),
         histogram->mean(), histogram->Percentile(50),
         histogram->Percentile(95), histogram->Percentile(99),

@@ -2,6 +2,7 @@
 #define FUXI_OBS_FLIGHT_RECORDER_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace fuxi::obs {
@@ -25,36 +26,45 @@ struct SpanRecord {
   const char* name = "";      ///< interned; stable for recorder lifetime
 };
 
-/// Bounded ring buffer of completed spans — the "black box" the chaos
-/// InvariantMonitor dumps when an invariant fires. Bounded so tracing
+/// Bounded ring buffer of records — the "black box" the chaos
+/// InvariantMonitor dumps when an invariant fires. Bounded so recording
 /// can stay on for arbitrarily long campaigns: when full, the oldest
-/// span is overwritten, keeping the most recent history leading up to
+/// record is overwritten, keeping the most recent history leading up to
 /// the violation.
-class FlightRecorder {
+///
+/// `head_` is the explicit overwrite position: once the ring has
+/// lapped, it always indexes the oldest retained record, so Snapshot()
+/// emits oldest-first by construction in every state — partially
+/// filled, exactly full, lapped many times over, or refilled after
+/// Clear(). (The previous implementation derived the start slot from
+/// `total_ % capacity_`; correct, but only by arithmetic coincidence —
+/// any future change to the overwrite rule would have silently
+/// scrambled dump order. The regression tests in obs_test.cc pin the
+/// oldest-first contract across all of these states.)
+template <typename Record>
+class BoundedRing {
  public:
-  explicit FlightRecorder(size_t capacity)
+  explicit BoundedRing(size_t capacity)
       : capacity_(capacity > 0 ? capacity : 1) {}
 
-  void Push(const SpanRecord& span) {
+  void Push(Record record) {
     if (ring_.size() < capacity_) {
-      ring_.push_back(span);
+      ring_.push_back(std::move(record));
     } else {
-      ring_[static_cast<size_t>(total_ % capacity_)] = span;
+      ring_[head_] = std::move(record);
+      head_ = (head_ + 1) % capacity_;
     }
     ++total_;
   }
 
-  /// Retained spans, oldest first.
-  std::vector<SpanRecord> Snapshot() const {
-    std::vector<SpanRecord> out;
+  /// Retained records, oldest first.
+  std::vector<Record> Snapshot() const {
+    std::vector<Record> out;
     out.reserve(ring_.size());
-    if (total_ <= capacity_) {
-      out = ring_;
-      return out;
-    }
-    size_t start = static_cast<size_t>(total_ % capacity_);
+    // head_ stays 0 until the first overwrite, so this single loop
+    // covers both the unwrapped and the lapped ring.
     for (size_t i = 0; i < ring_.size(); ++i) {
-      out.push_back(ring_[(start + i) % capacity_]);
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
     }
     return out;
   }
@@ -62,21 +72,26 @@ class FlightRecorder {
   size_t size() const { return ring_.size(); }
   size_t capacity() const { return capacity_; }
   uint64_t total_pushed() const { return total_; }
-  /// Spans lost to the ring bound (overwritten).
+  /// Records lost to the ring bound (overwritten).
   uint64_t overwritten() const {
     return total_ > ring_.size() ? total_ - ring_.size() : 0;
   }
 
   void Clear() {
     ring_.clear();
+    head_ = 0;
     total_ = 0;
   }
 
  private:
   size_t capacity_;
+  size_t head_ = 0;  ///< oldest retained record once the ring lapped
   uint64_t total_ = 0;
-  std::vector<SpanRecord> ring_;
+  std::vector<Record> ring_;
 };
+
+/// The span black box kept by TraceRecorderImpl.
+using FlightRecorder = BoundedRing<SpanRecord>;
 
 }  // namespace fuxi::obs
 

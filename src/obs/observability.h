@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "obs/audit.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -11,17 +12,22 @@ namespace fuxi::obs {
 struct ObsOptions {
   /// Completed spans retained by the flight recorder ring.
   size_t trace_ring_capacity = TraceRecorderImpl::kDefaultRingCapacity;
+  /// Decision records retained by the audit ring.
+  size_t audit_ring_capacity = AuditLogImpl::kDefaultCapacity;
 };
 
-/// The per-cluster observability bundle: one trace recorder and one
-/// metrics registry shared by every component of a SimCluster. Owned
-/// by the cluster (constructed right after the Simulator, before the
-/// network) so instruments outlive everything that points at them.
+/// The per-cluster observability bundle: one trace recorder, one
+/// decision audit log, and one metrics registry shared by every
+/// component of a SimCluster. Owned by the cluster (constructed right
+/// after the Simulator, before the network) so instruments outlive
+/// everything that points at them.
 struct Observability {
   explicit Observability(sim::Simulator* sim, const ObsOptions& options = {})
-      : trace(sim, options.trace_ring_capacity) {}
+      : trace(sim, options.trace_ring_capacity),
+        audit(sim, &trace, options.audit_ring_capacity) {}
 
   TraceRecorder trace;
+  AuditLog audit;
   MetricsRegistry metrics;
 };
 

@@ -1,0 +1,134 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace fuxi::obs {
+
+namespace {
+
+/// Folds events into one step-function per `key(event)`.
+template <typename KeyFn>
+std::vector<Series> BuildSeries(const std::vector<GrantEvent>& events,
+                                KeyFn key) {
+  std::map<int64_t, Series> by_key;
+  for (const GrantEvent& e : events) {
+    int64_t k = key(e);
+    if (k < 0) continue;
+    Series& s = by_key[k];
+    s.key = k;
+    int64_t held = (s.points.empty() ? 0 : s.points.back().second) + e.delta;
+    if (held < 0) held = 0;  // tolerate truncated dumps (ring overwrote the grant)
+    if (!s.points.empty() && s.points.back().first == e.time) {
+      s.points.back().second = held;
+    } else {
+      s.points.emplace_back(e.time, held);
+    }
+    s.peak = std::max(s.peak, held);
+    s.final_held = held;
+  }
+  std::vector<Series> out;
+  out.reserve(by_key.size());
+  for (auto& [k, s] : by_key) out.push_back(std::move(s));
+  return out;
+}
+
+/// Held units of `s` at time `t` (step function, left-continuous start).
+int64_t HeldAt(const Series& s, double t) {
+  int64_t held = 0;
+  for (const auto& [time, units] : s.points) {
+    if (time > t) break;
+    held = units;
+  }
+  return held;
+}
+
+}  // namespace
+
+std::vector<GrantEvent> ExtractGrantEvents(
+    const std::vector<DecisionRecord>& records) {
+  std::vector<GrantEvent> out;
+  for (const DecisionRecord& r : records) {
+    switch (r.kind) {
+      case DecisionKind::kPlace:
+      case DecisionKind::kPreempt:
+        for (const CandidateOutcome& c : r.candidates) {
+          if (c.granted > 0) {
+            out.push_back({r.time, r.app, r.slot, c.machine, c.granted});
+          }
+        }
+        break;
+      case DecisionKind::kPass:
+        for (const CandidateOutcome& c : r.candidates) {
+          if (c.granted > 0) {
+            out.push_back({r.time, c.app, c.slot, r.machine, c.granted});
+          }
+        }
+        break;
+      case DecisionKind::kRevoke:
+        if (r.units > 0) {
+          out.push_back({r.time, r.app, r.slot, r.machine, -r.units});
+        }
+        break;
+      case DecisionKind::kMachineEvent:
+      case DecisionKind::kAgentKill:
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Series> AppUtilization(const std::vector<GrantEvent>& events) {
+  return BuildSeries(events, [](const GrantEvent& e) { return e.app; });
+}
+
+std::vector<Series> MachineOccupancy(const std::vector<GrantEvent>& events) {
+  return BuildSeries(events, [](const GrantEvent& e) { return e.machine; });
+}
+
+std::string RenderTimeline(const std::vector<Series>& series,
+                           std::string_view label, size_t width) {
+  if (width == 0) width = 1;
+  std::string out =
+      StrFormat("%.*s (%zu rows)\n", static_cast<int>(label.size()),
+                label.data(), series.size());
+  if (series.empty()) return out;
+
+  double t0 = series.front().points.front().first;
+  double t1 = t0;
+  int64_t peak = 1;
+  for (const Series& s : series) {
+    t0 = std::min(t0, s.points.front().first);
+    t1 = std::max(t1, s.points.back().first);
+    peak = std::max(peak, s.peak);
+  }
+  if (t1 <= t0) t1 = t0 + 1;  // degenerate range: single column of state
+
+  static const char kGlyphs[] = " .:-=+*#%@";  // 10 intensity levels
+  double step = (t1 - t0) / static_cast<double>(width);
+  for (const Series& s : series) {
+    std::string row;
+    row.reserve(width);
+    for (size_t i = 0; i < width; ++i) {
+      // Sample at the bucket midpoint; a step function's mean over a
+      // narrow bucket is its midpoint value except at edges, and the
+      // midpoint keeps rendering O(width · points) and deterministic.
+      int64_t held = HeldAt(s, t0 + (static_cast<double>(i) + 0.5) * step);
+      size_t level =
+          held <= 0 ? 0
+                    : 1 + static_cast<size_t>((held * 8) / peak);
+      row.push_back(kGlyphs[std::min<size_t>(level, 9)]);
+    }
+    out += StrFormat("%6lld |%s| peak=%lld end=%lld\n",
+                     static_cast<long long>(s.key), row.c_str(),
+                     static_cast<long long>(s.peak),
+                     static_cast<long long>(s.final_held));
+  }
+  out += StrFormat("       t=[%.3f, %.3f] virtual seconds, peak=%lld units\n",
+                   t0, t1, static_cast<long long>(peak));
+  return out;
+}
+
+}  // namespace fuxi::obs

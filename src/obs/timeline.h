@@ -1,0 +1,53 @@
+#ifndef FUXI_OBS_TIMELINE_H_
+#define FUXI_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/audit.h"
+
+namespace fuxi::obs {
+
+/// One +/- change to an entity's held units, extracted from a decision
+/// dump: grants are positive (kPlace/kPass/kPreempt candidates with
+/// granted > 0), revocations negative (kRevoke records).
+struct GrantEvent {
+  double time = 0;
+  int64_t app = -1;
+  uint32_t slot = 0;
+  int64_t machine = -1;
+  int64_t delta = 0;  ///< units gained (+) or lost (-)
+};
+
+/// All grant/revoke flow in a dump, record order (time-sorted, since
+/// record ids are committed in virtual-time order).
+std::vector<GrantEvent> ExtractGrantEvents(
+    const std::vector<DecisionRecord>& records);
+
+/// Step-function series of units held over virtual time — one per app
+/// for utilization curves, or one per machine for Gantt occupancy.
+struct Series {
+  int64_t key = -1;  ///< app id or machine id
+  /// (time, held) steps: held units from this time until the next point.
+  std::vector<std::pair<double, int64_t>> points;
+  int64_t peak = 0;
+  int64_t final_held = 0;
+};
+
+/// Per-app utilization series (Fig 5/6-style curves), sorted by app id.
+std::vector<Series> AppUtilization(const std::vector<GrantEvent>& events);
+
+/// Per-machine occupancy series (Gantt rows), sorted by machine id.
+std::vector<Series> MachineOccupancy(const std::vector<GrantEvent>& events);
+
+/// ASCII rendering: one row per series, `width` time buckets between
+/// [t0, t1] (derived from the events when the range is degenerate),
+/// glyph scaled to the bucket's mean held units relative to the global
+/// peak. Deterministic; suitable for golden tests.
+std::string RenderTimeline(const std::vector<Series>& series,
+                           std::string_view label, size_t width = 60);
+
+}  // namespace fuxi::obs
+
+#endif  // FUXI_OBS_TIMELINE_H_

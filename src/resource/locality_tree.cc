@@ -136,7 +136,9 @@ LocalityLevel LocalityTree::WaitLevelFor(const PendingDemand& demand,
 
 void LocalityTree::ForEachCandidate(
     MachineId machine,
-    const std::function<int64_t(PendingDemand*, LocalityLevel)>& fn) {
+    const std::function<int64_t(PendingDemand*, LocalityLevel)>& fn,
+    const std::function<void(const PendingDemand&, LocalityLevel)>&
+        on_avoided) {
   RackId rack = topology_->machine(machine).rack;
   std::unordered_set<SlotKey, SlotKeyHash> skipped;
 
@@ -162,8 +164,8 @@ void LocalityTree::ForEachCandidate(
   };
   Cursor cursors[3];
 
-  auto first_eligible = [&](const Queue& queue,
-                            Cursor* cursor) -> const QueueEntry* {
+  auto first_eligible = [&](const Queue& queue, Cursor* cursor,
+                            LocalityLevel level) -> const QueueEntry* {
     auto it = cursor->active ? queue.upper_bound(cursor->resume)
                              : queue.begin();
     for (; it != queue.end(); ++it) {
@@ -176,6 +178,9 @@ void LocalityTree::ForEachCandidate(
       const PendingDemand* demand = Find(entry.key);
       FUXI_CHECK(demand != nullptr);
       if (demand->Avoids(machine)) {
+        // The cursor makes this skip final for the pass, so the
+        // observer fires at most once per queue for this demand.
+        if (on_avoided) on_avoided(*demand, level);
         cursor->resume = entry;
         cursor->active = true;
         continue;
@@ -193,12 +198,16 @@ void LocalityTree::ForEachCandidate(
       LocalityLevel level;
     };
     Candidate candidates[3] = {
-        {machine_queue ? first_eligible(*machine_queue, &cursors[0])
+        {machine_queue ? first_eligible(*machine_queue, &cursors[0],
+                                        LocalityLevel::kMachine)
                        : nullptr,
          LocalityLevel::kMachine},
-        {rack_queue ? first_eligible(*rack_queue, &cursors[1]) : nullptr,
+        {rack_queue ? first_eligible(*rack_queue, &cursors[1],
+                                     LocalityLevel::kRack)
+                    : nullptr,
          LocalityLevel::kRack},
-        {first_eligible(cluster_queue_, &cursors[2]),
+        {first_eligible(cluster_queue_, &cursors[2],
+                        LocalityLevel::kCluster),
          LocalityLevel::kCluster},
     };
 

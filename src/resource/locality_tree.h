@@ -135,10 +135,15 @@ class LocalityTree {
   /// then enqueue order. `fn` returns how many units it granted
   /// (0 = cannot place now, skip this demand; -1 = stop the pass).
   /// Granted units are consumed from the tree before the next candidate
-  /// is chosen.
+  /// is chosen. `on_avoided`, when set, observes each queued demand the
+  /// walk passes over because `machine` is on its avoid list (at most
+  /// once per queue per pass) — decision-provenance only, it cannot
+  /// influence the walk.
   void ForEachCandidate(
       MachineId machine,
-      const std::function<int64_t(PendingDemand*, LocalityLevel)>& fn);
+      const std::function<int64_t(PendingDemand*, LocalityLevel)>& fn,
+      const std::function<void(const PendingDemand&, LocalityLevel)>&
+          on_avoided = {});
 
   /// True when any demand has outstanding units — the cluster queue
   /// holds every live demand, so this is O(1). Scheduling passes use it

@@ -209,15 +209,25 @@ Status Scheduler::ApplyUnitDelta(AppId app, const UnitRequestDelta& delta,
 }
 
 int64_t Scheduler::FitCount(const PendingDemand& demand, MachineState& state,
-                            int64_t limit) {
-  if (!state.online || limit <= 0) return 0;
+                            int64_t limit, obs::RejectReason* why) {
+  if (!state.online) {
+    if (why != nullptr) *why = obs::RejectReason::kOffline;
+    return 0;
+  }
+  if (limit <= 0) {
+    if (why != nullptr) *why = obs::RejectReason::kNoFreeCapacity;
+    return 0;
+  }
   const cluster::ResourceVector& unit = demand.def.resources;
   if (state.no_fit_epoch == state.free_epoch &&
       state.no_fit_unit.FitsIn(unit)) {
     // A unit no larger than this one already failed against the same
     // free vector; by dominance this one fails too.
+    if (negfit_hit_counter_ != nullptr) negfit_hit_counter_->Add();
+    if (why != nullptr) *why = obs::RejectReason::kNegativeFitCache;
     return 0;
   }
+  if (negfit_miss_counter_ != nullptr) negfit_miss_counter_->Add();
   int64_t fit = state.free.DivideBy(unit);
   if (fit <= 0) {
     // Cache the raw no-fit verdict. Only the quota-independent result
@@ -225,6 +235,7 @@ int64_t Scheduler::FitCount(const PendingDemand& demand, MachineState& state,
     // changes without touching free_epoch.
     state.no_fit_epoch = state.free_epoch;
     state.no_fit_unit = unit;
+    if (why != nullptr) *why = obs::RejectReason::kNoFreeCapacity;
     return 0;
   }
   int64_t count = std::min(fit, limit);
@@ -239,10 +250,54 @@ int64_t Scheduler::FitCount(const PendingDemand& demand, MachineState& state,
       count = std::min(count, headroom.DivideBy(unit));
     }
   }
-  return std::max<int64_t>(count, 0);
+  count = std::max<int64_t>(count, 0);
+  if (why != nullptr) {
+    *why = count > 0 ? obs::RejectReason::kNone
+                     : obs::RejectReason::kQuotaHeadroom;
+  }
+  return count;
 }
 
 void Scheduler::PlaceDemand(PendingDemand* demand, SchedulingResult* result) {
+  if (!auditing()) {
+    PlaceDemandWalk(demand, result, nullptr);
+    return;
+  }
+  obs::DecisionRecord rec;
+  rec.kind = obs::DecisionKind::kPlace;
+  rec.app = demand->key.app.value();
+  rec.slot = demand->key.slot_id;
+  rec.remaining_before = demand->total_remaining;
+  PlaceDemandWalk(demand, result, &rec);
+  rec.remaining_after = demand->total_remaining;
+  if (rec.remaining_after > 0) {
+    // If no examined candidate carries a rejection — the walk found
+    // nothing to examine, or every candidate granted partially and the
+    // free set ran dry — stamp a record-level reason so the rejection
+    // chain for an unplaced demand is never empty.
+    bool any_rejection = false;
+    for (const obs::CandidateOutcome& c : rec.candidates) {
+      if (c.granted == 0 && c.reason != obs::RejectReason::kNone) {
+        any_rejection = true;
+        break;
+      }
+    }
+    if (!any_rejection) rec.reason = obs::RejectReason::kNoFreeMachines;
+  }
+  audit_->Commit(std::move(rec));
+}
+
+void Scheduler::PlaceDemandWalk(PendingDemand* demand,
+                                SchedulingResult* result,
+                                obs::DecisionRecord* rec) {
+  obs::RejectReason why = obs::RejectReason::kNone;
+  obs::RejectReason* whyp = rec != nullptr ? &why : nullptr;
+  auto note = [&](MachineId machine, uint8_t tier, int64_t count) {
+    if (rec == nullptr) return;
+    rec->AddCandidate({rec->app, rec->slot, machine.value(), tier,
+                       count > 0 ? obs::RejectReason::kNone : why, count,
+                       demand->total_remaining});
+  };
   // 1. Machine-level preferences (data locality first). The hint index
   // is a sorted map, so this walks it in id order with no per-call
   // snapshot-and-sort. ConsumeGrant may erase the entry just granted
@@ -257,12 +312,17 @@ void Scheduler::PlaceDemand(PendingDemand* demand, SchedulingResult* result) {
       if (!demand->Avoids(machine)) {
         int64_t limit = std::min(it->second, demand->total_remaining);
         int64_t count = FitCount(
-            *demand, machines_[static_cast<size_t>(machine.value())], limit);
+            *demand, machines_[static_cast<size_t>(machine.value())], limit,
+            whyp);
         if (count > 0) {
           CommitGrant(demand, machine, count, result);
           tree_.ConsumeGrant(demand, machine, count);
           NoteGrantTier(LocalityLevel::kMachine, count);
         }
+        note(machine, 0, count);
+      } else if (rec != nullptr) {
+        why = obs::RejectReason::kAvoided;
+        note(machine, 0, 0);
       }
       it = next;
     }
@@ -288,12 +348,16 @@ void Scheduler::PlaceDemand(PendingDemand* demand, SchedulingResult* result) {
           int64_t limit = std::min(entry->second, demand->total_remaining);
           int64_t count = FitCount(
               *demand, machines_[static_cast<size_t>(machine.value())],
-              limit);
+              limit, whyp);
           if (count > 0) {
             CommitGrant(demand, machine, count, result);
             tree_.ConsumeGrant(demand, machine, count);
             NoteGrantTier(LocalityLevel::kRack, count);
           }
+          note(machine, 1, count);
+        } else if (rec != nullptr) {
+          why = obs::RejectReason::kAvoided;
+          note(machine, 1, 0);
         }
         mit = in_rack.upper_bound(machine);
       }
@@ -313,11 +377,17 @@ void Scheduler::PlaceDemand(PendingDemand* demand, SchedulingResult* result) {
     ForEachFreeMachineRoundRobin(
         free_machines_, rr_cursor_, [&](MachineId machine) {
           if (demand->total_remaining == 0) return false;
-          if (demand->Avoids(machine)) return true;
+          if (demand->Avoids(machine)) {
+            if (rec != nullptr) {
+              why = obs::RejectReason::kAvoided;
+              note(machine, 2, 0);
+            }
+            return true;
+          }
           int64_t limit = std::min(demand->total_remaining, spread_cap);
           int64_t count = FitCount(
               *demand, machines_[static_cast<size_t>(machine.value())],
-              limit);
+              limit, whyp);
           if (count > 0) {
             CommitGrant(demand, machine, count, result);
             tree_.ConsumeGrant(demand, machine, count);
@@ -325,6 +395,7 @@ void Scheduler::PlaceDemand(PendingDemand* demand, SchedulingResult* result) {
             last_granted = machine;
             progressed = true;
           }
+          note(machine, 2, count);
           return true;
         });
     rr_cursor_ = last_granted;
@@ -337,22 +408,53 @@ void Scheduler::SchedulePass(MachineId machine, SchedulingResult* result) {
   if (passes_counter_ != nullptr) passes_counter_->Add();
   MachineState& state = machines_[static_cast<size_t>(machine.value())];
   dirty_machines_.erase(machine);
+  // A pass over an offline or full machine examines nothing and is not
+  // worth a ring slot; skipped and walked passes are recorded.
   if (!state.online || state.free.IsZero()) return;
+  obs::DecisionRecord rec;
+  const bool record = auditing();
+  if (record) {
+    rec.kind = obs::DecisionKind::kPass;
+    rec.machine = machine.value();
+  }
   if (!tree_.HasLiveDemands() || state.last_pass_epoch == world_epoch_) {
     // Nothing is waiting anywhere, or nothing at all changed since this
     // machine's last walk ran to fixpoint — the walk cannot grant.
     ++passes_skipped_;
     if (passes_skipped_counter_ != nullptr) passes_skipped_counter_->Add();
+    if (record) {
+      rec.reason = !tree_.HasLiveDemands()
+                       ? obs::RejectReason::kNoLiveDemands
+                       : obs::RejectReason::kPassEpochSkip;
+      audit_->Commit(std::move(rec));
+    }
     return;
   }
   size_t examined = 0;
   bool truncated = false;
   size_t grants_before = result->assignments.size();
+  obs::RejectReason why = obs::RejectReason::kNone;
+  std::function<void(const PendingDemand&, LocalityLevel)> on_avoided;
+  if (record) {
+    on_avoided = [&rec](const PendingDemand& demand, LocalityLevel level) {
+      rec.AddCandidate({demand.key.app.value(), demand.key.slot_id, -1,
+                        static_cast<uint8_t>(level),
+                        obs::RejectReason::kAvoided, 0,
+                        demand.total_remaining});
+    };
+  }
   tree_.ForEachCandidate(
-      machine, [&](PendingDemand* demand, LocalityLevel level) -> int64_t {
+      machine,
+      [&](PendingDemand* demand, LocalityLevel level) -> int64_t {
         if (options_.max_candidates_per_pass > 0 &&
             ++examined > options_.max_candidates_per_pass) {
           truncated = true;
+          if (record) {
+            rec.AddCandidate({demand->key.app.value(), demand->key.slot_id,
+                              -1, static_cast<uint8_t>(level),
+                              obs::RejectReason::kCandidateCap, 0,
+                              demand->total_remaining});
+          }
           return -1;
         }
         int64_t limit = demand->total_remaining;
@@ -366,14 +468,25 @@ void Scheduler::SchedulePass(MachineId machine, SchedulingResult* result) {
           limit = std::min(
               limit, it == demand->rack_remaining.end() ? 0 : it->second);
         }
-        int64_t count = FitCount(*demand, state, limit);
+        int64_t count =
+            FitCount(*demand, state, limit, record ? &why : nullptr);
         if (count > 0) {
           CommitGrant(demand, machine, count, result);
           NoteGrantTier(level, count);
           // The tree consumes the grant after we return.
         }
+        if (record) {
+          // The tree decrements total_remaining after we return, so the
+          // post-grant remaining is computed here.
+          rec.AddCandidate({demand->key.app.value(), demand->key.slot_id,
+                            -1, static_cast<uint8_t>(level),
+                            count > 0 ? obs::RejectReason::kNone : why,
+                            count, demand->total_remaining - count});
+        }
         return count;
-      });
+      },
+      on_avoided);
+  if (record && truncated) rec.reason = obs::RejectReason::kCandidateCap;
   // Only a pass that ran to fixpoint granting nothing is provably
   // idempotent (it mutated no state, so a literal re-run reproduces
   // it); a granting or truncated pass leaves the stale epoch so the
@@ -381,9 +494,13 @@ void Scheduler::SchedulePass(MachineId machine, SchedulingResult* result) {
   if (!truncated && result->assignments.size() == grants_before) {
     state.last_pass_epoch = world_epoch_;
   }
+  if (record) audit_->Commit(std::move(rec));
 }
 
 void Scheduler::FlushDirtyPasses(SchedulingResult* result) {
+  if (dirty_drain_hist_ != nullptr && !dirty_machines_.empty()) {
+    dirty_drain_hist_->Add(static_cast<double>(dirty_machines_.size()));
+  }
   while (!dirty_machines_.empty()) {
     // SchedulePass removes the machine from the set.
     SchedulePass(*dirty_machines_.begin(), result);
@@ -401,6 +518,9 @@ void Scheduler::CommitGrant(PendingDemand* demand, MachineId machine,
   SyncFreeIndex(machine, state);
   state.grants[demand->key] += count;
   grant_sites_[demand->key].insert(machine);
+  if (grant_sites_gauge_ != nullptr) {
+    grant_sites_gauge_->Set(static_cast<double>(grant_sites_.size()));
+  }
   total_granted_ += amount;
   quota_.OnGrant(demand->key.app, amount);
   quota_.OnWaitingChange(demand->key.app,
@@ -424,9 +544,13 @@ int64_t Scheduler::RevokeGrant(const SlotKey& key, MachineId machine,
     site->second.erase(machine);
     if (site->second.empty()) grant_sites_.erase(site);
   }
+  if (grant_sites_gauge_ != nullptr) {
+    grant_sites_gauge_->Set(static_cast<double>(grant_sites_.size()));
+  }
 
   PendingDemand* demand = tree_.Find(key);
   FUXI_CHECK(demand != nullptr) << "grant without demand record";
+  int64_t remaining_before = demand->total_remaining;
   cluster::ResourceVector amount = demand->def.resources * revoked;
   state.free += amount;
   SyncFreeIndex(machine, state);
@@ -447,6 +571,18 @@ int64_t Scheduler::RevokeGrant(const SlotKey& key, MachineId machine,
   }
   result->revocations.push_back(
       Revocation{key.app, key.slot_id, machine, revoked, reason});
+  if (auditing()) {
+    obs::DecisionRecord rec;
+    rec.kind = obs::DecisionKind::kRevoke;
+    rec.app = key.app.value();
+    rec.slot = key.slot_id;
+    rec.machine = machine.value();
+    rec.units = revoked;
+    rec.remaining_before = remaining_before;
+    rec.remaining_after = demand->total_remaining;
+    rec.note = std::string(RevocationReasonName(reason));
+    audit_->Commit(std::move(rec));
+  }
   return revoked;
 }
 
@@ -635,6 +771,14 @@ void Scheduler::TryPreempt(PendingDemand* demand, SchedulingResult* result) {
               return a.key < b.key;
             });
 
+  obs::DecisionRecord rec;
+  const bool record = auditing();
+  if (record) {
+    rec.kind = obs::DecisionKind::kPreempt;
+    rec.app = demand->key.app.value();
+    rec.slot = demand->key.slot_id;
+    rec.remaining_before = demand->total_remaining;
+  }
   for (const Victim& victim : victims) {
     if (demand->total_remaining <= 0) break;
     MachineState& state =
@@ -657,6 +801,11 @@ void Scheduler::TryPreempt(PendingDemand* demand, SchedulingResult* result) {
         if (preempt_units_counter_ != nullptr) {
           preempt_units_counter_->Add(static_cast<uint64_t>(count));
         }
+        if (record) {
+          rec.AddCandidate({rec.app, rec.slot, victim.machine.value(), 2,
+                            obs::RejectReason::kNone, count,
+                            demand->total_remaining});
+        }
       }
     }
   }
@@ -664,6 +813,12 @@ void Scheduler::TryPreempt(PendingDemand* demand, SchedulingResult* result) {
   // dirty marks the revokes above made.
   for (const Victim& victim : victims) {
     dirty_machines_.erase(victim.machine);
+  }
+  // Only sweeps that actually moved resources take a ring slot — the
+  // victim takebacks already produced their own kRevoke records.
+  if (record && !rec.candidates.empty()) {
+    rec.remaining_after = demand->total_remaining;
+    audit_->Commit(std::move(rec));
   }
 }
 
@@ -822,7 +977,9 @@ void Scheduler::set_metrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     tier_machine_counter_ = tier_rack_counter_ = tier_cluster_counter_ =
         preempt_units_counter_ = passes_counter_ = passes_skipped_counter_ =
-            nullptr;
+            negfit_hit_counter_ = negfit_miss_counter_ = nullptr;
+    dirty_drain_hist_ = nullptr;
+    grant_sites_gauge_ = nullptr;
     return;
   }
   tier_machine_counter_ = metrics->GetCounter("sched.grant_units.machine");
@@ -831,6 +988,14 @@ void Scheduler::set_metrics(obs::MetricsRegistry* metrics) {
   preempt_units_counter_ = metrics->GetCounter("sched.preempt_units");
   passes_counter_ = metrics->GetCounter("sched.schedule_passes");
   passes_skipped_counter_ = metrics->GetCounter("sched.passes_skipped");
+  // PR 3's incremental-index internals, surfaced for snapshots: the
+  // negative-fit cache's hit rate, how much freed capacity each batch
+  // teardown re-offers, and the live size of the grant-site index.
+  negfit_hit_counter_ = metrics->GetCounter("sched.negfit_cache_hits");
+  negfit_miss_counter_ = metrics->GetCounter("sched.negfit_cache_misses");
+  dirty_drain_hist_ = metrics->GetHistogram("sched.dirty_drain_size");
+  grant_sites_gauge_ = metrics->GetGauge("sched.grant_sites");
+  grant_sites_gauge_->Set(static_cast<double>(grant_sites_.size()));
 }
 
 }  // namespace fuxi::resource

@@ -11,6 +11,7 @@
 #include "cluster/topology.h"
 #include "common/ids.h"
 #include "common/status.h"
+#include "obs/audit.h"
 #include "obs/metrics_registry.h"
 #include "resource/locality_tree.h"
 #include "resource/quota.h"
@@ -218,6 +219,13 @@ class Scheduler {
   /// breakdown — plus preemption takebacks as their own bucket.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  /// Wires the decision-audit log in (null detaches). The audit layer
+  /// is strictly observational: with the log attached or detached (or
+  /// compiled out via FUXI_OBS_AUDIT=0) the scheduler emits byte-for-
+  /// byte identical SchedulingResult sequences — the decision-
+  /// neutrality contract, enforced by the differential suite.
+  void set_audit(obs::AuditLog* audit) { audit_ = audit; }
+
  private:
   struct AppState {
     AppId app;
@@ -231,8 +239,15 @@ class Scheduler {
 
   /// Attempts to place outstanding units of `demand`, preferring its
   /// machine hints, then rack hints, then any machine (round-robin for
-  /// load balance). Appends grants to `result`.
+  /// load balance). Appends grants to `result`. When auditing, commits
+  /// one kPlace DecisionRecord covering every candidate examined.
   void PlaceDemand(PendingDemand* demand, SchedulingResult* result);
+
+  /// The walk body of PlaceDemand. `rec` is the decision record under
+  /// assembly, or null when auditing is off/detached — every recording
+  /// site is guarded so the null path is the exact pre-audit code.
+  void PlaceDemandWalk(PendingDemand* demand, SchedulingResult* result,
+                       obs::DecisionRecord* rec);
 
   /// Offers the free resources of `machine` to the waiting queues
   /// (locality-tree pass). Appends grants to `result`.
@@ -257,9 +272,16 @@ class Scheduler {
 
   /// How many units of `demand` machine `m` could host right now
   /// (respecting quota admission and fit), capped by `limit`. Updates
-  /// the machine's negative-fit cache.
+  /// the machine's negative-fit cache. When `why` is non-null it is set
+  /// to the rejection reason on a zero return (kNone on a grant).
   int64_t FitCount(const PendingDemand& demand, MachineState& state,
-                   int64_t limit);
+                   int64_t limit, obs::RejectReason* why = nullptr);
+
+  /// True when decision records should be assembled. Constant false in
+  /// FUXI_OBS_AUDIT=0 builds, so guarded assembly folds away.
+  bool auditing() const {
+    return obs::AuditLog::enabled() && audit_ != nullptr;
+  }
 
   /// Re-derives `machine`'s membership in the free indexes from its
   /// state and bumps the fit/pass epochs. Must be called after every
@@ -320,6 +342,12 @@ class Scheduler {
   obs::Counter* preempt_units_counter_ = nullptr;
   obs::Counter* passes_counter_ = nullptr;
   obs::Counter* passes_skipped_counter_ = nullptr;
+  obs::Counter* negfit_hit_counter_ = nullptr;
+  obs::Counter* negfit_miss_counter_ = nullptr;
+  Histogram* dirty_drain_hist_ = nullptr;
+  obs::Gauge* grant_sites_gauge_ = nullptr;
+
+  obs::AuditLog* audit_ = nullptr;
 };
 
 }  // namespace fuxi::resource

@@ -30,6 +30,7 @@ SimCluster::SimCluster(SimClusterOptions options)
         &sim_, network_.get(), locks_.get(), hosts_.back().get(),
         &topology_, NodeId(100 + machine.id.value()), options_.agent));
     agents_.back()->set_metrics(&obs_.metrics);
+    agents_.back()->set_audit(&obs_.audit);
   }
 }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
@@ -153,6 +154,82 @@ TEST(FlightRecorderTest, RingWrapsKeepingNewestOldestFirst) {
   std::vector<SpanRecord> spans = ring.Snapshot();
   ASSERT_EQ(spans.size(), 4u);
   for (size_t i = 0; i < 4; ++i) EXPECT_EQ(spans[i].id, 7 + i);
+}
+
+// Wrap-around regression battery for the generic ring. The old
+// FlightRecorder derived the oldest slot from total-pushed arithmetic,
+// which happened to work only while the fill pointer and the eviction
+// pointer stayed in lockstep; BoundedRing keeps an explicit head so
+// Snapshot() is oldest-first by construction. These pin the boundary
+// cases: exactly full (no eviction yet), a partial second lap landing
+// mid-ring, multiple full laps, and Clear() resetting the wrap state.
+TEST(FlightRecorderTest, SnapshotAtExactCapacityIsOldestFirst) {
+  FlightRecorder ring(4);
+  for (uint64_t i = 1; i <= 4; ++i) {
+    SpanRecord span;
+    span.id = i;
+    ring.Push(span);
+  }
+  EXPECT_EQ(ring.overwritten(), 0u);
+  EXPECT_EQ(ring.size(), 4u);
+  std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(spans[i].id, 1 + i);
+}
+
+TEST(FlightRecorderTest, PartialSecondLapStaysOldestFirst) {
+  // Capacity 3 (not a power of two), 5 pushes: head sits mid-ring.
+  FlightRecorder ring(3);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    SpanRecord span;
+    span.id = i;
+    ring.Push(span);
+  }
+  EXPECT_EQ(ring.overwritten(), 2u);
+  std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].id, 3u);
+  EXPECT_EQ(spans[1].id, 4u);
+  EXPECT_EQ(spans[2].id, 5u);
+}
+
+TEST(FlightRecorderTest, ManyLapsAndEveryFillLevelStayOrdered) {
+  FlightRecorder ring(5);
+  uint64_t next = 1;
+  for (int pushes = 1; pushes <= 23; ++pushes) {
+    SpanRecord span;
+    span.id = next++;
+    ring.Push(span);
+    std::vector<SpanRecord> spans = ring.Snapshot();
+    ASSERT_EQ(spans.size(), std::min<size_t>(5, ring.total_pushed()));
+    // Strictly increasing ids ending at the just-pushed one.
+    EXPECT_EQ(spans.back().id, span.id);
+    for (size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_EQ(spans[i].id, spans[i - 1].id + 1)
+          << "out-of-order snapshot after " << pushes << " pushes";
+    }
+  }
+}
+
+TEST(FlightRecorderTest, ClearResetsWrapStateThenRewraps) {
+  FlightRecorder ring(4);
+  for (uint64_t i = 1; i <= 7; ++i) {
+    SpanRecord span;
+    span.id = i;
+    ring.Push(span);
+  }
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.overwritten(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+  for (uint64_t i = 100; i < 106; ++i) {
+    SpanRecord span;
+    span.id = i;
+    ring.Push(span);
+  }
+  std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(spans[i].id, 102 + i);
 }
 
 // -------------------------------------------- Network span propagation
@@ -330,6 +407,51 @@ TEST(ExporterTest, MetricsExportBothFormats) {
             std::string::npos);
   EXPECT_NE(csv.find("counter,net.sent,,7"), std::string::npos);
   EXPECT_NE(csv.find("histogram,lat,100"), std::string::npos);
+}
+
+// Metric names are caller-chosen strings; exports must survive names
+// containing the formats' own delimiters. CSV gets RFC 4180 quoting
+// (wrap in double quotes, double embedded quotes); JSON relies on the
+// string escaper and must re-parse to the same keys.
+TEST(ExporterTest, CsvQuotesMetricNamesWithDelimiters) {
+  MetricsRegistry registry;
+  registry.GetCounter("rack,0.sent")->Add(7);
+  registry.GetCounter("weird\"name")->Add(8);
+  registry.GetGauge("multi\nline")->Set(3);
+  registry.GetHistogram("plain.lat")->Add(1.0);
+  registry.GetHistogram("both,\"of\",them")->Add(2.0);
+
+  std::string csv = MetricsToCsv(registry);
+  // Comma-bearing names are wrapped so the column count stays fixed.
+  EXPECT_NE(csv.find("counter,\"rack,0.sent\",,7"), std::string::npos);
+  // Embedded quotes are doubled per RFC 4180.
+  EXPECT_NE(csv.find("counter,\"weird\"\"name\",,8"), std::string::npos);
+  // Newlines are quoted so the record does not split.
+  EXPECT_NE(csv.find("gauge,\"multi\nline\",,3"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,\"both,\"\"of\"\",them\",1"),
+            std::string::npos);
+  // Benign names stay unquoted (stable format for downstream greps).
+  EXPECT_NE(csv.find("histogram,plain.lat,1"), std::string::npos);
+  EXPECT_EQ(csv.find("histogram,\"plain.lat\""), std::string::npos);
+}
+
+TEST(ExporterTest, JsonEscapesMetricNamesAndRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird\"name")->Add(8);
+  registry.GetCounter("multi\nline")->Add(9);
+  registry.GetGauge("back\\slash")->Set(4);
+  registry.SnapshotAt(1.0);
+
+  Json doc = MetricsToJson(registry);
+  Result<Json> reparsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+  const Json* counters = reparsed.value().Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->GetInt("weird\"name"), 8);
+  EXPECT_EQ(counters->GetInt("multi\nline"), 9);
+  const Json* gauges = reparsed.value().Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->GetNumber("back\\slash"), 4.0);
 }
 
 // ------------------------------------------------ SimCluster integration

@@ -8,6 +8,13 @@
 // request/release/failover streams guard the fast path's persistent
 // indexes, dirty-set and fit caches against any semantic drift.
 //
+// A third Scheduler with a decision-audit log attached runs the same
+// stream and must match the bare fast path byte-for-byte — the audit
+// layer's decision-neutrality contract (attaching provenance recording
+// can never change a scheduling outcome). At the end of every seed,
+// each demand still waiting must have a non-empty rejection chain in
+// the audit dump (the fuxi_explain "why is this unplaced" contract).
+//
 // Also holds the comparator-invocation regression test: placement over
 // unchanged locality hints must not re-sort them (the hint indexes are
 // persistent sorted maps; the old code rebuilt and std::sort'ed a
@@ -21,6 +28,7 @@
 
 #include "cluster/topology.h"
 #include "common/rng.h"
+#include "obs/audit.h"
 #include "resource/reference_scheduler.h"
 #include "resource/scheduler.h"
 
@@ -78,23 +86,35 @@ class DifferentialDriver {
       : topo_(topo),
         fast_(topo, options),
         oracle_(topo, options),
-        rng_(seed) {}
+        audited_(topo, options),
+        // Over-provisioned ring (350 ops cannot fill it) so the final
+        // rejection-chain check never races eviction.
+        audit_log_(nullptr, nullptr, 1 << 16),
+        rng_(seed) {
+    audited_.set_audit(&audit_log_);
+  }
 
   Scheduler& fast() { return fast_; }
   ReferenceScheduler& oracle() { return oracle_; }
+  Scheduler& audited() { return audited_; }
+  obs::AuditLog& audit_log() { return audit_log_; }
   Rng& rng() { return rng_; }
 
   void CreateQuotaGroup(const std::string& name,
                         const ResourceVector& quota) {
     Status a = fast_.CreateQuotaGroup(name, quota);
     Status b = oracle_.CreateQuotaGroup(name, quota);
+    Status c = audited_.CreateQuotaGroup(name, quota);
     ASSERT_EQ(a.ok(), b.ok()) << Context("CreateQuotaGroup");
+    ASSERT_EQ(a.ok(), c.ok()) << Context("CreateQuotaGroup audited");
   }
 
   void RegisterApp(AppId app, const std::string& group) {
     Status a = fast_.RegisterApp(app, group);
     Status b = oracle_.RegisterApp(app, group);
+    Status c = audited_.RegisterApp(app, group);
     ASSERT_EQ(a.ok(), b.ok()) << Context("RegisterApp");
+    ASSERT_EQ(a.ok(), c.ok()) << Context("RegisterApp audited");
   }
 
   void Step(const std::function<Status(Scheduler&, SchedulingResult*)>& f,
@@ -103,14 +123,22 @@ class DifferentialDriver {
             const char* what) {
     SchedulingResult fast_result;
     SchedulingResult oracle_result;
+    SchedulingResult audited_result;
     Status a = f(fast_, &fast_result);
     Status b = g(oracle_, &oracle_result);
+    Status c = f(audited_, &audited_result);
     ASSERT_EQ(a.ok(), b.ok())
         << Context(what) << "\nfast: " << a.ToString()
         << "\noracle: " << b.ToString();
     ASSERT_TRUE(SameResult(fast_result, oracle_result))
         << Context(what) << "\nfast:   " << FormatResult(fast_result)
         << "\noracle: " << FormatResult(oracle_result);
+    // Decision neutrality: the audit-attached scheduler must produce a
+    // byte-identical result sequence.
+    ASSERT_EQ(c.ok(), a.ok())
+        << Context(what) << " audited status diverged";
+    ASSERT_EQ(FormatResult(audited_result), FormatResult(fast_result))
+        << Context(what) << ": attaching the audit log changed a result";
     ++step_;
   }
 
@@ -119,6 +147,12 @@ class DifferentialDriver {
   void CheckStateConverged(const std::vector<AppId>& apps) {
     ASSERT_TRUE(fast_.CheckInvariants()) << Context("fast invariants");
     ASSERT_TRUE(oracle_.CheckInvariants()) << Context("oracle invariants");
+    ASSERT_TRUE(audited_.CheckInvariants()) << Context("audited invariants");
+    ASSERT_TRUE(audited_.TotalGranted() == fast_.TotalGranted())
+        << Context("audited TotalGranted");
+    ASSERT_EQ(audited_.locality_tree().TotalWaitingUnits(),
+              fast_.locality_tree().TotalWaitingUnits())
+        << Context("audited TotalWaitingUnits");
     ASSERT_TRUE(fast_.TotalGranted() == oracle_.TotalGranted())
         << Context("TotalGranted");
     ASSERT_TRUE(fast_.TotalCapacity() == oracle_.TotalCapacity())
@@ -152,6 +186,8 @@ class DifferentialDriver {
   const ClusterTopology* topo_;
   Scheduler fast_;
   ReferenceScheduler oracle_;
+  Scheduler audited_;
+  obs::AuditLog audit_log_;
   Rng rng_;
   int step_ = 0;
 };
@@ -319,9 +355,12 @@ TEST_P(SchedulerDifferentialTest, FastPathMatchesOracleExactly) {
         int64_t count = rng.UniformRange(1, 3);
         Status a = driver.fast().RestoreGrant(app, def, m, count);
         Status b = driver.oracle().RestoreGrant(app, def, m, count);
+        Status c = driver.audited().RestoreGrant(app, def, m, count);
         ASSERT_EQ(a.ok(), b.ok())
             << "RestoreGrant status diverged at step " << step << ": fast="
             << a.ToString() << " oracle=" << b.ToString();
+        ASSERT_EQ(a.ok(), c.ok())
+            << "audited RestoreGrant status diverged at step " << step;
         driver.Step(
             [&](Scheduler& s, SchedulingResult* r) {
               s.RunSchedulePass(m, r);
@@ -338,16 +377,26 @@ TEST_P(SchedulerDifferentialTest, FastPathMatchesOracleExactly) {
         if (aging && rng.Bernoulli(0.5)) {
           size_t a = driver.fast().AgeWaitingDemands(now);
           size_t b = driver.oracle().AgeWaitingDemands(now);
+          size_t c = driver.audited().AgeWaitingDemands(now);
           ASSERT_EQ(a, b) << "aging boost count diverged at step " << step;
+          ASSERT_EQ(a, c)
+              << "audited aging boost count diverged at step " << step;
           auto fast_aged = driver.fast().TakeAgedResults();
           auto oracle_aged = driver.oracle().TakeAgedResults();
+          auto audited_aged = driver.audited().TakeAgedResults();
           ASSERT_EQ(fast_aged.size(), oracle_aged.size())
               << "aged result count diverged at step " << step;
+          ASSERT_EQ(fast_aged.size(), audited_aged.size())
+              << "audited aged result count diverged at step " << step;
           for (size_t i = 0; i < fast_aged.size(); ++i) {
             ASSERT_TRUE(SameResult(fast_aged[i], oracle_aged[i]))
                 << "aged result " << i << " diverged at step " << step
                 << "\nfast:   " << FormatResult(fast_aged[i])
                 << "\noracle: " << FormatResult(oracle_aged[i]);
+            ASSERT_EQ(FormatResult(audited_aged[i]),
+                      FormatResult(fast_aged[i]))
+                << "audited aged result " << i << " diverged at step "
+                << step;
           }
           break;
         }
@@ -374,6 +423,30 @@ TEST_P(SchedulerDifferentialTest, FastPathMatchesOracleExactly) {
     }
   }
   driver.CheckStateConverged(apps);
+
+  // The fuxi_explain acceptance contract: every demand still waiting at
+  // the end of the stream must be explainable — its rejection chain in
+  // the audit dump is non-empty. (Skipped in FUXI_OBS_AUDIT=0 builds,
+  // where the log is a no-op; the byte-identical Step comparisons above
+  // still ran against the no-op log, proving the OFF path too.)
+  if (obs::AuditLog::enabled()) {
+    EXPECT_EQ(driver.audit_log().overwritten(), 0u)
+        << "ring sized too small for this stream";
+    const std::vector<obs::DecisionRecord> dump =
+        driver.audit_log().Snapshot();
+    EXPECT_GT(dump.size(), 0u);
+    for (const PendingDemand* demand :
+         driver.audited().locality_tree().AllDemands()) {
+      if (demand->total_remaining <= 0) continue;
+      std::vector<obs::CandidateOutcome> chain = obs::RejectionChain(
+          dump, demand->key.app.value(), demand->key.slot_id);
+      EXPECT_FALSE(chain.empty())
+          << "unplaced demand app=" << demand->key.app.value()
+          << " slot=" << demand->key.slot_id
+          << " remaining=" << demand->total_remaining
+          << " has no rejection chain in the audit dump";
+    }
+  }
 }
 
 // 56 seeds; option mixes (quota/preemption/flat-queue/pass cap/aging)

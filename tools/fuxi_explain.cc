@@ -1,0 +1,329 @@
+// Queries a scheduling decision-audit dump produced by fuxi::obs (the
+// chaos campaigns write fuxi_audit_seed<N>.json at the first invariant
+// violation; any test can call obs::ExportAuditJson):
+//
+//   fuxi_explain audit.json                     # summary tables
+//   fuxi_explain audit.json --demand APP [SLOT] # one demand's history
+//   fuxi_explain audit.json --machine M         # one machine's history
+//   fuxi_explain audit.json --unplaced          # rejection chains for
+//                                               # every unsatisfied demand
+//   fuxi_explain audit.json --timeline          # per-app utilization
+//   fuxi_explain audit.json --gantt             # per-machine occupancy
+//   fuxi_explain audit.json --trace trace.json  # annotate records with
+//                                               # flight-recorder span names
+//
+// Every decision the scheduler made is reconstructable: which machines
+// were considered for a demand at which locality tier, why each pruned
+// candidate was rejected (avoid list, offline, no free capacity,
+// negative-fit cache, quota headroom, pass-skip, candidate cap), what
+// was granted, and which grants were later taken back.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/audit.h"
+#include "obs/timeline.h"
+
+namespace {
+
+using fuxi::obs::CandidateOutcome;
+using fuxi::obs::DecisionKind;
+using fuxi::obs::DecisionRecord;
+using fuxi::obs::RejectReason;
+
+/// Span id -> span name, loaded from a Chrome-trace dump for --trace.
+std::map<uint64_t, std::string> LoadSpanNames(const char* path) {
+  std::map<uint64_t, std::string> names;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fuxi_explain: cannot open trace %s\n", path);
+    return names;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  fuxi::Result<fuxi::Json> parsed = fuxi::Json::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "fuxi_explain: %s: %s\n", path,
+                 parsed.status().message().c_str());
+    return names;
+  }
+  const fuxi::Json* events = parsed.value().Find("traceEvents");
+  if (events == nullptr || !events->is_array()) return names;
+  for (const fuxi::Json& event : events->as_array()) {
+    if (const fuxi::Json* args = event.Find("args")) {
+      int64_t span = args->GetInt("span", 0);
+      if (span > 0) {
+        names[static_cast<uint64_t>(span)] =
+            event.GetString("name", "<unnamed>");
+      }
+    }
+  }
+  return names;
+}
+
+void PrintCandidate(const CandidateOutcome& c, bool demand_fixed) {
+  if (demand_fixed) {
+    std::printf("    %-8s m%-6lld", fuxi::obs::TierName(c.tier).data(),
+                static_cast<long long>(c.machine));
+  } else {
+    std::printf("    %-8s app%lld/s%u", fuxi::obs::TierName(c.tier).data(),
+                static_cast<long long>(c.app), c.slot);
+  }
+  if (c.granted > 0) {
+    std::printf("  granted=%lld rem=%lld\n",
+                static_cast<long long>(c.granted),
+                static_cast<long long>(c.remaining));
+  } else {
+    std::printf("  rejected: %s (rem=%lld)\n",
+                fuxi::obs::RejectReasonName(c.reason).data(),
+                static_cast<long long>(c.remaining));
+  }
+}
+
+void PrintRecord(const DecisionRecord& r,
+                 const std::map<uint64_t, std::string>& span_names) {
+  std::printf("#%llu t=%.3f %s", static_cast<unsigned long long>(r.id),
+              r.time, fuxi::obs::DecisionKindName(r.kind).data());
+  if (r.app >= 0) {
+    std::printf(" app%lld/s%u", static_cast<long long>(r.app), r.slot);
+  }
+  if (r.machine >= 0) std::printf(" m%lld", static_cast<long long>(r.machine));
+  if (r.units != 0) std::printf(" units=%lld", static_cast<long long>(r.units));
+  if (r.remaining_before != 0 || r.remaining_after != 0) {
+    std::printf(" remaining %lld->%lld",
+                static_cast<long long>(r.remaining_before),
+                static_cast<long long>(r.remaining_after));
+  }
+  if (r.reason != RejectReason::kNone) {
+    std::printf(" [%s]", fuxi::obs::RejectReasonName(r.reason).data());
+  }
+  if (!r.note.empty()) std::printf(" (%s)", r.note.c_str());
+  if (r.trace_span != 0) {
+    auto it = span_names.find(r.trace_span);
+    if (it != span_names.end()) {
+      std::printf(" span=%llu:%s",
+                  static_cast<unsigned long long>(r.trace_span),
+                  it->second.c_str());
+    } else {
+      std::printf(" span=%llu",
+                  static_cast<unsigned long long>(r.trace_span));
+    }
+  }
+  std::printf("\n");
+  bool demand_fixed = r.kind != DecisionKind::kPass;
+  for (const CandidateOutcome& c : r.candidates) {
+    PrintCandidate(c, demand_fixed);
+  }
+  if (r.candidates_dropped > 0) {
+    std::printf("    ... %u more candidates dropped at the record cap\n",
+                r.candidates_dropped);
+  }
+}
+
+void PrintSummary(const std::vector<DecisionRecord>& records) {
+  std::map<std::string, uint64_t> by_kind;
+  std::map<std::string, uint64_t> rejections;
+  uint64_t granted_units = 0;
+  uint64_t revoked_units = 0;
+  for (const DecisionRecord& r : records) {
+    ++by_kind[std::string(fuxi::obs::DecisionKindName(r.kind))];
+    if (r.kind == DecisionKind::kRevoke) {
+      revoked_units += static_cast<uint64_t>(r.units);
+    }
+    if (r.reason != RejectReason::kNone) {
+      ++rejections[std::string(fuxi::obs::RejectReasonName(r.reason))];
+    }
+    for (const CandidateOutcome& c : r.candidates) {
+      if (c.granted > 0) {
+        granted_units += static_cast<uint64_t>(c.granted);
+      } else if (c.reason != RejectReason::kNone) {
+        ++rejections[std::string(fuxi::obs::RejectReasonName(c.reason))];
+      }
+    }
+  }
+  std::printf("%zu decision records\n", records.size());
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("  %-14s %llu\n", kind.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("granted units: %llu, revoked units: %llu\n",
+              static_cast<unsigned long long>(granted_units),
+              static_cast<unsigned long long>(revoked_units));
+  if (!rejections.empty()) {
+    std::printf("rejection reasons:\n");
+    for (const auto& [reason, count] : rejections) {
+      std::printf("  %-20s %llu\n", reason.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+  }
+  std::vector<fuxi::obs::UnplacedDemand> unplaced =
+      fuxi::obs::UnplacedAtEnd(records);
+  if (!unplaced.empty()) {
+    std::printf("unplaced at end of dump: %zu demands (try --unplaced)\n",
+                unplaced.size());
+  }
+}
+
+void PrintUnplaced(const std::vector<DecisionRecord>& records) {
+  std::vector<fuxi::obs::UnplacedDemand> unplaced =
+      fuxi::obs::UnplacedAtEnd(records);
+  if (unplaced.empty()) {
+    std::printf("every demand mentioned in the dump was satisfied\n");
+    return;
+  }
+  for (const fuxi::obs::UnplacedDemand& u : unplaced) {
+    std::printf("app%lld/s%u: %lld units outstanding\n",
+                static_cast<long long>(u.app), u.slot,
+                static_cast<long long>(u.remaining));
+    std::vector<CandidateOutcome> chain =
+        fuxi::obs::RejectionChain(records, u.app, u.slot);
+    if (chain.empty()) {
+      std::printf("    (no rejection recorded — ring may have "
+                  "overwritten the history)\n");
+      continue;
+    }
+    // The full chain can be long; the tail is what explains the current
+    // state, so print the last few links.
+    size_t start = chain.size() > 8 ? chain.size() - 8 : 0;
+    if (start > 0) {
+      std::printf("    ... %zu earlier rejections elided ...\n", start);
+    }
+    for (size_t i = start; i < chain.size(); ++i) {
+      PrintCandidate(chain[i], true);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(
+        stderr,
+        "usage: %s <audit.json> [--demand APP [SLOT] | --machine M | "
+        "--unplaced | --timeline | --gantt] [--trace trace.json]\n",
+        argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "fuxi_explain: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  fuxi::Result<fuxi::Json> parsed = fuxi::Json::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "fuxi_explain: %s: %s\n", argv[1],
+                 parsed.status().message().c_str());
+    return 2;
+  }
+  std::vector<DecisionRecord> records =
+      fuxi::obs::AuditRecordsFromJson(parsed.value());
+  if (records.empty()) {
+    std::fprintf(stderr, "fuxi_explain: %s holds no auditRecords\n",
+                 argv[1]);
+    return 2;
+  }
+
+  enum class Mode { kSummary, kDemand, kMachine, kUnplaced, kTimeline,
+                    kGantt };
+  Mode mode = Mode::kSummary;
+  int64_t app = -1, machine = -1;
+  uint32_t slot = 0;
+  bool any_slot = true;
+  std::map<uint64_t, std::string> span_names;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demand") == 0 && i + 1 < argc) {
+      mode = Mode::kDemand;
+      app = std::atoll(argv[++i]);
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        slot = static_cast<uint32_t>(std::atoi(argv[++i]));
+        any_slot = false;
+      }
+    } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
+      mode = Mode::kMachine;
+      machine = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--unplaced") == 0) {
+      mode = Mode::kUnplaced;
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      mode = Mode::kTimeline;
+    } else if (std::strcmp(argv[i], "--gantt") == 0) {
+      mode = Mode::kGantt;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      span_names = LoadSpanNames(argv[++i]);
+    } else {
+      std::fprintf(stderr, "fuxi_explain: unknown argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  switch (mode) {
+    case Mode::kSummary:
+      PrintSummary(records);
+      break;
+    case Mode::kDemand: {
+      // Without an explicit slot, explain every slot of the app seen in
+      // the dump.
+      std::vector<uint32_t> slots;
+      if (any_slot) {
+        std::map<uint32_t, bool> seen;
+        for (const DecisionRecord& r : records) {
+          if (r.app == app) seen[r.slot] = true;
+          for (const CandidateOutcome& c : r.candidates) {
+            if (c.app == app) seen[c.slot] = true;
+          }
+        }
+        for (const auto& [s, unused] : seen) slots.push_back(s);
+      } else {
+        slots.push_back(slot);
+      }
+      for (uint32_t s : slots) {
+        std::printf("== demand app%lld/s%u ==\n",
+                    static_cast<long long>(app), s);
+        for (const DecisionRecord* r :
+             fuxi::obs::ExplainDemand(records, app, s)) {
+          PrintRecord(*r, span_names);
+        }
+      }
+      break;
+    }
+    case Mode::kMachine:
+      for (const DecisionRecord* r :
+           fuxi::obs::ExplainMachine(records, machine)) {
+        PrintRecord(*r, span_names);
+      }
+      break;
+    case Mode::kUnplaced:
+      PrintUnplaced(records);
+      break;
+    case Mode::kTimeline: {
+      std::vector<fuxi::obs::GrantEvent> events =
+          fuxi::obs::ExtractGrantEvents(records);
+      std::fputs(
+          fuxi::obs::RenderTimeline(fuxi::obs::AppUtilization(events),
+                                    "per-app utilization (units held)")
+              .c_str(),
+          stdout);
+      break;
+    }
+    case Mode::kGantt: {
+      std::vector<fuxi::obs::GrantEvent> events =
+          fuxi::obs::ExtractGrantEvents(records);
+      std::fputs(
+          fuxi::obs::RenderTimeline(fuxi::obs::MachineOccupancy(events),
+                                    "per-machine occupancy (units held)")
+              .c_str(),
+          stdout);
+      break;
+    }
+  }
+  return 0;
+}

@@ -2,12 +2,14 @@
 // flight recorder or any exported span snapshot) as per-message-type
 // latency/volume tables:
 //
-//   trace_stats trace.json
+//   trace_stats trace.json [audit.json]
 //
 // For every span name (demangled payload type for RPCs, region name
 // for local spans) it prints the count, drop count, total bytes, and
 // the virtual-latency distribution; wall-clock-annotated spans get a
-// second table with real costs.
+// second table with real costs. With a decision-audit dump as the
+// second argument, the two are joined on span id: each span name gets
+// the count of scheduling decisions committed while it was ambient.
 
 #include <cstdio>
 #include <fstream>
@@ -18,6 +20,7 @@
 #include "common/json.h"
 #include "common/metrics.h"
 #include "common/strings.h"
+#include "obs/audit.h"
 
 namespace {
 
@@ -32,8 +35,9 @@ struct NameStats {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <chrome-trace.json>\n", argv[0]);
+  if (argc != 2 && argc != 3) {
+    std::fprintf(stderr, "usage: %s <chrome-trace.json> [audit.json]\n",
+                 argv[0]);
     return 2;
   }
   std::ifstream in(argv[1]);
@@ -57,6 +61,7 @@ int main(int argc, char** argv) {
   }
 
   std::map<std::string, NameStats> by_name;
+  std::map<uint64_t, std::string> span_names;
   for (const fuxi::Json& event : events->as_array()) {
     std::string name = event.GetString("name", "<unnamed>");
     NameStats& stats = by_name[name];
@@ -68,6 +73,8 @@ int main(int argc, char** argv) {
       if (const fuxi::Json* wall = args->Find("wall_us")) {
         stats.wall_us.Add(wall->as_number());
       }
+      int64_t span = args->GetInt("span", 0);
+      if (span > 0) span_names[static_cast<uint64_t>(span)] = name;
     }
   }
 
@@ -100,6 +107,49 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.wall_us.count()),
                 stats.wall_us.mean(), stats.wall_us.Percentile(95),
                 stats.wall_us.max());
+  }
+
+  if (argc == 3) {
+    std::ifstream audit_in(argv[2]);
+    if (!audit_in) {
+      std::fprintf(stderr, "trace_stats: cannot open %s\n", argv[2]);
+      return 2;
+    }
+    std::ostringstream audit_buffer;
+    audit_buffer << audit_in.rdbuf();
+    fuxi::Result<fuxi::Json> audit_parsed =
+        fuxi::Json::Parse(audit_buffer.str());
+    if (!audit_parsed.ok()) {
+      std::fprintf(stderr, "trace_stats: %s: %s\n", argv[2],
+                   audit_parsed.status().message().c_str());
+      return 2;
+    }
+    std::vector<fuxi::obs::DecisionRecord> records =
+        fuxi::obs::AuditRecordsFromJson(audit_parsed.value());
+    // Join on span id: which traced operations caused which decisions.
+    std::map<std::string, std::map<std::string, uint64_t>> joined;
+    uint64_t unjoined = 0;
+    for (const fuxi::obs::DecisionRecord& record : records) {
+      auto it = span_names.find(record.trace_span);
+      if (record.trace_span == 0 || it == span_names.end()) {
+        ++unjoined;
+        continue;
+      }
+      ++joined[it->second][std::string(
+          fuxi::obs::DecisionKindName(record.kind))];
+    }
+    std::printf("\n%-48s %-14s %8s\n", "ambient span", "decision", "count");
+    for (const auto& [span, kinds] : joined) {
+      for (const auto& [kind, count] : kinds) {
+        std::printf("%-48.48s %-14s %8llu\n", span.c_str(), kind.c_str(),
+                    static_cast<unsigned long long>(count));
+      }
+    }
+    std::printf(
+        "joined %zu audit records against %zu spans (%llu records with "
+        "no matching span in this trace)\n",
+        records.size(), span_names.size(),
+        static_cast<unsigned long long>(unjoined));
   }
   return 0;
 }
