@@ -18,6 +18,7 @@
 #include "common/metrics.h"
 #include "resource/protocol.h"
 #include "resource/scheduler.h"
+#include "wire/wire.h"
 
 namespace {
 
@@ -68,7 +69,11 @@ void MessageVolumeAblation() {
     } else {
       continue;  // no change -> no message (the incremental principle)
     }
-    fuxi_bytes += resource::ApproxWireSize(msg);
+    // Measure the exact frame the delta channel would put on the wire:
+    // the message stamped with its epoch/sequence header.
+    resource::StampedRequest stamped{1, static_cast<uint64_t>(round + 1),
+                                     round > 0 && round % 8 == 0, msg};
+    fuxi_bytes += wire::FramedSize(stamped);
     ++fuxi_messages;
   }
 

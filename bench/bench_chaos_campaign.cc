@@ -9,6 +9,10 @@
 //   bench_chaos_campaign --seed 1 --seed-restore-bug
 //                        # seed the Figure 7 double-grant regression;
 //                        # the run must FAIL and dump its causal trace
+//   bench_chaos_campaign --serialize-on-send
+//                        # every control-plane message round-trips
+//                        # through its wire codec at Send; hashes and
+//                        # event counts must match the default mode
 //
 // Exit status is non-zero when any campaign violates an invariant or
 // fails to complete; the failure dump contains the fault schedule and
@@ -31,6 +35,7 @@ int main(int argc, char** argv) {
   int count = 25;
   bool single = false;
   bool seed_restore_bug = false;
+  bool serialize_on_send = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       count = std::atoi(argv[++i]);
@@ -42,16 +47,19 @@ int main(int argc, char** argv) {
       single = true;
     } else if (std::strcmp(argv[i], "--seed-restore-bug") == 0) {
       seed_restore_bug = true;
+    } else if (std::strcmp(argv[i], "--serialize-on-send") == 0) {
+      serialize_on_send = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds N] [--first S] [--seed S] "
-                   "[--seed-restore-bug]\n",
+                   "[--seed-restore-bug] [--serialize-on-send]\n",
                    argv[0]);
       return 2;
     }
   }
 
   fuxi::chaos::CampaignConfig config;
+  config.cluster.network.serialize_on_send = serialize_on_send;
   if (seed_restore_bug) {
     config.seed_restore_bug = true;
     // The periodic agent/master allocation reconcile would repair the
@@ -82,6 +90,15 @@ int main(int argc, char** argv) {
         out << result.chrome_trace;
         std::fprintf(stderr, "flight-recorder trace written to %s\n",
                      path.c_str());
+      }
+      if (single && !result.metrics_csv.empty()) {
+        std::string path = "fuxi_metrics_seed" + std::to_string(seed) + ".csv";
+        std::ofstream out(path, std::ios::binary);
+        out << result.metrics_csv;
+        std::fprintf(stderr,
+                     "metrics dump written to %s (per-type wire bytes: "
+                     "trace_stats --metrics %s)\n",
+                     path.c_str(), path.c_str());
       }
       if (!result.audit_json.empty()) {
         std::string path = "fuxi_audit_seed" + std::to_string(seed) + ".json";

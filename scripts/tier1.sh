@@ -39,15 +39,23 @@ cmake --build build-noaudit -j"$(nproc)" --target fuxi_tests
  ./tests/fuxi_tests \
    --gtest_filter='*Obs*:*Trace*:*Audit*:*Timeline*:ChaosCampaign.*:ScriptedChaosTest.*:*Differential*:*Golden*')
 
+echo "== tier-1: serialize-on-send campaign leg (wire codecs live) =="
+# Every control-plane message round-trips through its fuxi::wire codec
+# at Send; hashes must match the default in-memory-delivery mode (the
+# SerializeOnSendIsInvisibleToTheSimulation test checks the equality,
+# this leg sweeps more seeds in the ON configuration).
+./build/bench/bench_chaos_campaign --serialize-on-send --seeds 10
+
 if [[ "$skip_asan" == 1 ]]; then
   echo "== tier-1: ASan/UBSan pass skipped =="
   exit 0
 fi
 
-echo "== tier-1: chaos campaign under ASan/UBSan =="
+echo "== tier-1: chaos campaign + wire fuzz under ASan/UBSan =="
 cmake -B build-asan -S . -DFUXI_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$(nproc)" --target fuxi_tests
 (cd build-asan &&
- ./tests/fuxi_tests --gtest_filter='ChaosCampaign.*:ScriptedChaosTest.*')
+ ./tests/fuxi_tests \
+   --gtest_filter='ChaosCampaign.*:ScriptedChaosTest.*:Wire*:NetworkTest.*')
 
 echo "tier-1 OK"

@@ -163,7 +163,7 @@ void FuxiAgent::SendHeartbeat(bool with_allocations) {
       }
     }
   }
-  network_->Send(self_, primary, hb, 48 + hb.allocations.size() * 48);
+  network_->Send(self_, primary, hb);
 }
 
 void FuxiAgent::OnHeartbeatAck(const master::AgentHeartbeatAckRpc& rpc) {

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "obs/exporters.h"
 #include "runtime/synthetic_app.h"
 
 namespace fuxi::chaos {
@@ -128,6 +129,7 @@ CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
   result.violations = monitor.violations();
   result.fault_log = engine.LogDump();
   result.trace = trace.str();
+  result.metrics_csv = obs::MetricsToCsv(cluster.obs().metrics);
   if (!result.ok()) {
     std::ostringstream residual;
     for (size_t m = 0; m < cluster.topology().machine_count(); ++m) {

@@ -65,6 +65,11 @@ struct CampaignResult {
   /// tools/fuxi_explain. Fully virtual-time stamped, so unlike
   /// chrome_trace it replays byte-identically from the seed.
   std::string audit_json;
+  /// End-of-run metrics registry dump (obs::MetricsToCsv), always
+  /// captured. Carries the exact per-message-type wire accounting
+  /// (net.msgs.<type> / net.bytes.<type>) — feed it to
+  /// `trace_stats --metrics` for the byte-volume table.
+  std::string metrics_csv;
 
   bool ok() const { return completed && violations.empty(); }
 };

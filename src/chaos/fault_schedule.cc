@@ -176,6 +176,34 @@ Fault ChaosEngine::DuplicateBurst(double probability, double duration) {
           }};
 }
 
+Fault ChaosEngine::CorruptionBurst(double probability, double duration) {
+  std::ostringstream name;
+  name << "CorruptionBurst(p=" << probability << ", d=" << duration << ")";
+  return {name.str(), [this, probability, duration] {
+            cluster_->network().mutable_config()->corrupt_probability =
+                probability;
+            At(cluster_->sim().Now() + duration,
+               {"CorruptionBurst:restore", [this] {
+                  cluster_->network().mutable_config()->corrupt_probability =
+                      baseline_config_.corrupt_probability;
+                }});
+          }};
+}
+
+Fault ChaosEngine::TruncationBurst(double probability, double duration) {
+  std::ostringstream name;
+  name << "TruncationBurst(p=" << probability << ", d=" << duration << ")";
+  return {name.str(), [this, probability, duration] {
+            cluster_->network().mutable_config()->truncate_probability =
+                probability;
+            At(cluster_->sim().Now() + duration,
+               {"TruncationBurst:restore", [this] {
+                  cluster_->network().mutable_config()->truncate_probability =
+                      baseline_config_.truncate_probability;
+                }});
+          }};
+}
+
 void ChaosEngine::ScheduleRandomCampaign(uint64_t seed,
                                          const CampaignPlanOptions& plan) {
   Rng rng(seed ^ 0xC4A05C4A05ull);
@@ -309,6 +337,8 @@ void ChaosEngine::HealEverything() {
   net::Network::Config* config = cluster_->network().mutable_config();
   config->drop_probability = baseline_config_.drop_probability;
   config->duplicate_probability = baseline_config_.duplicate_probability;
+  config->corrupt_probability = baseline_config_.corrupt_probability;
+  config->truncate_probability = baseline_config_.truncate_probability;
   cluster_->RestartDeadMasters();
   std::set<MachineId> halted = cluster_->halted_machines();
   for (MachineId machine : halted) cluster_->ReviveMachine(machine);

@@ -95,6 +95,13 @@ class ChaosEngine {
   /// `duration` seconds, then restores the campaign baseline.
   Fault DropBurst(double probability, double duration);
   Fault DuplicateBurst(double probability, double duration);
+  /// Byte-level wire faults: flips one random byte of (or truncates)
+  /// each affected frame before it is decoded on the receive path.
+  /// Requires Config::serialize_on_send — damaged frames surface as
+  /// counted decode drops, never as crashes. Not part of the default
+  /// random-campaign mix; script them explicitly.
+  Fault CorruptionBurst(double probability, double duration);
+  Fault TruncationBurst(double probability, double duration);
 
   /// Expands `seed` into a deterministic schedule of paired
   /// onset/recovery episodes. Call before running the window.

@@ -81,4 +81,28 @@ std::string ResourceVector::ToString() const {
   return out.empty() ? "0" : out;
 }
 
+void WireEncode(wire::Writer& w, const ResourceVector& v) {
+  size_t used = kMaxDimensions;
+  while (used > 0 && v.Get(static_cast<DimensionId>(used - 1)) == 0) --used;
+  w.U64(used);
+  for (size_t i = 0; i < used; ++i) {
+    w.I64(v.Get(static_cast<DimensionId>(i)));
+  }
+}
+
+Status WireDecode(wire::Reader& r, ResourceVector& v) {
+  uint64_t used;
+  FUXI_RETURN_IF_ERROR(r.U64(&used));
+  if (used > kMaxDimensions) {
+    return Status::Corruption("wire: resource vector has too many dimensions");
+  }
+  v = ResourceVector();
+  for (uint64_t i = 0; i < used; ++i) {
+    int64_t value;
+    FUXI_RETURN_IF_ERROR(r.I64(&value));
+    v.Set(static_cast<DimensionId>(i), value);
+  }
+  return Status::Ok();
+}
+
 }  // namespace fuxi::cluster

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "wire/wire.h"
 
 namespace fuxi::cluster {
 
@@ -142,6 +143,11 @@ class ResourceVector {
  private:
   std::array<int64_t, kMaxDimensions> values_;
 };
+
+/// Wire codec: varint dimension count with trailing zeros trimmed (most
+/// vectors only use cpu+memory), then one zigzag varint per dimension.
+void WireEncode(wire::Writer& w, const ResourceVector& v);
+Status WireDecode(wire::Reader& r, ResourceVector& v);
 
 }  // namespace fuxi::cluster
 

@@ -1,0 +1,65 @@
+// Wire codecs for the lease protocol (messages.h). Field order is the
+// struct declaration order; bump the version byte in messages.h on any
+// layout change.
+
+#include "coord/messages.h"
+
+namespace fuxi::coord {
+
+void WireEncode(wire::Writer& w, const LeaseAcquireRpc& m) {
+  w.Str(m.name);
+  w.Id(m.owner);
+  w.F64(m.lease_seconds);
+  w.U64(m.request_id);
+}
+
+Status WireDecode(wire::Reader& r, LeaseAcquireRpc& m) {
+  FUXI_RETURN_IF_ERROR(r.Str(&m.name));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.owner));
+  FUXI_RETURN_IF_ERROR(r.F64(&m.lease_seconds));
+  return r.U64(&m.request_id);
+}
+
+void WireEncode(wire::Writer& w, const LeaseRenewRpc& m) {
+  w.Str(m.name);
+  w.Id(m.owner);
+  w.F64(m.lease_seconds);
+  w.U64(m.request_id);
+}
+
+Status WireDecode(wire::Reader& r, LeaseRenewRpc& m) {
+  FUXI_RETURN_IF_ERROR(r.Str(&m.name));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.owner));
+  FUXI_RETURN_IF_ERROR(r.F64(&m.lease_seconds));
+  return r.U64(&m.request_id);
+}
+
+void WireEncode(wire::Writer& w, const LeaseReleaseRpc& m) {
+  w.Str(m.name);
+  w.Id(m.owner);
+  w.U64(m.request_id);
+}
+
+Status WireDecode(wire::Reader& r, LeaseReleaseRpc& m) {
+  FUXI_RETURN_IF_ERROR(r.Str(&m.name));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.owner));
+  return r.U64(&m.request_id);
+}
+
+void WireEncode(wire::Writer& w, const LeaseReplyRpc& m) {
+  w.U64(m.request_id);
+  w.Bool(m.granted);
+  w.Id(m.holder);
+  w.U64(m.generation);
+  w.Str(m.error);
+}
+
+Status WireDecode(wire::Reader& r, LeaseReplyRpc& m) {
+  FUXI_RETURN_IF_ERROR(r.U64(&m.request_id));
+  FUXI_RETURN_IF_ERROR(r.Bool(&m.granted));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.holder));
+  FUXI_RETURN_IF_ERROR(r.U64(&m.generation));
+  return r.Str(&m.error);
+}
+
+}  // namespace fuxi::coord

@@ -267,8 +267,7 @@ void JobMaster::TryStartWorkers(TaskMaster* task, MachineId machine) {
     FUXI_LOG(kDebug) << "plan " << rpc.plan_id << " slot "
                      << task->slot_id() << " machine " << machine.value()
                      << " granted=" << granted << " live=" << live;
-    cluster_->network().Send(node_, cluster_->agent(machine)->node(), rpc,
-                             256);
+    cluster_->network().Send(node_, cluster_->agent(machine)->node(), rpc);
     ++live;
   }
 }

@@ -81,8 +81,7 @@ Result<JobMaster*> JobRuntime::Submit(const JobDescription& description,
   submit.quota_group = description.quota_group;
   submit.description = description.ToJson();
   submit.client = cluster_->AllocateNodeId();
-  cluster_->network().Send(submit.client, primary, submit,
-                           submit.description.Dump().size());
+  cluster_->network().Send(submit.client, primary, submit);
   return ptr;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "wire/wire.h"
 
 namespace fuxi::job {
 
@@ -62,6 +63,26 @@ struct WorkerStatusReportRpc {
   double progress = 0;            ///< [0,1] of the running instance
   std::vector<int64_t> completed;
 };
+
+// ---------------------------------------------------------------------
+// Wire codecs (fuxi::wire, DESIGN.md §10); definitions in
+// messages_wire.cc. Bump the version byte on any layout change.
+// ---------------------------------------------------------------------
+
+#define FUXI_JOB_DECLARE_WIRE(TYPE)                    \
+  void WireEncode(wire::Writer& w, const TYPE& m);     \
+  Status WireDecode(wire::Reader& r, TYPE& m);         \
+  constexpr wire::TypeInfo WireTypeInfo(const TYPE*) { \
+    return {wire::MsgTag::k##TYPE, 1};                 \
+  }
+
+FUXI_JOB_DECLARE_WIRE(WorkerReadyRpc)
+FUXI_JOB_DECLARE_WIRE(ExecuteInstanceRpc)
+FUXI_JOB_DECLARE_WIRE(CancelInstanceRpc)
+FUXI_JOB_DECLARE_WIRE(InstanceDoneRpc)
+FUXI_JOB_DECLARE_WIRE(WorkerStatusReportRpc)
+
+#undef FUXI_JOB_DECLARE_WIRE
 
 }  // namespace fuxi::job
 

@@ -1,0 +1,91 @@
+// Wire codecs for the job-level control plane (messages.h). Field order
+// is the struct declaration order; bump the version byte in messages.h on
+// any layout change.
+
+#include "job/messages.h"
+
+namespace fuxi::job {
+
+void WireEncode(wire::Writer& w, const WorkerReadyRpc& m) {
+  w.Id(m.app);
+  w.Str(m.task);
+  w.Id(m.worker);
+  w.Id(m.machine);
+  w.Id(m.worker_node);
+}
+
+Status WireDecode(wire::Reader& r, WorkerReadyRpc& m) {
+  FUXI_RETURN_IF_ERROR(r.Id(&m.app));
+  FUXI_RETURN_IF_ERROR(r.Str(&m.task));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.worker));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.machine));
+  return r.Id(&m.worker_node);
+}
+
+void WireEncode(wire::Writer& w, const ExecuteInstanceRpc& m) {
+  w.I64(m.instance);
+  w.Bool(m.is_backup);
+  w.F64(m.base_seconds);
+  w.I64(m.bytes);
+  w.F64(m.locality_factor);
+}
+
+Status WireDecode(wire::Reader& r, ExecuteInstanceRpc& m) {
+  FUXI_RETURN_IF_ERROR(r.I64(&m.instance));
+  FUXI_RETURN_IF_ERROR(r.Bool(&m.is_backup));
+  FUXI_RETURN_IF_ERROR(r.F64(&m.base_seconds));
+  FUXI_RETURN_IF_ERROR(r.I64(&m.bytes));
+  return r.F64(&m.locality_factor);
+}
+
+void WireEncode(wire::Writer& w, const CancelInstanceRpc& m) {
+  w.I64(m.instance);
+}
+
+Status WireDecode(wire::Reader& r, CancelInstanceRpc& m) {
+  return r.I64(&m.instance);
+}
+
+void WireEncode(wire::Writer& w, const InstanceDoneRpc& m) {
+  w.Id(m.app);
+  w.Str(m.task);
+  w.I64(m.instance);
+  w.Bool(m.is_backup);
+  w.Id(m.worker);
+  w.Id(m.machine);
+  w.F64(m.elapsed);
+}
+
+Status WireDecode(wire::Reader& r, InstanceDoneRpc& m) {
+  FUXI_RETURN_IF_ERROR(r.Id(&m.app));
+  FUXI_RETURN_IF_ERROR(r.Str(&m.task));
+  FUXI_RETURN_IF_ERROR(r.I64(&m.instance));
+  FUXI_RETURN_IF_ERROR(r.Bool(&m.is_backup));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.worker));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.machine));
+  return r.F64(&m.elapsed);
+}
+
+void WireEncode(wire::Writer& w, const WorkerStatusReportRpc& m) {
+  w.Id(m.app);
+  w.Str(m.task);
+  w.Id(m.worker);
+  w.Id(m.machine);
+  w.Id(m.worker_node);
+  w.I64(m.running_instance);
+  w.F64(m.progress);
+  w.Vec(m.completed);
+}
+
+Status WireDecode(wire::Reader& r, WorkerStatusReportRpc& m) {
+  FUXI_RETURN_IF_ERROR(r.Id(&m.app));
+  FUXI_RETURN_IF_ERROR(r.Str(&m.task));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.worker));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.machine));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.worker_node));
+  FUXI_RETURN_IF_ERROR(r.I64(&m.running_instance));
+  FUXI_RETURN_IF_ERROR(r.F64(&m.progress));
+  return r.Vec(&m.completed);
+}
+
+}  // namespace fuxi::job

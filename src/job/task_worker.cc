@@ -118,8 +118,7 @@ void TaskWorker::SendStatus() {
         std::min(1.0, (Now() - started_at_) / expected_duration_);
   }
   status.completed = completed_;
-  cluster_->network().Send(self_, am_node_, status,
-                           64 + completed_.size() * 8);
+  cluster_->network().Send(self_, am_node_, status);
 }
 
 }  // namespace fuxi::job

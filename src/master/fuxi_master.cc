@@ -579,18 +579,15 @@ void FuxiMaster::Dispatch(const resource::SchedulingResult& result) {
   for (auto& [app, message] : per_app) {
     AppRecord* record = FindApp(app);
     if (record == nullptr || !record->am_node.valid()) continue;
-    size_t size = resource::ApproxWireSize(message);
     network_->Send(self_, record->am_node,
-                   GrantRpc{record->grant_sender.Stamp(std::move(message))},
-                   size);
+                   GrantRpc{record->grant_sender.Stamp(std::move(message))});
   }
   for (auto& [machine, rpc] : per_machine) {
     auto it = agents_.find(machine);
     if (it == agents_.end() || !it->second.online) continue;
     rpc.master_generation = generation_;
     rpc.seq = ++it->second.capacity_seq;
-    network_->Send(self_, it->second.node, rpc,
-                   24 + rpc.entries.size() * 48);
+    network_->Send(self_, it->second.node, rpc);
   }
 }
 
@@ -607,7 +604,7 @@ void FuxiMaster::SendFullCapacity(MachineId machine) {
   }
   rpc.master_generation = generation_;
   rpc.seq = ++it->second.capacity_seq;
-  network_->Send(self_, it->second.node, rpc, 24 + rpc.entries.size() * 48);
+  network_->Send(self_, it->second.node, rpc);
 }
 
 void FuxiMaster::SendFullGrantState(AppRecord* record) {
@@ -618,10 +615,9 @@ void FuxiMaster::SendFullGrantState(AppRecord* record) {
     message.full_grants.push_back(
         {grant.slot_id, grant.machine, grant.count});
   }
-  size_t size = resource::ApproxWireSize(message);
   network_->Send(
       self_, record->am_node,
-      GrantRpc{record->grant_sender.StampFull(std::move(message))}, size);
+      GrantRpc{record->grant_sender.StampFull(std::move(message))});
 }
 
 void FuxiMaster::OnHeartbeat(const net::Envelope& env,

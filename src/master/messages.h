@@ -8,6 +8,7 @@
 #include "common/ids.h"
 #include "common/json.h"
 #include "resource/protocol.h"
+#include "wire/wire.h"
 
 namespace fuxi::master {
 
@@ -207,6 +208,46 @@ struct AdoptReplyRpc {
   MachineId machine;
   std::vector<WorkerId> keep;
 };
+
+// ---------------------------------------------------------------------
+// Wire codecs (fuxi::wire, DESIGN.md §10). Every RPC above is a framed
+// top-level message; definitions live in messages_wire.cc. Bump the
+// version byte in the matching WireTypeInfo when changing a layout.
+// ---------------------------------------------------------------------
+
+#define FUXI_MASTER_DECLARE_WIRE(TYPE)                     \
+  void WireEncode(wire::Writer& w, const TYPE& m);         \
+  Status WireDecode(wire::Reader& r, TYPE& m);             \
+  constexpr wire::TypeInfo WireTypeInfo(const TYPE*) {     \
+    return {wire::MsgTag::k##TYPE, 1};                     \
+  }
+
+FUXI_MASTER_DECLARE_WIRE(RequestRpc)
+FUXI_MASTER_DECLARE_WIRE(GrantRpc)
+FUXI_MASTER_DECLARE_WIRE(ResyncRpc)
+FUXI_MASTER_DECLARE_WIRE(BadMachineReportRpc)
+FUXI_MASTER_DECLARE_WIRE(AgentHeartbeatRpc)
+FUXI_MASTER_DECLARE_WIRE(AgentCapacityRpc)
+FUXI_MASTER_DECLARE_WIRE(AgentHeartbeatAckRpc)
+FUXI_MASTER_DECLARE_WIRE(MasterRecoveryAnnounceRpc)
+FUXI_MASTER_DECLARE_WIRE(SubmitAppRpc)
+FUXI_MASTER_DECLARE_WIRE(SubmitAppReplyRpc)
+FUXI_MASTER_DECLARE_WIRE(StartAppMasterRpc)
+FUXI_MASTER_DECLARE_WIRE(StopAppRpc)
+FUXI_MASTER_DECLARE_WIRE(StartWorkerRpc)
+FUXI_MASTER_DECLARE_WIRE(WorkerStartedRpc)
+FUXI_MASTER_DECLARE_WIRE(StopWorkerRpc)
+FUXI_MASTER_DECLARE_WIRE(WorkerCrashedRpc)
+FUXI_MASTER_DECLARE_WIRE(AdoptQueryRpc)
+FUXI_MASTER_DECLARE_WIRE(AdoptReplyRpc)
+
+#undef FUXI_MASTER_DECLARE_WIRE
+
+// AgentAllocation and AgentCapacityRpc::Entry are nested (unframed).
+void WireEncode(wire::Writer& w, const AgentAllocation& m);
+Status WireDecode(wire::Reader& r, AgentAllocation& m);
+void WireEncode(wire::Writer& w, const AgentCapacityRpc::Entry& m);
+Status WireDecode(wire::Reader& r, AgentCapacityRpc::Entry& m);
 
 }  // namespace fuxi::master
 

@@ -40,11 +40,14 @@ void ResourceClient::Start(net::Endpoint* endpoint) {
   FUXI_CHECK(!running_);
   running_ = true;
   ++life_;
-  endpoint->Handle<GrantRpc>(
+  // ReplaceHandle, not Handle: a restarted application master builds a
+  // fresh ResourceClient on its surviving endpoint, deliberately taking
+  // these payload types over from the dead incarnation.
+  endpoint->ReplaceHandle<GrantRpc>(
       [this](const net::Envelope&, const GrantRpc& rpc) {
         if (running_) OnGrant(rpc);
       });
-  endpoint->Handle<ResyncRpc>(
+  endpoint->ReplaceHandle<ResyncRpc>(
       [this](const net::Envelope&, const ResyncRpc&) {
         // Master lost our request stream: re-send everything.
         if (running_) {
@@ -209,23 +212,20 @@ void ResourceClient::Flush() {
   rpc.reply_to = self_;
   rpc.incarnation = incarnation_;
   if (need_full_sync_) {
-    resource::RequestMessage full = BuildFullState();
-    size_t size = resource::ApproxWireSize(full);
-    rpc.msg = sender_.StampFull(std::move(full));
+    rpc.msg = sender_.StampFull(BuildFullState());
     need_full_sync_ = false;
     pending_ = resource::RequestMessage();  // superseded by full state
     pending_dirty_ = false;
     ++full_syncs_sent_;
-    network_->Send(self_, primary, rpc, size);
+    network_->Send(self_, primary, rpc);
   } else {
     resource::RequestMessage delta = std::move(pending_);
     pending_ = resource::RequestMessage();
     pending_dirty_ = false;
     delta.delta.app = app_;
-    size_t size = resource::ApproxWireSize(delta);
     rpc.msg = sender_.Stamp(std::move(delta));
     ++deltas_sent_;
-    network_->Send(self_, primary, rpc, size);
+    network_->Send(self_, primary, rpc);
   }
 }
 

@@ -21,6 +21,7 @@
 #include "common/strings.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
+#include "wire/wire.h"
 
 namespace fuxi::net {
 
@@ -30,7 +31,7 @@ struct Envelope {
   NodeId to;
   uint64_t wire_seq = 0;   ///< global send order, for debugging
   double sent_at = 0;      ///< virtual send time
-  size_t size_hint = 0;    ///< approximate wire bytes (caller supplied)
+  size_t wire_bytes = 0;   ///< exact encoded frame size (measured at Send)
   uint64_t span = 0;       ///< causal trace span of this copy (0 = untraced)
   std::any payload;
 };
@@ -41,13 +42,26 @@ struct Envelope {
 /// (like an unknown RPC method).
 class Endpoint {
  public:
-  /// Registers a handler for messages whose payload holds a T.
+  /// Registers a handler for messages whose payload holds a T. Checks
+  /// that no handler is already registered for T: silently shadowing a
+  /// live handler is a wiring bug. A component that deliberately takes
+  /// over a payload type on a reused endpoint (e.g. a restarted
+  /// application master's fresh ResourceClient) uses ReplaceHandle.
   template <typename T>
   void Handle(std::function<void(const Envelope&, const T&)> fn) {
-    handlers_[std::type_index(typeid(T))] =
-        [fn = std::move(fn)](const Envelope& env) {
-          fn(env, std::any_cast<const T&>(env.payload));
-        };
+    bool inserted =
+        handlers_.emplace(std::type_index(typeid(T)), Wrap(std::move(fn)))
+            .second;
+    FUXI_CHECK(inserted)
+        << "duplicate handler registration for payload type "
+        << Demangle(typeid(T).name())
+        << " (use ReplaceHandle for deliberate takeover)";
+  }
+
+  /// Registers or replaces the handler for T (deliberate takeover).
+  template <typename T>
+  void ReplaceHandle(std::function<void(const Envelope&, const T&)> fn) {
+    handlers_[std::type_index(typeid(T))] = Wrap(std::move(fn));
   }
 
   /// Dispatches one envelope. Returns false when no handler matched.
@@ -82,6 +96,14 @@ class Endpoint {
   }
 
  private:
+  template <typename T>
+  static std::function<void(const Envelope&)> Wrap(
+      std::function<void(const Envelope&, const T&)> fn) {
+    return [fn = std::move(fn)](const Envelope& env) {
+      fn(env, std::any_cast<const T&>(env.payload));
+    };
+  }
+
   std::unordered_map<std::type_index, std::function<void(const Envelope&)>>
       handlers_;
   uint64_t unhandled_ = 0;
@@ -89,13 +111,19 @@ class Endpoint {
 };
 
 /// Aggregate transport counters, used by the incremental-communication
-/// ablation benchmark to compare message/byte volumes.
+/// ablation benchmark to compare message/byte volumes. `bytes_sent` is
+/// the sum of exact encoded frame sizes (sizeof(T) for the rare payload
+/// without a wire codec — test-only types).
 struct NetworkStats {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
   uint64_t messages_dropped = 0;
   uint64_t messages_duplicated = 0;
   uint64_t bytes_sent = 0;
+  /// Messages whose encoded bytes failed to decode under serialize-on-
+  /// send (only possible with byte-level fault injection). Also counted
+  /// in messages_dropped.
+  uint64_t decode_drops = 0;
 };
 
 /// Cancellation token for a Flap() schedule. Cancelling stops future
@@ -136,6 +164,20 @@ class Network {
     double latency_jitter = 0.0002;  ///< uniform +/- jitter; causes reordering
     double drop_probability = 0.0;
     double duplicate_probability = 0.0;
+    /// Round-trip every payload through its encoded bytes before
+    /// delivery: receivers see exactly what survives serialization, so
+    /// pointer smuggling and non-encodable state are caught by
+    /// construction. Payload types without a wire codec are a fatal
+    /// error in this mode. With the fault probabilities below at zero
+    /// this is an identity transform — same RNG draws, same delivery
+    /// order, same state hashes as the fast path.
+    bool serialize_on_send = false;
+    /// Byte-level fault injection, applied to the encoded frame (needs
+    /// serialize_on_send). A corrupted or truncated frame fails its
+    /// checksum/bounds checks on decode and surfaces as a counted drop
+    /// (stats().decode_drops) — never a crash, never a wrong message.
+    double corrupt_probability = 0.0;
+    double truncate_probability = 0.0;
   };
 
   Network(sim::Simulator* simulator, Config config, uint64_t seed = 42)
@@ -186,15 +228,55 @@ class Network {
     return FlapHandle(active);
   }
 
-  /// Sends `payload` from `from` to `to`. `size_hint` approximates wire
-  /// bytes for the communication-volume metrics.
+  /// Sends `payload` from `from` to `to`. The wire size is measured from
+  /// the payload's canonical encoding (wire.h) — exact bytes, not an
+  /// estimate. Under Config::serialize_on_send the payload additionally
+  /// round-trips encode→decode before delivery; a frame broken by byte-
+  /// level fault injection becomes a counted drop.
   template <typename T>
-  void Send(NodeId from, NodeId to, T payload, size_t size_hint = 64) {
-    stats_.messages_sent++;
-    stats_.bytes_sent += size_hint;
-    if (sent_counter_ != nullptr) {
-      sent_counter_->Add();
-      bytes_counter_->Add(size_hint);
+  void Send(NodeId from, NodeId to, T payload) {
+    size_t wire_bytes;
+    if constexpr (wire::WireMessage<T>) {
+      constexpr wire::MsgTag tag = wire::TypeInfoOf<T>().tag;
+      if (config_.serialize_on_send) {
+        std::string bytes;
+        wire::EncodeFramed(payload, &bytes);
+        // Fault injection operates on the encoded form — the only place
+        // byte-level faults exist. Guarded draws keep the RNG stream
+        // identical to the fast path when both probabilities are zero.
+        if (config_.corrupt_probability > 0 &&
+            rng_.Bernoulli(config_.corrupt_probability)) {
+          size_t index = rng_.Uniform(bytes.size());
+          bytes[index] = static_cast<char>(
+              static_cast<uint8_t>(bytes[index]) ^
+              static_cast<uint8_t>(1 + rng_.Uniform(255)));
+        }
+        if (config_.truncate_probability > 0 &&
+            rng_.Bernoulli(config_.truncate_probability)) {
+          bytes.resize(rng_.Uniform(bytes.size()));
+        }
+        wire_bytes = bytes.size();
+        NoteSend(tag, wire_bytes);
+        T decoded;
+        Status status = wire::DecodeFramed(bytes, &decoded);
+        if (!status.ok()) {
+          NoteDecodeDrop();
+          return;
+        }
+        payload = std::move(decoded);
+      } else {
+        wire_bytes = wire::FramedSize(payload);
+        NoteSend(tag, wire_bytes);
+      }
+    } else {
+      // No codec: tolerated for ad-hoc test payloads, but such a value
+      // could never cross a real wire — serialize-on-send exists to
+      // catch exactly this, so it refuses loudly.
+      FUXI_CHECK(!config_.serialize_on_send)
+          << "serialize-on-send: payload type "
+          << Demangle(typeid(T).name()) << " has no wire codec";
+      wire_bytes = sizeof(T);
+      NoteSend(wire::MsgTag::kInvalid, wire_bytes);
     }
     if (Blocked(from, to)) {
       NoteDrop();
@@ -217,13 +299,13 @@ class Network {
       env.to = to;
       env.wire_seq = next_wire_seq_++;
       env.sent_at = sim_->Now();
-      env.size_hint = size_hint;
+      env.wire_bytes = wire_bytes;
       if (tracer_ != nullptr) {
         // One span per copy: it opens here (parented to whatever span
         // the sender is running under) and closes when the receiving
         // handler returns, so the span covers wire latency + handling.
         env.span = tracer_->BeginMessageSpan(typeid(T), from.value(),
-                                             to.value(), size_hint);
+                                             to.value(), wire_bytes);
       }
       if (i + 1 < copies) {
         env.payload = payload;  // an injected duplicate needs its own copy
@@ -249,18 +331,58 @@ class Network {
                         obs::MetricsRegistry* metrics) {
     tracer_ = tracer;
     metrics_ = metrics;
+    per_type_counters_.clear();
     if (metrics != nullptr) {
       sent_counter_ = metrics->GetCounter("net.messages_sent");
       delivered_counter_ = metrics->GetCounter("net.messages_delivered");
       dropped_counter_ = metrics->GetCounter("net.messages_dropped");
       bytes_counter_ = metrics->GetCounter("net.bytes_sent");
+      decode_drop_counter_ = metrics->GetCounter("net.decode_drops");
     } else {
       sent_counter_ = delivered_counter_ = dropped_counter_ =
-          bytes_counter_ = nullptr;
+          bytes_counter_ = decode_drop_counter_ = nullptr;
     }
   }
 
  private:
+  struct PerTypeCounters {
+    obs::Counter* msgs = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+
+  /// Per-message-type counters ("net.msgs.master.GrantRpc",
+  /// "net.bytes.master.GrantRpc"), resolved once per tag and cached so
+  /// the hot path never builds a metric-name string.
+  const PerTypeCounters& PerType(wire::MsgTag tag) {
+    auto [it, inserted] =
+        per_type_counters_.try_emplace(static_cast<uint16_t>(tag));
+    if (inserted) {
+      std::string name(wire::MsgTagName(tag));
+      it->second.msgs = metrics_->GetCounter("net.msgs." + name);
+      it->second.bytes = metrics_->GetCounter("net.bytes." + name);
+    }
+    return it->second;
+  }
+
+  void NoteSend(wire::MsgTag tag, size_t wire_bytes) {
+    stats_.messages_sent++;
+    stats_.bytes_sent += wire_bytes;
+    if (sent_counter_ != nullptr) {
+      sent_counter_->Add();
+      bytes_counter_->Add(wire_bytes);
+      const PerTypeCounters& per_type = PerType(tag);
+      per_type.msgs->Add();
+      per_type.bytes->Add(wire_bytes);
+    }
+  }
+
+  void NoteDecodeDrop() {
+    stats_.decode_drops++;
+    stats_.messages_dropped++;
+    if (dropped_counter_ != nullptr) dropped_counter_->Add();
+    if (decode_drop_counter_ != nullptr) decode_drop_counter_->Add();
+  }
+
   bool Blocked(NodeId from, NodeId to) const {
     return IsPartitioned(from) || IsPartitioned(to) || IsLinkCut(from, to);
   }
@@ -333,6 +455,8 @@ class Network {
   obs::Counter* delivered_counter_ = nullptr;
   obs::Counter* dropped_counter_ = nullptr;
   obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* decode_drop_counter_ = nullptr;
+  std::unordered_map<uint16_t, PerTypeCounters> per_type_counters_;
   uint64_t next_wire_seq_ = 0;
   std::unordered_map<NodeId, Endpoint*> endpoints_;
   std::unordered_set<NodeId> partitioned_;

@@ -1,35 +1,178 @@
+// Wire codecs for the incremental resource protocol (request.h +
+// protocol.h structs). Field order is the struct declaration order; every
+// collection goes through Writer::Vec / Reader::Vec so sizes are exact and
+// decode is bounds-checked. Bump the version in the WireTypeInfo overloads
+// (protocol.h) when changing any layout here.
+
 #include "resource/protocol.h"
 
 namespace fuxi::resource {
 
+void WireEncode(wire::Writer& w, const LocalityHint& m) {
+  w.U64(static_cast<uint64_t>(m.level));
+  w.Str(m.value);
+  w.I64(m.count);
+}
+
+Status WireDecode(wire::Reader& r, LocalityHint& m) {
+  FUXI_RETURN_IF_ERROR(r.Enum(&m.level, LocalityLevel::kCluster));
+  FUXI_RETURN_IF_ERROR(r.Str(&m.value));
+  return r.I64(&m.count);
+}
+
+void WireEncode(wire::Writer& w, const ScheduleUnitDef& m) {
+  w.U32(m.slot_id);
+  w.I32(m.priority);
+  WireEncode(w, m.resources);
+}
+
+Status WireDecode(wire::Reader& r, ScheduleUnitDef& m) {
+  FUXI_RETURN_IF_ERROR(r.U32(&m.slot_id));
+  FUXI_RETURN_IF_ERROR(r.I32(&m.priority));
+  return WireDecode(r, m.resources);
+}
+
+void WireEncode(wire::Writer& w, const UnitRequestDelta& m) {
+  w.U32(m.slot_id);
+  w.Bool(m.has_def);
+  if (m.has_def) WireEncode(w, m.def);
+  w.I64(m.total_count_delta);
+  w.Vec(m.hints);
+  w.Vec(m.avoid_add);
+  w.Vec(m.avoid_remove);
+}
+
+Status WireDecode(wire::Reader& r, UnitRequestDelta& m) {
+  FUXI_RETURN_IF_ERROR(r.U32(&m.slot_id));
+  FUXI_RETURN_IF_ERROR(r.Bool(&m.has_def));
+  if (m.has_def) FUXI_RETURN_IF_ERROR(WireDecode(r, m.def));
+  FUXI_RETURN_IF_ERROR(r.I64(&m.total_count_delta));
+  FUXI_RETURN_IF_ERROR(r.Vec(&m.hints));
+  FUXI_RETURN_IF_ERROR(r.Vec(&m.avoid_add));
+  return r.Vec(&m.avoid_remove);
+}
+
+void WireEncode(wire::Writer& w, const ResourceRequest& m) {
+  w.Id(m.app);
+  w.Vec(m.units);
+}
+
+Status WireDecode(wire::Reader& r, ResourceRequest& m) {
+  FUXI_RETURN_IF_ERROR(r.Id(&m.app));
+  return r.Vec(&m.units);
+}
+
+void WireEncode(wire::Writer& w, const SlotAbsoluteState& m) {
+  WireEncode(w, m.def);
+  w.I64(m.total_count);
+  w.Vec(m.hints);
+  w.Vec(m.avoid);
+}
+
+Status WireDecode(wire::Reader& r, SlotAbsoluteState& m) {
+  FUXI_RETURN_IF_ERROR(WireDecode(r, m.def));
+  FUXI_RETURN_IF_ERROR(r.I64(&m.total_count));
+  FUXI_RETURN_IF_ERROR(r.Vec(&m.hints));
+  return r.Vec(&m.avoid);
+}
+
+void WireEncode(wire::Writer& w, const ReleaseDelta& m) {
+  w.U32(m.slot_id);
+  w.Id(m.machine);
+  w.I64(m.count);
+}
+
+Status WireDecode(wire::Reader& r, ReleaseDelta& m) {
+  FUXI_RETURN_IF_ERROR(r.U32(&m.slot_id));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.machine));
+  return r.I64(&m.count);
+}
+
+void WireEncode(wire::Writer& w, const GrantAbsolute& m) {
+  w.U32(m.slot_id);
+  w.Id(m.machine);
+  w.I64(m.count);
+}
+
+Status WireDecode(wire::Reader& r, GrantAbsolute& m) {
+  FUXI_RETURN_IF_ERROR(r.U32(&m.slot_id));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.machine));
+  return r.I64(&m.count);
+}
+
+void WireEncode(wire::Writer& w, const RequestMessage& m) {
+  WireEncode(w, m.delta);
+  w.Vec(m.releases);
+  w.Vec(m.full_slots);
+  w.Vec(m.held_grants);
+}
+
+Status WireDecode(wire::Reader& r, RequestMessage& m) {
+  FUXI_RETURN_IF_ERROR(WireDecode(r, m.delta));
+  FUXI_RETURN_IF_ERROR(r.Vec(&m.releases));
+  FUXI_RETURN_IF_ERROR(r.Vec(&m.full_slots));
+  return r.Vec(&m.held_grants);
+}
+
+void WireEncode(wire::Writer& w, const GrantDelta& m) {
+  w.U32(m.slot_id);
+  w.Id(m.machine);
+  w.I64(m.delta);
+  w.U64(static_cast<uint64_t>(m.reason));
+}
+
+Status WireDecode(wire::Reader& r, GrantDelta& m) {
+  FUXI_RETURN_IF_ERROR(r.U32(&m.slot_id));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.machine));
+  FUXI_RETURN_IF_ERROR(r.I64(&m.delta));
+  return r.Enum(&m.reason, RevocationReason::kReconcile);
+}
+
+void WireEncode(wire::Writer& w, const GrantMessage& m) {
+  w.Vec(m.deltas);
+  w.Vec(m.full_grants);
+}
+
+Status WireDecode(wire::Reader& r, GrantMessage& m) {
+  FUXI_RETURN_IF_ERROR(r.Vec(&m.deltas));
+  return r.Vec(&m.full_grants);
+}
+
 namespace {
-constexpr size_t kHeaderBytes = 24;     // epoch + seq + routing
-constexpr size_t kUnitDefBytes = 40;    // slot, priority, resources
-constexpr size_t kHintBytes = 24;       // level + name ref + count
-constexpr size_t kGrantEntryBytes = 20; // slot + machine + count
+
+template <typename Delta>
+void EncodeStamped(wire::Writer& w, const Stamped<Delta>& m) {
+  w.U64(m.epoch);
+  w.U64(m.seq);
+  w.Bool(m.is_full);
+  WireEncode(w, m.payload);
+}
+
+template <typename Delta>
+Status DecodeStamped(wire::Reader& r, Stamped<Delta>& m) {
+  FUXI_RETURN_IF_ERROR(r.U64(&m.epoch));
+  FUXI_RETURN_IF_ERROR(r.U64(&m.seq));
+  FUXI_RETURN_IF_ERROR(r.Bool(&m.is_full));
+  return WireDecode(r, m.payload);
+}
+
 }  // namespace
 
-size_t ApproxWireSize(const RequestMessage& msg) {
-  size_t size = kHeaderBytes;
-  for (const UnitRequestDelta& unit : msg.delta.units) {
-    size += 12;  // slot id + total delta
-    if (unit.has_def) size += kUnitDefBytes;
-    size += unit.hints.size() * kHintBytes;
-    size += (unit.avoid_add.size() + unit.avoid_remove.size()) * 16;
-  }
-  size += msg.releases.size() * kGrantEntryBytes;
-  for (const SlotAbsoluteState& slot : msg.full_slots) {
-    size += kUnitDefBytes + 8;
-    size += slot.hints.size() * kHintBytes;
-    size += slot.avoid.size() * 16;
-  }
-  size += msg.held_grants.size() * kGrantEntryBytes;
-  return size;
+void WireEncode(wire::Writer& w, const StampedRequest& m) {
+  EncodeStamped(w, m);
+}
+Status WireDecode(wire::Reader& r, StampedRequest& m) {
+  return DecodeStamped(r, m);
 }
 
-size_t ApproxWireSize(const GrantMessage& msg) {
-  return kHeaderBytes + msg.deltas.size() * kGrantEntryBytes +
-         msg.full_grants.size() * kGrantEntryBytes;
+void WireEncode(wire::Writer& w, const StampedGrant& m) {
+  EncodeStamped(w, m);
 }
+Status WireDecode(wire::Reader& r, StampedGrant& m) {
+  return DecodeStamped(r, m);
+}
+
+void WireEncode(wire::Writer& w, const ResyncRequest& m) { w.Id(m.app); }
+Status WireDecode(wire::Reader& r, ResyncRequest& m) { return r.Id(&m.app); }
 
 }  // namespace fuxi::resource

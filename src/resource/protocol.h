@@ -70,10 +70,42 @@ struct ResyncRequest {
   AppId app;
 };
 
-/// Approximate wire size of a message, for the communication-volume
-/// accounting used by the incremental-vs-full ablation.
-size_t ApproxWireSize(const RequestMessage& msg);
-size_t ApproxWireSize(const GrantMessage& msg);
+// ---------------------------------------------------------------------
+// Wire codecs (fuxi::wire, DESIGN.md §10). The stamped wrappers are the
+// protocol's unit of transmission, so they carry registry tags; exact
+// measured sizes replace the old ApproxWireSize estimates everywhere
+// (net::Network::Send, the incremental-vs-full ablation).
+// ---------------------------------------------------------------------
+
+void WireEncode(wire::Writer& w, const SlotAbsoluteState& m);
+Status WireDecode(wire::Reader& r, SlotAbsoluteState& m);
+void WireEncode(wire::Writer& w, const ReleaseDelta& m);
+Status WireDecode(wire::Reader& r, ReleaseDelta& m);
+void WireEncode(wire::Writer& w, const GrantAbsolute& m);
+Status WireDecode(wire::Reader& r, GrantAbsolute& m);
+void WireEncode(wire::Writer& w, const RequestMessage& m);
+Status WireDecode(wire::Reader& r, RequestMessage& m);
+void WireEncode(wire::Writer& w, const GrantDelta& m);
+Status WireDecode(wire::Reader& r, GrantDelta& m);
+void WireEncode(wire::Writer& w, const GrantMessage& m);
+Status WireDecode(wire::Reader& r, GrantMessage& m);
+
+void WireEncode(wire::Writer& w, const StampedRequest& m);
+Status WireDecode(wire::Reader& r, StampedRequest& m);
+constexpr wire::TypeInfo WireTypeInfo(const StampedRequest*) {
+  return {wire::MsgTag::kStampedRequest, 1};
+}
+void WireEncode(wire::Writer& w, const StampedGrant& m);
+Status WireDecode(wire::Reader& r, StampedGrant& m);
+constexpr wire::TypeInfo WireTypeInfo(const StampedGrant*) {
+  return {wire::MsgTag::kStampedGrant, 1};
+}
+
+void WireEncode(wire::Writer& w, const ResyncRequest& m);
+Status WireDecode(wire::Reader& r, ResyncRequest& m);
+constexpr wire::TypeInfo WireTypeInfo(const ResyncRequest*) {
+  return {wire::MsgTag::kResyncRequest, 1};
+}
 
 }  // namespace fuxi::resource
 

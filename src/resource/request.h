@@ -8,6 +8,7 @@
 #include "cluster/resource_vector.h"
 #include "common/ids.h"
 #include "common/json.h"
+#include "wire/wire.h"
 
 namespace fuxi::resource {
 
@@ -117,6 +118,18 @@ struct SchedulingResult {
     revocations.clear();
   }
 };
+
+// Wire codecs (fuxi::wire, DESIGN.md §10). These are nested-struct codecs
+// — the framed top-level messages embedding them live in protocol.h and
+// master/messages.h. Definitions in protocol.cc.
+void WireEncode(wire::Writer& w, const LocalityHint& m);
+Status WireDecode(wire::Reader& r, LocalityHint& m);
+void WireEncode(wire::Writer& w, const ScheduleUnitDef& m);
+Status WireDecode(wire::Reader& r, ScheduleUnitDef& m);
+void WireEncode(wire::Writer& w, const UnitRequestDelta& m);
+Status WireDecode(wire::Reader& r, UnitRequestDelta& m);
+void WireEncode(wire::Writer& w, const ResourceRequest& m);
+Status WireDecode(wire::Reader& r, ResourceRequest& m);
 
 }  // namespace fuxi::resource
 

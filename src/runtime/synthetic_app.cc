@@ -235,8 +235,7 @@ void SyntheticApp::TryStartWorkers(StageState* stage, MachineId machine) {
                                plan_sent_at_.erase(plan_id);
                                TryStartWorkers(stage, machine);
                              });
-    cluster_->network().Send(node_, cluster_->agent(machine)->node(), rpc,
-                             256);
+    cluster_->network().Send(node_, cluster_->agent(machine)->node(), rpc);
     ++pending;
   }
 }

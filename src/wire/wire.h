@@ -1,0 +1,496 @@
+#ifndef FUXI_WIRE_WIRE_H_
+#define FUXI_WIRE_WIRE_H_
+
+#include <concepts>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/json.h"
+#include "common/status.h"
+
+/// fuxi::wire — the canonical binary wire format under every control-plane
+/// RPC (DESIGN.md §10).
+///
+/// Every message type that crosses node boundaries gets a codec — a pair of
+/// free functions discovered by argument-dependent lookup, declared in the
+/// same header that defines the type:
+///
+///   void WireEncode(wire::Writer& w, const T& msg);
+///   Status WireDecode(wire::Reader& r, T& msg);
+///
+/// Top-level messages (things handed to net::Network::Send) additionally
+/// declare their identity in the central tag registry below:
+///
+///   constexpr wire::TypeInfo WireTypeInfo(const T*);
+///
+/// and are framed as  [varint tag][version byte][body][fixed32 checksum].
+/// The checksum covers tag+version+body, so any single corrupted byte is a
+/// guaranteed decode failure — corruption surfaces as a counted drop at the
+/// transport, never as a crash or a silently wrong message.
+///
+/// The encoding is canonical: a given value has exactly one byte string
+/// (varints are minimal, doubles are raw IEEE-754 bits, object keys are
+/// sorted), so encode→decode→encode is byte-identical and measured sizes
+/// are exact, not estimates.
+namespace fuxi::wire {
+
+// ---------------------------------------------------------------------
+// Message tag registry
+// ---------------------------------------------------------------------
+
+/// One tag per top-level message type, allocated centrally so two modules
+/// can never collide. Tags are forever: never reuse a retired value.
+enum class MsgTag : uint16_t {
+  kInvalid = 0,
+
+  // resource protocol (src/resource)
+  kStampedRequest = 1,
+  kStampedGrant = 2,
+  kResyncRequest = 3,
+
+  // master control plane (src/master)
+  kRequestRpc = 16,
+  kGrantRpc = 17,
+  kResyncRpc = 18,
+  kBadMachineReportRpc = 19,
+  kAgentHeartbeatRpc = 20,
+  kAgentCapacityRpc = 21,
+  kAgentHeartbeatAckRpc = 22,
+  kMasterRecoveryAnnounceRpc = 23,
+  kSubmitAppRpc = 24,
+  kSubmitAppReplyRpc = 25,
+  kStartAppMasterRpc = 26,
+  kStopAppRpc = 27,
+  kStartWorkerRpc = 28,
+  kWorkerStartedRpc = 29,
+  kStopWorkerRpc = 30,
+  kWorkerCrashedRpc = 31,
+  kAdoptQueryRpc = 32,
+  kAdoptReplyRpc = 33,
+
+  // job control plane (src/job)
+  kWorkerReadyRpc = 48,
+  kExecuteInstanceRpc = 49,
+  kCancelInstanceRpc = 50,
+  kInstanceDoneRpc = 51,
+  kWorkerStatusReportRpc = 52,
+
+  // coord lease protocol (src/coord)
+  kLeaseAcquireRpc = 64,
+  kLeaseRenewRpc = 65,
+  kLeaseReleaseRpc = 66,
+  kLeaseReplyRpc = 67,
+
+  // reserved for tests (tests/net_test.cc etc.)
+  kTestPing = 240,
+  kTestPong = 241,
+};
+
+/// Stable short name ("master.RequestRpc") used for per-type byte metrics
+/// and tooling output. Returns "wire.unknown" for unregistered values.
+std::string_view MsgTagName(MsgTag tag);
+
+/// Identity of a top-level message: its registry tag plus a format version
+/// byte. Bump the version when a message's field layout changes; decode
+/// rejects mismatched versions as corruption (no cross-version decoding in
+/// the simulator — both ends are always the same build).
+struct TypeInfo {
+  MsgTag tag = MsgTag::kInvalid;
+  uint8_t version = 1;
+};
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Canonical encoder. With a sink it appends bytes; without one it only
+/// counts them, so measuring an exact wire size costs no allocation.
+class Writer {
+ public:
+  /// Counting-only writer: bytes_written() gives the exact encoded size.
+  Writer() = default;
+  /// Serializing writer: appends to `*out` (not cleared first).
+  explicit Writer(std::string* out) : out_(out) {}
+
+  void Byte(uint8_t b) {
+    ++size_;
+    if (out_ != nullptr) out_->push_back(static_cast<char>(b));
+  }
+
+  /// Unsigned LEB128 varint (1..10 bytes, minimal form).
+  void U64(uint64_t v) {
+    while (v >= 0x80) {
+      Byte(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    Byte(static_cast<uint8_t>(v));
+  }
+  void U32(uint32_t v) { U64(v); }
+
+  /// Zigzag-mapped varint: small magnitudes of either sign stay short.
+  void I64(int64_t v) {
+    U64((static_cast<uint64_t>(v) << 1) ^
+        static_cast<uint64_t>(v >> 63));
+  }
+  void I32(int32_t v) { I64(v); }
+
+  void Bool(bool b) { Byte(b ? 1 : 0); }
+
+  /// Fixed 8-byte little-endian IEEE-754 bits: round trips are bit-exact
+  /// (including -0.0 and NaN payloads), unlike any text path.
+  void F64(double d) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    for (int i = 0; i < 8; ++i) Byte(static_cast<uint8_t>(bits >> (8 * i)));
+  }
+
+  /// Varint length + raw bytes.
+  void Str(std::string_view s) {
+    U64(s.size());
+    size_ += s.size();
+    if (out_ != nullptr) out_->append(s.data(), s.size());
+  }
+
+  template <typename Tag>
+  void Id(TypedId<Tag> id) {
+    I64(id.value());
+  }
+
+  /// Varint count + elements, each through its own codec.
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    U64(v.size());
+    for (const T& elem : v) WireEncode(*this, elem);
+  }
+
+  size_t bytes_written() const { return size_; }
+
+ private:
+  std::string* out_ = nullptr;
+  size_t size_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+/// Bounds-checked decoder over a byte view. Every read returns Status;
+/// malformed input — truncation, non-minimal varints, impossible lengths —
+/// is kCorruption, never undefined behaviour or an allocation bomb.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Status Byte(uint8_t* out) {
+    if (AtEnd()) return Truncated("byte");
+    *out = static_cast<uint8_t>(data_[pos_++]);
+    return Status::Ok();
+  }
+
+  Status U64(uint64_t* out) {
+    uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      uint8_t b;
+      FUXI_RETURN_IF_ERROR(Byte(&b));
+      uint64_t chunk = b & 0x7f;
+      if (shift == 63 && chunk > 1) {
+        return Status::Corruption("wire: varint overflows 64 bits");
+      }
+      value |= chunk << shift;
+      if ((b & 0x80) == 0) {
+        if (b == 0 && shift != 0) {
+          return Status::Corruption("wire: non-minimal varint");
+        }
+        *out = value;
+        return Status::Ok();
+      }
+    }
+    return Status::Corruption("wire: varint longer than 10 bytes");
+  }
+
+  Status U32(uint32_t* out) {
+    uint64_t v;
+    FUXI_RETURN_IF_ERROR(U64(&v));
+    if (v > UINT32_MAX) return Status::Corruption("wire: u32 out of range");
+    *out = static_cast<uint32_t>(v);
+    return Status::Ok();
+  }
+
+  Status I64(int64_t* out) {
+    uint64_t z;
+    FUXI_RETURN_IF_ERROR(U64(&z));
+    *out = static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+    return Status::Ok();
+  }
+
+  Status I32(int32_t* out) {
+    int64_t v;
+    FUXI_RETURN_IF_ERROR(I64(&v));
+    if (v < INT32_MIN || v > INT32_MAX) {
+      return Status::Corruption("wire: i32 out of range");
+    }
+    *out = static_cast<int32_t>(v);
+    return Status::Ok();
+  }
+
+  Status Bool(bool* out) {
+    uint8_t b;
+    FUXI_RETURN_IF_ERROR(Byte(&b));
+    if (b > 1) return Status::Corruption("wire: bool byte not 0/1");
+    *out = (b == 1);
+    return Status::Ok();
+  }
+
+  Status F64(double* out) {
+    if (remaining() < 8) return Truncated("f64");
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+              << (8 * i);
+    }
+    pos_ += 8;
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::Ok();
+  }
+
+  Status Str(std::string* out) {
+    uint64_t len;
+    FUXI_RETURN_IF_ERROR(U64(&len));
+    if (len > remaining()) return Truncated("string body");
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  template <typename Tag>
+  Status Id(TypedId<Tag>* out) {
+    int64_t v;
+    FUXI_RETURN_IF_ERROR(I64(&v));
+    *out = TypedId<Tag>(v);
+    return Status::Ok();
+  }
+
+  /// Validating enum read: the raw varint must not exceed the largest
+  /// declared enumerator.
+  template <typename E>
+  Status Enum(E* out, E max_inclusive) {
+    uint64_t raw;
+    FUXI_RETURN_IF_ERROR(U64(&raw));
+    if (raw > static_cast<uint64_t>(max_inclusive)) {
+      return Status::Corruption("wire: enum value out of range");
+    }
+    *out = static_cast<E>(raw);
+    return Status::Ok();
+  }
+
+  /// The claimed element count is checked against the bytes actually left
+  /// (every element costs >= 1 byte), so a corrupted count can never drive
+  /// a giant allocation.
+  template <typename T>
+  Status Vec(std::vector<T>* out) {
+    uint64_t count;
+    FUXI_RETURN_IF_ERROR(U64(&count));
+    if (count > remaining()) {
+      return Status::Corruption("wire: vector count exceeds remaining bytes");
+    }
+    out->clear();
+    out->reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      T elem{};
+      FUXI_RETURN_IF_ERROR(WireDecode(*this, elem));
+      out->push_back(std::move(elem));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::Corruption(std::string("wire: truncated reading ") + what);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Primitive element codecs (so Vec<primitive> works)
+// ---------------------------------------------------------------------
+
+inline void WireEncode(Writer& w, const std::string& s) { w.Str(s); }
+inline Status WireDecode(Reader& r, std::string& s) { return r.Str(&s); }
+inline void WireEncode(Writer& w, int64_t v) { w.I64(v); }
+inline Status WireDecode(Reader& r, int64_t& v) { return r.I64(&v); }
+inline void WireEncode(Writer& w, uint64_t v) { w.U64(v); }
+inline Status WireDecode(Reader& r, uint64_t& v) { return r.U64(&v); }
+inline void WireEncode(Writer& w, double v) { w.F64(v); }
+inline Status WireDecode(Reader& r, double& v) { return r.F64(&v); }
+template <typename Tag>
+void WireEncode(Writer& w, TypedId<Tag> id) {
+  w.Id(id);
+}
+template <typename Tag>
+Status WireDecode(Reader& r, TypedId<Tag>& id) {
+  return r.Id(&id);
+}
+
+/// Structural Json codec: type byte + payload, recursing through arrays
+/// and objects (sorted keys come free from Json::Object being a std::map;
+/// numbers are raw double bits, so round trips are exact where the text
+/// path would re-parse). Decode caps nesting depth at 64.
+void WireEncode(Writer& w, const Json& json);
+Status WireDecode(Reader& r, Json& json);
+
+// ---------------------------------------------------------------------
+// Concepts
+// ---------------------------------------------------------------------
+
+/// T has an encode/decode pair (possibly a nested struct with no tag).
+template <typename T>
+concept WireCodec = requires(Writer& w, Reader& r, const T& c, T& m) {
+  WireEncode(w, c);
+  { WireDecode(r, m) } -> std::same_as<Status>;
+};
+
+/// T is a framed top-level message: codec + registry identity. This is
+/// what net::Network::Send detects to measure and round-trip payloads.
+template <typename T>
+concept WireMessage = WireCodec<T> && requires(const T* p) {
+  { WireTypeInfo(p) } -> std::convertible_to<TypeInfo>;
+};
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// FNV-1a over the frame prefix. 32 bits: any single-byte flip is a
+/// guaranteed mismatch; random multi-byte garbage passes with p ~ 2^-32.
+inline uint32_t FrameChecksum(std::string_view bytes) {
+  uint32_t h = 2166136261u;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+inline constexpr size_t kChecksumBytes = 4;
+
+template <typename T>
+  requires WireMessage<T>
+constexpr TypeInfo TypeInfoOf() {
+  return WireTypeInfo(static_cast<const T*>(nullptr));
+}
+
+/// Appends the full frame for `msg` to `*out`.
+template <typename T>
+  requires WireMessage<T>
+void EncodeFramed(const T& msg, std::string* out) {
+  const size_t start = out->size();
+  Writer w(out);
+  constexpr TypeInfo info = TypeInfoOf<T>();
+  w.U64(static_cast<uint64_t>(info.tag));
+  w.Byte(info.version);
+  WireEncode(w, msg);
+  uint32_t sum = FrameChecksum(
+      std::string_view(out->data() + start, out->size() - start));
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(sum >> (8 * i)));
+  }
+}
+
+/// Exact frame size of `msg` without serializing (counting writer).
+template <typename T>
+  requires WireMessage<T>
+size_t FramedSize(const T& msg) {
+  Writer w;
+  constexpr TypeInfo info = TypeInfoOf<T>();
+  w.U64(static_cast<uint64_t>(info.tag));
+  w.Byte(info.version);
+  WireEncode(w, msg);
+  return w.bytes_written() + kChecksumBytes;
+}
+
+/// Decodes one full frame into `*msg` (reset to default first). Fails with
+/// kCorruption on checksum mismatch, wrong tag or version, any malformed
+/// field, or trailing bytes. On failure `*msg` is default-initialized or
+/// partially decoded — never UB.
+template <typename T>
+  requires WireMessage<T>
+Status DecodeFramed(std::string_view bytes, T* msg) {
+  if (bytes.size() < 1 + 1 + kChecksumBytes) {
+    return Status::Corruption("wire: frame shorter than minimum");
+  }
+  const std::string_view prefix = bytes.substr(0, bytes.size() - 4);
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(
+                  static_cast<uint8_t>(bytes[bytes.size() - 4 + i]))
+              << (8 * i);
+  }
+  if (FrameChecksum(prefix) != stored) {
+    return Status::Corruption("wire: frame checksum mismatch");
+  }
+  Reader r(prefix);
+  uint64_t tag;
+  FUXI_RETURN_IF_ERROR(r.U64(&tag));
+  constexpr TypeInfo info = TypeInfoOf<T>();
+  if (tag != static_cast<uint64_t>(info.tag)) {
+    return Status::Corruption("wire: frame tag mismatch");
+  }
+  uint8_t version;
+  FUXI_RETURN_IF_ERROR(r.Byte(&version));
+  if (version != info.version) {
+    return Status::Corruption("wire: unsupported message version");
+  }
+  *msg = T{};
+  FUXI_RETURN_IF_ERROR(WireDecode(r, *msg));
+  if (!r.AtEnd()) {
+    return Status::Corruption("wire: trailing bytes after message body");
+  }
+  return Status::Ok();
+}
+
+/// Convenience: frame to a fresh string.
+template <typename T>
+  requires WireMessage<T>
+std::string EncodeToString(const T& msg) {
+  std::string out;
+  EncodeFramed(msg, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Bare-body helpers (nested structs without a frame, e.g. in tests)
+// ---------------------------------------------------------------------
+
+template <typename T>
+  requires WireCodec<T>
+std::string EncodeBody(const T& msg) {
+  std::string out;
+  Writer w(&out);
+  WireEncode(w, msg);
+  return out;
+}
+
+template <typename T>
+  requires WireCodec<T>
+Status DecodeBody(std::string_view bytes, T* msg) {
+  Reader r(bytes);
+  *msg = T{};
+  FUXI_RETURN_IF_ERROR(WireDecode(r, *msg));
+  if (!r.AtEnd()) {
+    return Status::Corruption("wire: trailing bytes after body");
+  }
+  return Status::Ok();
+}
+
+}  // namespace fuxi::wire
+
+#endif  // FUXI_WIRE_WIRE_H_

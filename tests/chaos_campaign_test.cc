@@ -28,6 +28,38 @@ TEST(ChaosCampaign, FiftySeedSweepHoldsAllInvariants) {
   }
 }
 
+TEST(ChaosCampaign, FiftySeedSweepHoldsAllInvariantsSerializeOnSend) {
+  // The same sweep with every control-plane message round-tripping
+  // through its wire codec at Send. Any codec that loses a field, any
+  // non-canonical encoding, any decode divergence shows up here as an
+  // invariant violation or a hung campaign.
+  CampaignConfig config;
+  config.cluster.network.serialize_on_send = true;
+  SweepResult sweep = RunSeedSweep(kFirstSeed, kSweepSeeds, config);
+  EXPECT_EQ(sweep.passed, kSweepSeeds);
+  if (sweep.failed > 0) {
+    ADD_FAILURE() << FormatCampaignFailure(sweep.failures.front());
+  }
+}
+
+TEST(ChaosCampaign, SerializeOnSendIsInvisibleToTheSimulation) {
+  // Differential guard for the wire layer: with zero byte-fault
+  // probabilities, serialize-on-send must be a pure identity — the
+  // fault schedule, digest trace, folded state hash, event count and
+  // completion time all match the in-memory-delivery run exactly.
+  CampaignConfig off_config;
+  CampaignConfig on_config;
+  on_config.cluster.network.serialize_on_send = true;
+  CampaignResult off = RunCampaign(7, off_config);
+  CampaignResult on = RunCampaign(7, on_config);
+  EXPECT_EQ(off.fault_log, on.fault_log);
+  EXPECT_EQ(off.trace, on.trace);
+  EXPECT_EQ(off.state_hash, on.state_hash);
+  EXPECT_EQ(off.events, on.events);
+  EXPECT_EQ(off.completed_at, on.completed_at);
+  EXPECT_TRUE(on.ok()) << FormatCampaignFailure(on);
+}
+
 TEST(ChaosCampaign, ReplayFromSeedIsByteIdentical) {
   CampaignConfig config;
   CampaignResult first = RunCampaign(7, config);
@@ -155,6 +187,34 @@ TEST_F(ScriptedChaosTest, AsymmetricUplinkCutRevokesAndRecovers) {
   cluster.RunFor(10.0);
   EXPECT_TRUE(
       cluster.primary()->scheduler()->machine_state(machine).online);
+  EXPECT_TRUE(monitor.violations().empty()) << monitor.Summary();
+}
+
+TEST_F(ScriptedChaosTest, ByteFaultBurstsSurfaceAsDropsNeverViolations) {
+  runtime::SimClusterOptions options =
+      TinyClusterOptions(/*restore_grants=*/true);
+  // Byte-level faults need real bytes to damage.
+  options.network.serialize_on_send = true;
+  runtime::SimCluster cluster(options);
+  InvariantMonitor monitor(&cluster);
+  ChaosEngine engine(&cluster);
+  cluster.Start();
+  monitor.Start();
+  cluster.RunFor(2.0);
+  auto app = SubmitFillingApp(&cluster);
+  cluster.RunFor(15.0);
+
+  // Heavy frame damage for 10 virtual seconds: a third of all frames get
+  // a byte flipped, another chunk are truncated. Every damaged frame
+  // must fail its checksum and be counted as a drop — the delta
+  // channels' resync machinery then repairs the gaps, so once the burst
+  // ends the cluster settles with no invariant violations.
+  engine.Inject(engine.CorruptionBurst(0.3, 10.0));
+  engine.Inject(engine.TruncationBurst(0.2, 10.0));
+  cluster.RunFor(12.0);
+  EXPECT_GT(cluster.network().stats().decode_drops, 0u);
+
+  cluster.RunFor(30.0);  // burst over: heartbeats + resyncs reconverge
   EXPECT_TRUE(monitor.violations().empty()) << monitor.Summary();
 }
 

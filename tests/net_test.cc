@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "wire/wire.h"
+
 namespace fuxi::net {
 namespace {
 
@@ -14,6 +16,31 @@ struct Ping {
 struct Pong {
   int value;
 };
+
+// Test-local wire codecs under the reserved test tags: Ping/Pong are
+// full wire messages, so sizes are measured and serialize-on-send works;
+// std::string payloads below deliberately have no codec.
+void WireEncode(wire::Writer& w, const Ping& m) { w.I64(m.value); }
+Status WireDecode(wire::Reader& r, Ping& m) {
+  int64_t v;
+  FUXI_RETURN_IF_ERROR(r.I64(&v));
+  m.value = static_cast<int>(v);
+  return Status::Ok();
+}
+constexpr wire::TypeInfo WireTypeInfo(const Ping*) {
+  return {wire::MsgTag::kTestPing, 1};
+}
+
+void WireEncode(wire::Writer& w, const Pong& m) { w.I64(m.value); }
+Status WireDecode(wire::Reader& r, Pong& m) {
+  int64_t v;
+  FUXI_RETURN_IF_ERROR(r.I64(&v));
+  m.value = static_cast<int>(v);
+  return Status::Ok();
+}
+constexpr wire::TypeInfo WireTypeInfo(const Pong*) {
+  return {wire::MsgTag::kTestPong, 1};
+}
 
 class NetworkTest : public ::testing::Test {
  protected:
@@ -248,11 +275,91 @@ TEST_F(NetworkTest, SendToUnregisteredNodeIsDropped) {
   EXPECT_EQ(network_.stats().messages_dropped, 1u);
 }
 
-TEST_F(NetworkTest, BytesAccounting) {
-  network_.Send(NodeId(1), NodeId(2), Ping{1}, /*size_hint=*/100);
-  network_.Send(NodeId(1), NodeId(2), Ping{2}, /*size_hint=*/28);
+TEST_F(NetworkTest, BytesAccountingIsMeasuredNotEstimated) {
+  // bytes_sent must equal the exact encoded frame sizes — no caller
+  // hints anywhere. The envelope carries the same measured number.
+  size_t delivered_bytes = 0;
+  b_.Handle<Ping>([&](const Envelope& env, const Ping&) {
+    delivered_bytes += env.wire_bytes;
+  });
+  network_.Send(NodeId(1), NodeId(2), Ping{1});
+  network_.Send(NodeId(1), NodeId(2), Ping{1000000});
   sim_.RunToCompletion();
-  EXPECT_EQ(network_.stats().bytes_sent, 128u);
+  size_t expected = wire::FramedSize(Ping{1}) + wire::FramedSize(Ping{1000000});
+  EXPECT_EQ(network_.stats().bytes_sent, expected);
+  EXPECT_EQ(delivered_bytes, expected);
+  // Varint encoding: the big value really costs more bytes.
+  EXPECT_GT(wire::FramedSize(Ping{1000000}), wire::FramedSize(Ping{1}));
+  // Payloads without a codec fall back to sizeof — still counted.
+  network_.Send(NodeId(1), NodeId(2), std::string("x"));
+  EXPECT_EQ(network_.stats().bytes_sent, expected + sizeof(std::string));
+}
+
+TEST_F(NetworkTest, SerializeOnSendIsAnIdentityForEncodablePayloads) {
+  network_.mutable_config()->serialize_on_send = true;
+  int received = 0;
+  b_.Handle<Ping>([&](const Envelope& env, const Ping& ping) {
+    received = ping.value;
+    EXPECT_EQ(env.wire_bytes, wire::FramedSize(Ping{ping.value}));
+  });
+  network_.Send(NodeId(1), NodeId(2), Ping{-12345});
+  sim_.RunToCompletion();
+  EXPECT_EQ(received, -12345);
+  EXPECT_EQ(network_.stats().messages_delivered, 1u);
+  EXPECT_EQ(network_.stats().decode_drops, 0u);
+}
+
+TEST_F(NetworkTest, SerializeOnSendRefusesPayloadsWithoutCodec) {
+  network_.mutable_config()->serialize_on_send = true;
+  EXPECT_DEATH(network_.Send(NodeId(1), NodeId(2), std::string("smuggled")),
+               "no wire codec");
+}
+
+TEST_F(NetworkTest, CorruptedFramesSurfaceAsCountedDropsNeverCrashes) {
+  network_.mutable_config()->serialize_on_send = true;
+  network_.mutable_config()->corrupt_probability = 1.0;
+  int received = 0;
+  b_.Handle<Ping>([&](const Envelope&, const Ping&) { ++received; });
+  for (int i = 0; i < 50; ++i) {
+    network_.Send(NodeId(1), NodeId(2), Ping{i});
+  }
+  sim_.RunToCompletion();
+  // A single flipped byte is always caught by the frame checksum.
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(network_.stats().decode_drops, 50u);
+  EXPECT_EQ(network_.stats().messages_dropped, 50u);
+  EXPECT_EQ(network_.stats().messages_sent, 50u);
+}
+
+TEST_F(NetworkTest, TruncatedFramesSurfaceAsCountedDropsNeverCrashes) {
+  network_.mutable_config()->serialize_on_send = true;
+  network_.mutable_config()->truncate_probability = 1.0;
+  int received = 0;
+  b_.Handle<Ping>([&](const Envelope&, const Ping&) { ++received; });
+  for (int i = 0; i < 50; ++i) {
+    network_.Send(NodeId(1), NodeId(2), Ping{i});
+  }
+  sim_.RunToCompletion();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(network_.stats().decode_drops, 50u);
+}
+
+TEST_F(NetworkTest, DuplicateHandlerRegistrationIsFatal) {
+  b_.Handle<Ping>([](const Envelope&, const Ping&) {});
+  EXPECT_DEATH(b_.Handle<Ping>([](const Envelope&, const Ping&) {}),
+               "duplicate handler registration");
+}
+
+TEST_F(NetworkTest, ReplaceHandleAllowsDeliberateTakeover) {
+  // The AM-restart pattern: a fresh component takes over a payload type
+  // on a surviving endpoint.
+  int first = 0, second = 0;
+  b_.Handle<Ping>([&](const Envelope&, const Ping&) { ++first; });
+  b_.ReplaceHandle<Ping>([&](const Envelope&, const Ping&) { ++second; });
+  network_.Send(NodeId(1), NodeId(2), Ping{1});
+  sim_.RunToCompletion();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
 }
 
 }  // namespace

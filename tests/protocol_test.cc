@@ -1,11 +1,12 @@
-// Wire-format tests: request JSON round trips (Figure 4) and the
-// approximate wire-size accounting behind the communication-volume
+// Wire-format tests: request JSON round trips (Figure 4) and the exact
+// measured wire-size accounting behind the communication-volume
 // experiments.
 
 #include <gtest/gtest.h>
 
 #include "resource/protocol.h"
 #include "resource/request.h"
+#include "wire/wire.h"
 
 namespace fuxi::resource {
 namespace {
@@ -58,9 +59,21 @@ TEST(ScheduleUnitDefJsonTest, RegistersVirtualResourceDimensions) {
   EXPECT_EQ(def->resources.Get(*dim), 1);
 }
 
+// Measured sizes are exact: FramedSize must always equal the length of
+// the bytes EncodeFramed actually produces.
+template <typename T>
+size_t MeasuredSize(const T& msg) {
+  size_t counted = wire::FramedSize(msg);
+  EXPECT_EQ(counted, wire::EncodeToString(msg).size());
+  return counted;
+}
+
 TEST(WireSizeTest, EmptyDeltaIsJustAHeader) {
-  RequestMessage empty;
-  EXPECT_LE(ApproxWireSize(empty), 32u);
+  StampedRequest empty;
+  // tag + version + stamp (epoch/seq/is_full) + empty app id + four empty
+  // vectors + checksum: a handful of bytes, far under the old 24-byte
+  // header estimate plus padding.
+  EXPECT_LE(MeasuredSize(empty), 32u);
 }
 
 TEST(WireSizeTest, GrowsWithContent) {
@@ -77,7 +90,8 @@ TEST(WireSizeTest, GrowsWithContent) {
         {LocalityLevel::kMachine, "host", 1});
   }
   big.releases.push_back({0, MachineId(1), 2});
-  EXPECT_GT(ApproxWireSize(big), ApproxWireSize(small));
+  EXPECT_GT(MeasuredSize(StampedRequest{1, 1, false, big}),
+            MeasuredSize(StampedRequest{1, 1, false, small}));
 
   RequestMessage full;
   SlotAbsoluteState slot;
@@ -89,7 +103,8 @@ TEST(WireSizeTest, GrowsWithContent) {
   for (int i = 0; i < 100; ++i) {
     full.held_grants.push_back({0, MachineId(i), 1});
   }
-  EXPECT_GT(ApproxWireSize(full), ApproxWireSize(big))
+  EXPECT_GT(MeasuredSize(StampedRequest{2, 1, true, full}),
+            MeasuredSize(StampedRequest{1, 1, false, big}))
       << "full states must be visibly more expensive than deltas";
 }
 
@@ -101,7 +116,10 @@ TEST(WireSizeTest, GrantMessageScalesWithEntries) {
     many.deltas.push_back(
         {0, MachineId(i), 1, RevocationReason::kAppRelease});
   }
-  EXPECT_GE(ApproxWireSize(many), ApproxWireSize(one) + 99 * 12);
+  // Each extra delta costs at least 4 varint bytes (slot, machine, count,
+  // reason) on the wire.
+  EXPECT_GE(MeasuredSize(StampedGrant{1, 1, false, many}),
+            MeasuredSize(StampedGrant{1, 1, false, one}) + 99 * 4);
 }
 
 TEST(RevocationReasonTest, AllReasonsNamed) {

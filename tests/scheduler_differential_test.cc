@@ -15,6 +15,12 @@
 // each demand still waiting must have a non-empty rejection chain in
 // the audit dump (the fuxi_explain "why is this unplaced" contract).
 //
+// Every randomized ResourceRequest is additionally round-tripped
+// through its fuxi::wire codec before being applied (the
+// serialize-on-send contract): re-encode must be byte-identical and the
+// decoded request must drive both schedulers to the same results the
+// in-memory request would have.
+//
 // Also holds the comparator-invocation regression test: placement over
 // unchanged locality hints must not re-sort them (the hint indexes are
 // persistent sorted maps; the old code rebuilt and std::sort'ed a
@@ -31,6 +37,7 @@
 #include "obs/audit.h"
 #include "resource/reference_scheduler.h"
 #include "resource/scheduler.h"
+#include "wire/wire.h"
 
 namespace fuxi::resource {
 namespace {
@@ -279,6 +286,18 @@ TEST_P(SchedulerDifferentialTest, FastPathMatchesOracleExactly) {
           unit.avoid_add.push_back(topo.machine(m).hostname);
         }
         request.units.push_back(unit);
+        // Serialize-on-send differential: the request the schedulers see
+        // is the one that came back through the wire codec. Re-encode
+        // byte-identity proves the encoding is canonical; the oracle
+        // comparisons below prove the decoded request is semantically
+        // the original.
+        std::string bytes = wire::EncodeBody(request);
+        ResourceRequest decoded;
+        Status wire_status = wire::DecodeBody(bytes, &decoded);
+        ASSERT_TRUE(wire_status.ok()) << wire_status.message();
+        ASSERT_EQ(wire::EncodeBody(decoded), bytes)
+            << "ResourceRequest wire encoding is not canonical";
+        request = std::move(decoded);
         driver.Step(
             [&](Scheduler& s, SchedulingResult* r) {
               return s.ApplyRequest(request, r);

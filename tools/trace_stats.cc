@@ -3,6 +3,7 @@
 // latency/volume tables:
 //
 //   trace_stats trace.json [audit.json]
+//   trace_stats --metrics metrics.csv
 //
 // For every span name (demangled payload type for RPCs, region name
 // for local spans) it prints the count, drop count, total bytes, and
@@ -10,8 +11,15 @@
 // second table with real costs. With a decision-audit dump as the
 // second argument, the two are joined on span id: each span name gets
 // the count of scheduling decisions committed while it was ambient.
+//
+// --metrics mode reads an obs::MetricsToCsv dump (e.g.
+// fuxi_metrics_seed<N>.csv from a single-seed bench_chaos_campaign run)
+// and prints the exact per-message-type wire accounting: the
+// net.msgs.<type> / net.bytes.<type> counter pairs the network measures
+// from real encoded frame sizes, joined into one volume table.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -32,12 +40,85 @@ struct NameStats {
   fuxi::Histogram wall_us;     // only spans carrying args.wall_us
 };
 
+/// Per-message-type wire volume from a metrics CSV: joins the
+/// net.msgs.<type> and net.bytes.<type> counters the network keeps from
+/// exact encoded frame sizes.
+int PrintWireVolume(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_stats: cannot open %s\n", path);
+    return 2;
+  }
+  struct TypeVolume {
+    uint64_t msgs = 0;
+    uint64_t bytes = 0;
+  };
+  std::map<std::string, TypeVolume> by_type;
+  uint64_t total_sent = 0;
+  uint64_t total_bytes = 0;
+  uint64_t decode_drops = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    // MetricsToCsv rows: kind,name,count,value,mean,p50,...
+    size_t c1 = line.find(',');
+    if (c1 == std::string::npos || line.compare(0, c1, "counter") != 0) {
+      continue;
+    }
+    size_t c2 = line.find(',', c1 + 1);
+    size_t c3 = line.find(',', c2 + 1);
+    if (c2 == std::string::npos || c3 == std::string::npos) continue;
+    std::string name = line.substr(c1 + 1, c2 - c1 - 1);
+    uint64_t value = std::strtoull(line.c_str() + c3 + 1, nullptr, 10);
+    if (name.rfind("net.msgs.", 0) == 0) {
+      by_type[name.substr(9)].msgs = value;
+    } else if (name.rfind("net.bytes.", 0) == 0) {
+      by_type[name.substr(10)].bytes = value;
+    } else if (name == "net.messages_sent") {
+      total_sent = value;
+    } else if (name == "net.bytes_sent") {
+      total_bytes = value;
+    } else if (name == "net.decode_drops") {
+      decode_drops = value;
+    }
+  }
+  if (by_type.empty()) {
+    std::fprintf(stderr,
+                 "trace_stats: %s has no net.msgs.*/net.bytes.* counters "
+                 "(not a metrics CSV, or a run that sent no messages)\n",
+                 path);
+    return 1;
+  }
+  std::printf("%-32s %10s %12s %10s\n", "message type", "msgs", "bytes",
+              "avg B/msg");
+  for (const auto& [type, volume] : by_type) {
+    std::printf("%-32.32s %10llu %12llu %10.1f\n", type.c_str(),
+                static_cast<unsigned long long>(volume.msgs),
+                static_cast<unsigned long long>(volume.bytes),
+                volume.msgs == 0
+                    ? 0.0
+                    : static_cast<double>(volume.bytes) /
+                          static_cast<double>(volume.msgs));
+  }
+  std::printf(
+      "total: %llu messages, %llu bytes (exact encoded frame sizes); "
+      "%llu decode drops\n",
+      static_cast<unsigned long long>(total_sent),
+      static_cast<unsigned long long>(total_bytes),
+      static_cast<unsigned long long>(decode_drops));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--metrics") {
+    return PrintWireVolume(argv[2]);
+  }
   if (argc != 2 && argc != 3) {
-    std::fprintf(stderr, "usage: %s <chrome-trace.json> [audit.json]\n",
-                 argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <chrome-trace.json> [audit.json]\n"
+                 "       %s --metrics <metrics.csv>\n",
+                 argv[0], argv[0]);
     return 2;
   }
   std::ifstream in(argv[1]);
