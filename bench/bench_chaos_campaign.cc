@@ -13,6 +13,11 @@
 //                        # every control-plane message round-trips
 //                        # through its wire codec at Send; hashes and
 //                        # event counts must match the default mode
+//   bench_chaos_campaign --shards 4
+//                        # federated sweep: shard crash-loops,
+//                        # directory-replica outages and the mid-window
+//                        # spillover wave, with per-shard AND global
+//                        # invariants checked
 //
 // Exit status is non-zero when any campaign violates an invariant or
 // fails to complete; the failure dump contains the fault schedule and
@@ -36,6 +41,7 @@ int main(int argc, char** argv) {
   bool single = false;
   bool seed_restore_bug = false;
   bool serialize_on_send = false;
+  int shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       count = std::atoi(argv[++i]);
@@ -49,16 +55,20 @@ int main(int argc, char** argv) {
       seed_restore_bug = true;
     } else if (std::strcmp(argv[i], "--serialize-on-send") == 0) {
       serialize_on_send = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds N] [--first S] [--seed S] "
-                   "[--seed-restore-bug] [--serialize-on-send]\n",
+                   "[--seed-restore-bug] [--serialize-on-send] "
+                   "[--shards N]\n",
                    argv[0]);
       return 2;
     }
   }
 
   fuxi::chaos::CampaignConfig config;
+  if (shards > 1) config = fuxi::chaos::ShardedCampaignConfig(shards);
   config.cluster.network.serialize_on_send = serialize_on_send;
   if (seed_restore_bug) {
     config.seed_restore_bug = true;

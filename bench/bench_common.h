@@ -20,6 +20,9 @@ namespace fuxi::bench {
 /// code path is identical.
 struct BenchScale {
   int machines = 500;
+  /// FuxiMaster fault domains; > 1 selects the federated cluster shape
+  /// (see BenchClusterOptions) and stripes jobs over the shards.
+  int shards = 1;
   // Keeps demand above supply so the queues never empty — the paper's
   // 1,000 jobs over 5,000 machines likewise oversubscribe the cluster.
   int concurrent_jobs = 450;
@@ -118,6 +121,13 @@ class WorkloadDriver {
       cluster_->sim().Schedule(0.001, [this] { SubmitNext(); });
     });
     master::FuxiMaster* primary = cluster_->primary();
+    if (cluster_->shard_count() > 1) {
+      // Federated ladder: each job belongs to its home shard and its
+      // AM follows that shard's election lease.
+      int home = static_cast<int>(app_id.value() % cluster_->shard_count());
+      primary = cluster_->shard_primary(home);
+      ptr->set_master_lock(cluster_->shard_lock(home));
+    }
     if (primary != nullptr) {
       master::SubmitAppRpc submit;
       submit.app = app_id;
@@ -141,7 +151,8 @@ class WorkloadDriver {
 
 /// Builds the standard benchmark cluster (paper §5 testbed machines:
 /// 12 cores / 96 GB).
-inline runtime::SimClusterOptions BenchClusterOptions(int machines) {
+inline runtime::SimClusterOptions BenchClusterOptions(int machines,
+                                                      int shards = 1) {
   runtime::SimClusterOptions options;
   options.topology.machines_per_rack = 50;
   options.topology.racks = (machines + 49) / 50;
@@ -151,6 +162,15 @@ inline runtime::SimClusterOptions BenchClusterOptions(int machines) {
   // this makes MEMORY the binding dimension, as in Figure 10.
   options.topology.machine_capacity =
       cluster::ResourceVector(2400, 91 * 1024);
+  if (shards > 1) {
+    // Federated ladder (20k-100k machines): one master per shard — the
+    // ladder measures scheduling latency, not failover — and a relaxed
+    // agent heartbeat so the cluster-wide event rate stays
+    // benchmark-sized at 100k machines.
+    options.shards = shards;
+    options.master_replicas = 1;
+    options.agent.heartbeat_interval = 5.0;
+  }
   return options;
 }
 

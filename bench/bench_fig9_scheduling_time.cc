@@ -9,6 +9,10 @@
 //
 //   bench_fig9_scheduling_time               # single point, env-scaled
 //   bench_fig9_scheduling_time --ladder      # cluster-size ladder
+//   bench_fig9_scheduling_time --ladder --sharded
+//                     # federated ladder: 20k/50k machines over 8/16
+//                     # shard masters (100k/32 with FUXI_BENCH_FULL=1),
+//                     # per-request times merged across shard primaries
 //   bench_fig9_scheduling_time --smoke       # one short point (CI guard)
 //   bench_fig9_scheduling_time --json PATH   # where to write the report
 //
@@ -50,12 +54,19 @@ struct PointResult {
 /// steady-state second half only. `print_series` additionally prints
 /// the Figure 9 style windowed time series (single-point mode only).
 PointResult RunPoint(const bench::BenchScale& scale, bool print_series) {
-  runtime::SimCluster cluster(bench::BenchClusterOptions(scale.machines));
+  runtime::SimCluster cluster(
+      bench::BenchClusterOptions(scale.machines, scale.shards));
   cluster.Start();
   cluster.RunFor(2.0);
-  master::FuxiMaster* primary = cluster.primary();
-  FUXI_CHECK(primary != nullptr);
-  primary->EnableDecisionTiming(true);
+  // In the federated ladder every shard primary schedules its own
+  // machines; the request-time distribution merges all of them.
+  std::vector<master::FuxiMaster*> primaries;
+  for (int k = 0; k < cluster.shard_count(); ++k) {
+    master::FuxiMaster* primary = cluster.shard_primary(k);
+    FUXI_CHECK(primary != nullptr);
+    primary->EnableDecisionTiming(true);
+    primaries.push_back(primary);
+  }
 
   bench::WorkloadDriver driver(&cluster, scale, 42);
   driver.Start();
@@ -63,18 +74,20 @@ PointResult RunPoint(const bench::BenchScale& scale, bool print_series) {
 
   // Sample the decision-time series in 10-virtual-second windows.
   TimeSeries series;
-  size_t consumed = 0;
-  size_t steady_from = 0;
+  std::vector<size_t> consumed(primaries.size(), 0);
+  std::vector<size_t> steady_from(primaries.size(), 0);
   while (cluster.sim().Now() - t0 < scale.duration) {
     cluster.RunFor(10.0);
-    const std::vector<double>& samples = primary->decision_micros();
     Histogram window;
-    for (size_t i = consumed; i < samples.size(); ++i) {
-      window.Add(samples[i] / 1000.0);  // ms
-    }
-    consumed = samples.size();
-    if (cluster.sim().Now() - t0 <= scale.duration / 2) {
-      steady_from = samples.size();
+    for (size_t p = 0; p < primaries.size(); ++p) {
+      const std::vector<double>& samples = primaries[p]->decision_micros();
+      for (size_t i = consumed[p]; i < samples.size(); ++i) {
+        window.Add(samples[i] / 1000.0);  // ms
+      }
+      consumed[p] = samples.size();
+      if (cluster.sim().Now() - t0 <= scale.duration / 2) {
+        steady_from[p] = samples.size();
+      }
     }
     if (window.count() > 0) {
       series.Add(cluster.sim().Now() - t0, window.mean());
@@ -82,12 +95,16 @@ PointResult RunPoint(const bench::BenchScale& scale, bool print_series) {
   }
 
   Histogram all;
-  const std::vector<double>& samples = primary->decision_micros();
-  for (size_t i = steady_from; i < samples.size(); ++i) {
-    all.Add(samples[i] / 1000.0);
+  PointResult point;
+  for (size_t p = 0; p < primaries.size(); ++p) {
+    const std::vector<double>& samples = primaries[p]->decision_micros();
+    for (size_t i = steady_from[p]; i < samples.size(); ++i) {
+      all.Add(samples[i] / 1000.0);
+    }
+    point.schedule_passes += primaries[p]->scheduler()->scheduling_passes();
+    point.passes_skipped += primaries[p]->scheduler()->passes_skipped();
   }
 
-  PointResult point;
   point.scale = scale;
   point.requests = all.count();
   point.mean_ms = all.mean();
@@ -95,13 +112,12 @@ PointResult RunPoint(const bench::BenchScale& scale, bool print_series) {
   point.p95_ms = all.Percentile(95);
   point.p99_ms = all.Percentile(99);
   point.max_ms = all.max();
-  point.schedule_passes = primary->scheduler()->scheduling_passes();
-  point.passes_skipped = primary->scheduler()->passes_skipped();
 
   std::printf(
-      "machines=%d jobs=%d duration=%.0fs: requests=%llu mean=%.4f "
-      "p50=%.4f p95=%.4f p99=%.4f max=%.4f ms (passes=%llu skipped=%llu)\n",
-      scale.machines, scale.concurrent_jobs, scale.duration,
+      "machines=%d shards=%d jobs=%d duration=%.0fs: requests=%llu "
+      "mean=%.4f p50=%.4f p95=%.4f p99=%.4f max=%.4f ms (passes=%llu "
+      "skipped=%llu)\n",
+      scale.machines, scale.shards, scale.concurrent_jobs, scale.duration,
       static_cast<unsigned long long>(point.requests), point.mean_ms,
       point.p50_ms, point.p95_ms, point.p99_ms, point.max_ms,
       static_cast<unsigned long long>(point.schedule_passes),
@@ -128,6 +144,7 @@ Json ToJson(const std::vector<PointResult>& points, const char* mode) {
   for (const PointResult& p : points) {
     Json entry = Json::MakeObject();
     entry["machines"] = p.scale.machines;
+    entry["shards"] = p.scale.shards;
     entry["concurrent_jobs"] = p.scale.concurrent_jobs;
     entry["duration_s"] = p.scale.duration;
     entry["requests"] = p.requests;
@@ -166,6 +183,33 @@ std::vector<bench::BenchScale> LadderScales() {
   return scales;
 }
 
+/// The federated ladder: cluster sizes past any single FuxiMaster,
+/// partitioned into shards of ~2,500-3,200 machines. The 100k point is
+/// paper-scale-and-beyond and only runs under FUXI_BENCH_FULL=1.
+std::vector<bench::BenchScale> ShardedLadderScales() {
+  std::vector<bench::BenchScale> scales;
+  struct Shape {
+    int machines;
+    int shards;
+    int jobs;
+    double duration;
+  };
+  std::vector<Shape> shapes{{20000, 8, 1200, 40}, {50000, 16, 1500, 30}};
+  if (const char* full = std::getenv("FUXI_BENCH_FULL");
+      full != nullptr && full[0] == '1') {
+    shapes.push_back({100000, 32, 2000, 30});
+  }
+  for (const Shape& shape : shapes) {
+    bench::BenchScale scale;
+    scale.machines = shape.machines;
+    scale.shards = shape.shards;
+    scale.concurrent_jobs = shape.jobs;
+    scale.duration = shape.duration;
+    scales.push_back(scale);
+  }
+  return scales;
+}
+
 std::vector<bench::BenchScale> SmokeScales() {
   bench::BenchScale scale;
   scale.machines = 500;
@@ -181,16 +225,20 @@ int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kError);
 
   const char* mode = "single";
+  bool sharded = false;
   std::string json_path = "BENCH_fig9.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ladder") == 0) {
       mode = "ladder";
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       mode = "smoke";
+    } else if (std::strcmp(argv[i], "--sharded") == 0) {
+      sharded = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--ladder|--smoke] [--json PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--ladder [--sharded]|--smoke] [--json PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -199,7 +247,8 @@ int main(int argc, char** argv) {
   std::vector<bench::BenchScale> scales;
   bool print_series = false;
   if (std::strcmp(mode, "ladder") == 0) {
-    scales = LadderScales();
+    scales = sharded ? ShardedLadderScales() : LadderScales();
+    if (sharded) mode = "ladder-sharded";
   } else if (std::strcmp(mode, "smoke") == 0) {
     scales = SmokeScales();
   } else {

@@ -27,7 +27,7 @@ cmake -B build-notrace -S . -DFUXI_OBS_TRACING=OFF >/dev/null
 cmake --build build-notrace -j"$(nproc)" --target fuxi_tests
 (cd build-notrace &&
  ./tests/fuxi_tests \
-   --gtest_filter='*Obs*:*Trace*:*Audit*:NetworkTest.*:ChaosCampaign.*:ScriptedChaosTest.*:*Differential*:*Golden*:*HintSort*')
+   --gtest_filter='*Obs*:*Trace*:*Audit*:NetworkTest.*:*ChaosCampaign.*:ScriptedChaosTest.*:*Differential*:*Golden*:*HintSort*')
 
 echo "== tier-1: decision audit compiled out (FUXI_OBS_AUDIT=OFF) =="
 # The differential suite still runs its audit-attached scheduler here
@@ -37,7 +37,15 @@ cmake -B build-noaudit -S . -DFUXI_OBS_AUDIT=OFF >/dev/null
 cmake --build build-noaudit -j"$(nproc)" --target fuxi_tests
 (cd build-noaudit &&
  ./tests/fuxi_tests \
-   --gtest_filter='*Obs*:*Trace*:*Audit*:*Timeline*:ChaosCampaign.*:ScriptedChaosTest.*:*Differential*:*Golden*')
+   --gtest_filter='*Obs*:*Trace*:*Audit*:*Timeline*:*ChaosCampaign.*:ScriptedChaosTest.*:*Differential*:*Golden*')
+
+echo "== tier-1: federated chaos sweep (shard crash-loops + spillover) =="
+# Four shard masters on their own election leases, a replicated shard
+# directory, and the submission router in the loop: shard crash-loops,
+# directory-replica outages and the mid-window spillover wave must hold
+# every per-shard AND global invariant on each seed.
+./build/bench/bench_chaos_campaign --shards 4 --seeds 10
+./build/bench/bench_chaos_campaign --shards 4 --serialize-on-send --seeds 10
 
 echo "== tier-1: serialize-on-send campaign leg (wire codecs live) =="
 # Every control-plane message round-trips through its fuxi::wire codec
@@ -56,6 +64,6 @@ cmake -B build-asan -S . -DFUXI_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$(nproc)" --target fuxi_tests
 (cd build-asan &&
  ./tests/fuxi_tests \
-   --gtest_filter='ChaosCampaign.*:ScriptedChaosTest.*:Wire*:NetworkTest.*')
+   --gtest_filter='*ChaosCampaign.*:Shard*:ScriptedChaosTest.*:Wire*:NetworkTest.*')
 
 echo "tier-1 OK"

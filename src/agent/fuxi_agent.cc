@@ -103,7 +103,9 @@ void FuxiAgent::HaltMachine() {
 }
 
 NodeId FuxiAgent::MasterNode() const {
-  return locks_->Holder(master::FuxiMaster::kMasterLock);
+  return locks_->Holder(options_.master_lock.empty()
+                            ? master::FuxiMaster::kMasterLock
+                            : options_.master_lock);
 }
 
 void FuxiAgent::HeartbeatTick() {

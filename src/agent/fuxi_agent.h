@@ -38,6 +38,10 @@ struct FuxiAgentOptions {
   /// request would otherwise leak processes forever). 0 disables the
   /// periodic report.
   int allocation_report_every = 10;
+  /// Election lease whose holder this agent reports to; empty = the
+  /// default FuxiMaster::kMasterLock. Sharded clusters point each agent
+  /// at its shard's lease.
+  std::string master_lock;
 };
 
 /// The per-machine daemon (paper §2.2): reports machine status to

@@ -1,11 +1,14 @@
 #include "chaos/campaign.h"
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <sstream>
 
 #include "common/logging.h"
 #include "obs/exporters.h"
 #include "runtime/synthetic_app.h"
+#include "shard/messages.h"
 
 namespace fuxi::chaos {
 
@@ -32,6 +35,48 @@ CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
   monitor.Start();
   cluster.RunFor(config.warmup);
 
+  // Sharded campaigns submit through the federation router; the reply
+  // names the shard that accepted the app, and the app's master follows
+  // that shard's election lease from then on.
+  const bool sharded = cluster.shard_count() > 1;
+  net::Endpoint route_client;
+  std::map<AppId, int32_t> assigned_shard;
+  NodeId route_client_node;
+  if (sharded) {
+    route_client_node = cluster.AllocateNodeId();
+    route_client.Handle<shard::RouteReplyRpc>(
+        [&assigned_shard](const net::Envelope&,
+                          const shard::RouteReplyRpc& rpc) {
+          if (rpc.accepted) assigned_shard.emplace(rpc.app, rpc.shard);
+        });
+    cluster.network().Register(route_client_node, &route_client);
+  }
+  auto submit_via_router = [&cluster, &route_client_node](AppId app_id) {
+    shard::RouteSubmitRpc submit;
+    submit.app = app_id;
+    submit.client = route_client_node;
+    cluster.network().Send(route_client_node, cluster.router()->node(),
+                           submit);
+  };
+  auto await_and_start = [&](runtime::SyntheticApp* app,
+                             InvariantMonitor* mon) {
+    double wait_deadline = cluster.sim().Now() + 60.0;
+    while (cluster.sim().Now() < wait_deadline &&
+           assigned_shard.count(app->app()) == 0) {
+      cluster.RunFor(0.2);
+    }
+    auto it = assigned_shard.find(app->app());
+    if (it == assigned_shard.end()) {
+      mon->Report("router-assignment",
+                  "router never bound app " +
+                      std::to_string(app->app().value()) + " to a shard");
+      return;
+    }
+    app->set_master_lock(cluster.shard_lock(it->second));
+    app->MarkSubmitted(cluster.sim().Now());
+    app->StartMaster();
+  };
+
   // Submit the synthetic workload (one single-stage app per slot).
   std::vector<std::unique_ptr<runtime::SyntheticApp>> apps;
   for (int i = 0; i < config.apps; ++i) {
@@ -44,6 +89,11 @@ CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
     apps.push_back(std::make_unique<runtime::SyntheticApp>(
         &cluster, app_id, std::vector<runtime::SyntheticStage>{stage},
         seed * 1315423911ull + static_cast<uint64_t>(i)));
+    if (sharded) {
+      submit_via_router(app_id);
+      await_and_start(apps.back().get(), &monitor);
+      continue;
+    }
     master::SubmitAppRpc submit;
     submit.app = app_id;
     submit.client = cluster.AllocateNodeId();
@@ -53,6 +103,26 @@ CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
     cluster.RunFor(0.2);
     apps.back()->MarkSubmitted(cluster.sim().Now());
     apps.back()->StartMaster();
+  }
+  // The spillover wave: apps whose submissions fire in the middle of
+  // the fault window, while shards crash-loop and directory replicas
+  // are cut — their routing must spill around the broken fault domains.
+  size_t first_wave = apps.size();
+  if (sharded && config.spillover_apps > 0) {
+    for (int j = 0; j < config.spillover_apps; ++j) {
+      AppId app_id(1000 + j);
+      runtime::SyntheticStage stage;
+      stage.slot_id = 0;
+      stage.workers = config.workers_per_app;
+      stage.instances = config.instances_per_app;
+      stage.instance_duration = config.instance_duration;
+      apps.push_back(std::make_unique<runtime::SyntheticApp>(
+          &cluster, app_id, std::vector<runtime::SyntheticStage>{stage},
+          seed * 2654435761ull + static_cast<uint64_t>(j)));
+      cluster.sim().ScheduleAt(
+          config.plan.start + config.plan.duration * 0.5,
+          [&submit_via_router, app_id] { submit_via_router(app_id); });
+    }
   }
   monitor.set_app_liveness([&apps](AppId app) {
     for (const auto& synthetic : apps) {
@@ -93,6 +163,13 @@ CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
   engine.ScheduleRandomCampaign(seed, config.plan);
   cluster.RunUntil(config.plan.start + config.plan.duration);
   engine.HealEverything();
+
+  // Bind the spillover wave: their submissions fired mid-window, so by
+  // now the router has (or soon will have) spilled them onto whichever
+  // shards stayed healthy; start their app masters on those shards.
+  for (size_t i = first_wave; i < apps.size(); ++i) {
+    await_and_start(apps[i].get(), &monitor);
+  }
 
   // Liveness: once faults cease, every app must finish.
   double deadline = cluster.sim().Now() + config.settle_timeout;
@@ -152,6 +229,25 @@ CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
   }
   monitor.Stop();
   return result;
+}
+
+CampaignConfig ShardedCampaignConfig(int shards) {
+  CampaignConfig config;
+  config.cluster.shards = shards;
+  config.cluster.topology.racks = 4;
+  config.cluster.topology.machines_per_rack = 4;
+  config.apps = std::max(2, shards);
+  config.spillover_apps = 2;
+  config.plan.episodes = 8;
+  // A shard crash-loop can swallow an app's FinishApp: the recovering
+  // primary resurrects the app from its checkpoint and only repairs it
+  // via the silent-AM restart (app_master_timeout, 20s) — the restarted
+  // AM re-finishes and releases the stray workers. The orphan grace
+  // must cover that whole repair path, not just the master→agent
+  // revocation hop the unsharded default assumes.
+  config.monitor.orphan_grace =
+      config.cluster.master.app_master_timeout + 10.0;
+  return config;
 }
 
 std::string FormatCampaignFailure(const CampaignResult& result) {

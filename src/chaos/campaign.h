@@ -20,6 +20,11 @@ struct CampaignConfig {
 
   runtime::SimClusterOptions cluster;
   int apps = 2;
+  /// Sharded clusters only: extra apps submitted through the router in
+  /// the MIDDLE of the fault window, so routing happens while shards
+  /// crash-loop and the directory is partitioned — the spillover-churn
+  /// scenario. Ignored when cluster.shards == 1.
+  int spillover_apps = 0;
   int64_t workers_per_app = 4;
   int64_t instances_per_app = 48;
   double instance_duration = 1.0;
@@ -76,8 +81,15 @@ struct CampaignResult {
 
 /// Runs one campaign: builds a SimCluster, submits synthetic apps,
 /// expands the seeded fault schedule, monitors invariants continuously,
-/// heals, and demands eventual completion.
+/// heals, and demands eventual completion. Sharded configs
+/// (cluster.shards > 1) submit through the federation router and bind
+/// each app to the shard that accepted it.
 CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config);
+
+/// A federation campaign shape: `shards` fault domains over a 4x4
+/// topology, one app per shard plus a mid-window spillover wave, and a
+/// fault mix including shard crash-loops and directory outages.
+CampaignConfig ShardedCampaignConfig(int shards);
 
 /// Human-readable failure dump: violations, fault schedule and trace —
 /// everything needed to replay the failure from its seed.

@@ -204,6 +204,54 @@ Fault ChaosEngine::TruncationBurst(double probability, double duration) {
           }};
 }
 
+Fault ChaosEngine::KillShardPrimary(int shard) {
+  return {"KillShardPrimary(shard" + std::to_string(shard) + ")",
+          [this, shard] { cluster_->KillShardPrimary(shard); }};
+}
+
+Fault ChaosEngine::ShardCrashLoop(int shard, int kills, double gap) {
+  std::ostringstream name;
+  name << "ShardCrashLoop(shard" << shard << ", kills=" << kills
+       << ", gap=" << gap << ")";
+  return {name.str(), [this, shard, kills, gap] {
+            cluster_->KillShardPrimary(shard);
+            double now = cluster_->sim().Now();
+            for (int i = 1; i < kills; ++i) {
+              At(now + i * gap,
+                 {"ShardCrashLoop:kill-next-primary", [this, shard] {
+                    cluster_->RestartDeadMasters();
+                    cluster_->KillShardPrimary(shard);
+                  }});
+            }
+            At(now + kills * gap, RestartDeadMasters());
+          }};
+}
+
+Fault ChaosEngine::CutDirectoryReplica(int replica) {
+  return {"CutDirectoryReplica(d" + std::to_string(replica) + ")",
+          [this, replica] {
+            NodeId node = cluster_->directory(replica)->node();
+            cluster_->network().Partition(node);
+            partitions_.insert(node);
+          }};
+}
+
+Fault ChaosEngine::HealDirectoryReplica(int replica) {
+  return {"HealDirectoryReplica(d" + std::to_string(replica) + ")",
+          [this, replica] {
+            NodeId node = cluster_->directory(replica)->node();
+            cluster_->network().Heal(node);
+            partitions_.erase(node);
+          }};
+}
+
+Fault ChaosEngine::TornCheckpointWrite() {
+  return {"TornCheckpointWrite", [this] {
+            coord::CheckpointStore& store = cluster_->checkpoint();
+            store.CorruptKey(store.last_put_key());
+          }};
+}
+
 void ChaosEngine::ScheduleRandomCampaign(uint64_t seed,
                                          const CampaignPlanOptions& plan) {
   Rng rng(seed ^ 0xC4A05C4A05ull);
@@ -238,6 +286,8 @@ void ChaosEngine::ScheduleRandomCampaign(uint64_t seed,
     kFlap,
     kDropBurst,
     kDuplicateBurst,
+    kShardCrashLoop,
+    kDirectoryOutage,
   };
   std::vector<Kind> kinds;
   if (plan.machine_faults) {
@@ -252,6 +302,16 @@ void ChaosEngine::ScheduleRandomCampaign(uint64_t seed,
   if (plan.flap_faults) kinds.push_back(kFlap);
   if (plan.burst_faults) {
     kinds.insert(kinds.end(), {kDropBurst, kDuplicateBurst});
+  }
+  // Federation faults only exist in sharded clusters, so the unsharded
+  // kind pool — and with it every rng draw below — is exactly the
+  // legacy stream (golden replays pin this).
+  if (cluster_->shard_count() > 1 && plan.master_faults) {
+    kinds.insert(kinds.end(), {kShardCrashLoop, kShardCrashLoop});
+  }
+  if (cluster_->shard_count() > 1 && cluster_->directory_count() > 0 &&
+      plan.link_faults) {
+    kinds.push_back(kDirectoryOutage);
   }
   if (kinds.empty()) return;
 
@@ -322,6 +382,29 @@ void ChaosEngine::ScheduleRandomCampaign(uint64_t seed,
       case kDuplicateBurst:
         At(t0, DuplicateBurst(0.05 + rng.NextDouble() * 0.3, outage));
         break;
+      case kShardCrashLoop: {
+        int shard = static_cast<int>(
+            rng.Uniform(static_cast<size_t>(cluster_->shard_count())));
+        int kills = 1 + static_cast<int>(rng.Uniform(2));
+        double gap = lease * 1.2;
+        double span = kills * gap;
+        if (span > plan.duration) {
+          kills = 1;
+          span = gap;
+        }
+        double last_start = plan.start + std::max(plan.duration - span, 0.0);
+        double loop_t0 =
+            plan.start + rng.NextDouble() * (last_start - plan.start);
+        At(loop_t0, ShardCrashLoop(shard, kills, gap));
+        break;
+      }
+      case kDirectoryOutage: {
+        int replica = static_cast<int>(
+            rng.Uniform(static_cast<size_t>(cluster_->directory_count())));
+        At(t0, CutDirectoryReplica(replica));
+        At(t0 + outage, HealDirectoryReplica(replica));
+        break;
+      }
     }
   }
 }
@@ -334,6 +417,8 @@ void ChaosEngine::HealEverything() {
     cluster_->network().HealLink(from, to);
   }
   cuts_.clear();
+  for (NodeId node : partitions_) cluster_->network().Heal(node);
+  partitions_.clear();
   net::Network::Config* config = cluster_->network().mutable_config();
   config->drop_probability = baseline_config_.drop_probability;
   config->duplicate_probability = baseline_config_.duplicate_probability;

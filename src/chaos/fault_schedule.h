@@ -102,6 +102,22 @@ class ChaosEngine {
   /// random-campaign mix; script them explicitly.
   Fault CorruptionBurst(double probability, double duration);
   Fault TruncationBurst(double probability, double duration);
+  /// Sharded clusters: kills one shard's elected primary (its fault
+  /// domain fails over; every other shard keeps scheduling).
+  Fault KillShardPrimary(int shard);
+  /// Crash-loops one shard: `kills` primary murders `gap` seconds
+  /// apart, restarting dead replicas between kills, then a final
+  /// restart — the isolation scenario of the federation campaign.
+  Fault ShardCrashLoop(int shard, int kills, double gap);
+  /// Partitions (heals) one shard-directory replica, forcing the
+  /// submission router to fail over between replicas.
+  Fault CutDirectoryReplica(int replica);
+  Fault HealDirectoryReplica(int replica);
+  /// Torn checkpoint write: corrupts the record most recently Put into
+  /// the checkpoint store, as if the process died mid-write. The next
+  /// recovering master must skip-and-count it, not crash. Not part of
+  /// the random mix; script it right after a kill.
+  Fault TornCheckpointWrite();
 
   /// Expands `seed` into a deterministic schedule of paired
   /// onset/recovery episodes. Call before running the window.
@@ -122,6 +138,7 @@ class ChaosEngine {
   std::vector<InjectedFault> log_;
   std::map<MachineId, net::FlapHandle> flaps_;
   std::set<std::pair<NodeId, NodeId>> cuts_;
+  std::set<NodeId> partitions_;  ///< directory replicas this engine cut
   net::Network::Config baseline_config_;
 };
 

@@ -12,6 +12,13 @@ InvariantMonitor::InvariantMonitor(runtime::SimCluster* cluster,
                                    InvariantMonitorOptions options)
     : cluster_(cluster), options_(options) {
   FUXI_CHECK(cluster != nullptr);
+  size_t shards = static_cast<size_t>(cluster->shard_count());
+  last_shard_generation_.assign(shards, 0);
+  shard_machine_count_.assign(shards, 0);
+  for (const cluster::Machine& machine : cluster->topology().machines()) {
+    ++shard_machine_count_[static_cast<size_t>(
+        cluster->shard_of_machine(machine.id))];
+  }
 }
 
 InvariantMonitor::~InvariantMonitor() { Stop(); }
@@ -103,44 +110,59 @@ void InvariantMonitor::FoldTime(double value) {
 }
 
 void InvariantMonitor::CheapChecks(double now) {
-  NodeId holder = cluster_->locks().Holder(master::FuxiMaster::kMasterLock);
-  int primaries = 0;
-  master::FuxiMaster* holder_primary = nullptr;
-  for (int i = 0; i < cluster_->master_count(); ++i) {
-    master::FuxiMaster* m = cluster_->master(i);
-    bool acting_primary = m->is_alive() && m->is_primary();
-    if (acting_primary) {
-      ++primaries;
-      if (m->node() == holder) holder_primary = m;
+  // One pass per shard (the unsharded cluster is the one-shard case and
+  // produces exactly the legacy condition keys). Masters are matched to
+  // their shard by election lease so the loop never depends on
+  // construction order.
+  int shards = cluster_->shard_count();
+  for (int k = 0; k < shards; ++k) {
+    const std::string lock = cluster_->shard_lock(k);
+    const std::string suffix =
+        shards > 1 ? ":shard" + std::to_string(k) : "";
+    NodeId holder = cluster_->locks().Holder(lock);
+    int primaries = 0;
+    master::FuxiMaster* holder_primary = nullptr;
+    for (int i = 0; i < cluster_->master_count(); ++i) {
+      master::FuxiMaster* m = cluster_->master(i);
+      if (m->lock_name() != lock) continue;
+      bool acting_primary = m->is_alive() && m->is_primary();
+      if (acting_primary) {
+        ++primaries;
+        if (m->node() == holder) holder_primary = m;
+      }
+      if (options_.check_single_primary) {
+        // A primary that no longer holds the lock must notice at its next
+        // renewal and step down; staying in charge past the grace window
+        // means two masters could be dispatching grants concurrently.
+        Sustained(
+            "primary-without-lock:node" + std::to_string(m->node().value()),
+            acting_primary && m->node() != holder,
+            options_.split_brain_grace, now,
+            "master node " + std::to_string(m->node().value()) +
+                " acts as primary but the lock is held by node " +
+                std::to_string(holder.value()));
+      }
     }
     if (options_.check_single_primary) {
-      // A primary that no longer holds the lock must notice at its next
-      // renewal and step down; staying in charge past the grace window
-      // means two masters could be dispatching grants concurrently.
-      Sustained("primary-without-lock:node" + std::to_string(m->node().value()),
-                acting_primary && m->node() != holder,
+      Sustained("single-primary" + suffix, primaries > 1,
                 options_.split_brain_grace, now,
-                "master node " + std::to_string(m->node().value()) +
-                    " acts as primary but the lock is held by node " +
-                    std::to_string(holder.value()));
+                std::to_string(primaries) +
+                    " masters act as primary at once");
     }
-  }
-  if (options_.check_single_primary) {
-    Sustained("single-primary", primaries > 1, options_.split_brain_grace,
-              now,
-              std::to_string(primaries) + " masters act as primary at once");
-  }
-  if (options_.check_generation_monotonic && holder_primary != nullptr) {
-    uint64_t generation = holder_primary->generation();
-    if (generation < last_primary_generation_) {
-      Record(now, "generation-monotonic",
-             "lock holder node " +
-                 std::to_string(holder_primary->node().value()) +
-                 " acts with generation " + std::to_string(generation) +
-                 " after generation " +
-                 std::to_string(last_primary_generation_) + " was seen");
-    } else {
-      last_primary_generation_ = generation;
+    if (options_.check_generation_monotonic && holder_primary != nullptr) {
+      uint64_t generation = holder_primary->generation();
+      uint64_t& last_generation =
+          last_shard_generation_[static_cast<size_t>(k)];
+      if (generation < last_generation) {
+        Record(now, "generation-monotonic" + suffix,
+               "lock holder node " +
+                   std::to_string(holder_primary->node().value()) +
+                   " acts with generation " + std::to_string(generation) +
+                   " after generation " + std::to_string(last_generation) +
+                   " was seen");
+      } else {
+        last_generation = generation;
+      }
     }
   }
 }
@@ -149,37 +171,74 @@ void InvariantMonitor::HeavyChecks(double now) {
   ++checks_;
   FoldTime(now);
 
-  NodeId holder = cluster_->locks().Holder(master::FuxiMaster::kMasterLock);
-  master::FuxiMaster* primary = nullptr;
-  for (int i = 0; i < cluster_->master_count(); ++i) {
-    master::FuxiMaster* m = cluster_->master(i);
-    if (m->is_alive() && m->is_primary() && m->node() == holder) primary = m;
-  }
-  Fold(primary != nullptr ? primary->generation() : 0);
-
-  if (primary != nullptr && primary->scheduler() != nullptr) {
-    if (options_.check_scheduler_conservation &&
-        !primary->scheduler()->CheckInvariants()) {
-      Record(now, "scheduler-conservation",
-             "scheduler cross-structure audit failed (free+granted vs "
-             "capacity, quota accounting, or locality-tree totals)");
+  // Per-shard sweep. With one shard the fold sequence and condition
+  // keys below are byte-identical to the pre-federation monitor — the
+  // golden replay digests pin this.
+  int shards = cluster_->shard_count();
+  std::vector<master::FuxiMaster*> primaries(
+      static_cast<size_t>(shards), nullptr);
+  for (int k = 0; k < shards; ++k) {
+    const std::string lock = cluster_->shard_lock(k);
+    const std::string suffix =
+        shards > 1 ? ":shard" + std::to_string(k) : "";
+    NodeId holder = cluster_->locks().Holder(lock);
+    master::FuxiMaster* primary = nullptr;
+    for (int i = 0; i < cluster_->master_count(); ++i) {
+      master::FuxiMaster* m = cluster_->master(i);
+      if (m->lock_name() != lock) continue;
+      if (m->is_alive() && m->is_primary() && m->node() == holder) primary = m;
     }
-    if (options_.check_blacklist_cap) {
-      size_t cap = static_cast<size_t>(
-          cluster_->options().master.blacklist_cap_fraction *
-          static_cast<double>(cluster_->topology().machine_count()));
-      if (cap < 1) cap = 1;
-      size_t blacklisted = primary->Blacklisted().size();
-      Fold(blacklisted);
-      if (blacklisted > cap) {
-        Record(now, "blacklist-cap",
-               std::to_string(blacklisted) +
-                   " machines blacklisted, cap is " + std::to_string(cap));
+    primaries[static_cast<size_t>(k)] = primary;
+    Fold(primary != nullptr ? primary->generation() : 0);
+
+    if (primary != nullptr && primary->scheduler() != nullptr) {
+      if (options_.check_scheduler_conservation &&
+          !primary->scheduler()->CheckInvariants()) {
+        Record(now, "scheduler-conservation" + suffix,
+               "scheduler cross-structure audit failed (free+granted vs "
+               "capacity, quota accounting, or locality-tree totals)");
+      }
+      if (options_.check_blacklist_cap) {
+        size_t cap = static_cast<size_t>(
+            cluster_->options().master.blacklist_cap_fraction *
+            static_cast<double>(
+                shard_machine_count_[static_cast<size_t>(k)]));
+        if (cap < 1) cap = 1;
+        size_t blacklisted = primary->Blacklisted().size();
+        Fold(blacklisted);
+        if (blacklisted > cap) {
+          Record(now, "blacklist-cap" + suffix,
+                 std::to_string(blacklisted) +
+                     " machines blacklisted, cap is " + std::to_string(cap));
+        }
       }
     }
   }
 
+  // Cross-shard accounting (sharded clusters only, so the unsharded
+  // fold stream is untouched): the federation as a whole must never
+  // promise more than the online machines physically have, even while
+  // spillover moves load between shards.
+  if (shards > 1 && options_.check_scheduler_conservation) {
+    cluster::ResourceVector global_granted;
+    cluster::ResourceVector global_capacity;
+    for (master::FuxiMaster* primary : primaries) {
+      if (primary == nullptr || primary->scheduler() == nullptr) continue;
+      global_granted += primary->scheduler()->TotalGranted();
+      global_capacity += primary->scheduler()->TotalCapacity();
+    }
+    Fold(static_cast<uint64_t>(global_granted.cpu()));
+    Fold(static_cast<uint64_t>(global_granted.memory()));
+    if (!global_granted.FitsIn(global_capacity)) {
+      Record(now, "global-conservation",
+             "federation grants " + global_granted.ToString() +
+                 " exceed online capacity " + global_capacity.ToString());
+    }
+  }
+
   for (const cluster::Machine& machine : cluster_->topology().machines()) {
+    master::FuxiMaster* primary = primaries[static_cast<size_t>(
+        cluster_->shard_of_machine(machine.id))];
     std::string mtag = "m";
     mtag += std::to_string(machine.id.value());
     agent::FuxiAgent* agent = cluster_->agent(machine.id);
@@ -201,6 +260,30 @@ void InvariantMonitor::HeavyChecks(double now) {
                 "agent on machine " + std::to_string(machine.id.value()) +
                     " holds capacity " + promised.ToString() +
                     " above physical " + machine.capacity.ToString());
+    }
+
+    if (shards > 1 && options_.check_shard_isolation) {
+      // Fault-domain isolation: only the owning shard's scheduler may
+      // have this machine online. A foreign shard granting here would
+      // double-book the machine globally while every per-shard
+      // conservation audit still passes.
+      int owner = cluster_->shard_of_machine(machine.id);
+      int foreign = -1;
+      for (int k = 0; k < shards; ++k) {
+        if (k == owner) continue;
+        master::FuxiMaster* other = primaries[static_cast<size_t>(k)];
+        if (other != nullptr && other->scheduler() != nullptr &&
+            other->scheduler()->machine_state(machine.id).online) {
+          foreign = k;
+          break;
+        }
+      }
+      Sustained("shard-isolation:" + mtag, foreign >= 0,
+                options_.split_brain_grace, now,
+                "machine " + std::to_string(machine.id.value()) +
+                    " owned by shard " + std::to_string(owner) +
+                    " is online in shard " + std::to_string(foreign) +
+                    "'s scheduler");
     }
 
     size_t alive = host->alive_count();

@@ -46,6 +46,11 @@ struct InvariantMonitorOptions {
   bool check_agent_overcommit = true;
   bool check_halted_machines = true;
   bool check_orphan_processes = true;
+  /// Sharded clusters only: a machine must never be online in a shard
+  /// scheduler other than its owner's (fault-domain isolation — a
+  /// foreign shard granting on the machine double-books it globally
+  /// even when every per-shard conservation audit passes).
+  bool check_shard_isolation = true;
   /// Stop recording after this many violations (one bad invariant can
   /// otherwise flood the report every heavy sweep).
   size_t max_violations = 64;
@@ -142,7 +147,11 @@ class InvariantMonitor {
   AppLiveness app_live_;
   bool installed_ = false;
   double last_heavy_ = -1e18;
-  uint64_t last_primary_generation_ = 0;
+  /// Last observed election generation, per shard (one entry in the
+  /// unsharded cluster).
+  std::vector<uint64_t> last_shard_generation_;
+  /// Machines owned by each shard (cached from the topology).
+  std::vector<int64_t> shard_machine_count_;
   uint64_t checks_ = 0;
   uint64_t hash_ = 1469598103934665603ull;  // FNV-1a offset basis
   std::map<std::string, PendingCondition> pending_;

@@ -8,6 +8,9 @@ void CheckpointStore::Put(const std::string& key, Json value) {
   ++write_count_;
   bytes_written_ += value.Dump().size();
   data_[key] = std::move(value);
+  // A complete rewrite repairs a previously torn record.
+  corrupt_.erase(key);
+  last_put_key_ = key;
 }
 
 Result<Json> CheckpointStore::Get(const std::string& key) const {
@@ -15,10 +18,20 @@ Result<Json> CheckpointStore::Get(const std::string& key) const {
   if (it == data_.end()) {
     return Status::NotFound("no checkpoint under key " + key);
   }
+  if (corrupt_.count(key) > 0) {
+    return Status::Corruption("torn checkpoint record under key " + key);
+  }
   return it->second;
 }
 
-void CheckpointStore::Delete(const std::string& key) { data_.erase(key); }
+void CheckpointStore::Delete(const std::string& key) {
+  data_.erase(key);
+  corrupt_.erase(key);
+}
+
+void CheckpointStore::CorruptKey(const std::string& key) {
+  if (data_.count(key) > 0) corrupt_.insert(key);
+}
 
 std::vector<std::string> CheckpointStore::ListKeys(
     const std::string& prefix) const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 
 #include "common/json.h"
@@ -42,8 +43,25 @@ class CheckpointStore {
   /// Keys with the given prefix, in lexicographic order.
   std::vector<std::string> ListKeys(const std::string& prefix) const;
 
+  // --- torn-write fault injection ---------------------------------------
+  // A process crash mid-Put leaves a partial record on disk: the key is
+  // present (ListKeys still returns it) but its bytes no longer parse.
+  // Chaos faults mark a record torn; readers see Status::Corruption
+  // until the record is overwritten by a fresh Put (or Deleted).
+
+  /// Marks `key` as torn. No-op for absent keys.
+  void CorruptKey(const std::string& key);
+
+  /// The key of the most recent Put — "the write in flight at crash
+  /// time" for the TornCheckpointWrite chaos fault.
+  const std::string& last_put_key() const { return last_put_key_; }
+
+  size_t corrupt_count() const { return corrupt_.size(); }
+
  private:
   std::map<std::string, Json> data_;
+  std::set<std::string> corrupt_;
+  std::string last_put_key_;
   uint64_t write_count_ = 0;
   uint64_t bytes_written_ = 0;
 };

@@ -14,11 +14,23 @@ constexpr const char* kAppKeyPrefix = "fuxi/app/";
 constexpr const char* kBlacklistKey = "fuxi/blacklist";
 constexpr const char* kGenerationKey = "fuxi/master/generation";
 
-std::string AppKey(AppId app) {
-  return kAppKeyPrefix + std::to_string(app.value());
+}  // namespace
+
+std::string FuxiMaster::AppKeyPrefix() const {
+  return options_.checkpoint_prefix + kAppKeyPrefix;
 }
 
-}  // namespace
+std::string FuxiMaster::AppKeyFor(AppId app) const {
+  return AppKeyPrefix() + std::to_string(app.value());
+}
+
+std::string FuxiMaster::BlacklistKeyFor() const {
+  return options_.checkpoint_prefix + kBlacklistKey;
+}
+
+std::string FuxiMaster::GenerationKeyFor() const {
+  return options_.checkpoint_prefix + kGenerationKey;
+}
 
 FuxiMaster::FuxiMaster(sim::Simulator* simulator, net::Network* network,
                        coord::LockService* locks,
@@ -31,7 +43,9 @@ FuxiMaster::FuxiMaster(sim::Simulator* simulator, net::Network* network,
       checkpoint_(checkpoint),
       topology_(topology),
       self_(self),
-      options_(options) {
+      options_(std::move(options)),
+      lock_name_(options_.lock_name.empty() ? kMasterLock
+                                            : options_.lock_name) {
   endpoint_.Handle<SubmitAppRpc>(
       [this](const net::Envelope& env, const SubmitAppRpc& rpc) {
         if (alive_ && primary_) OnSubmitApp(env, rpc);
@@ -64,6 +78,7 @@ void FuxiMaster::set_observability(obs::Observability* obs) {
     grant_units_counter_ = revoke_units_counter_ = nullptr;
     blacklist_adds_counter_ = machines_down_counter_ = nullptr;
     elections_counter_ = am_restarts_counter_ = nullptr;
+    checkpoint_skips_counter_ = nullptr;
     apps_gauge_ = blacklist_gauge_ = request_backlog_gauge_ = nullptr;
     schedule_wall_us_ = nullptr;
     return;
@@ -75,6 +90,8 @@ void FuxiMaster::set_observability(obs::Observability* obs) {
   machines_down_counter_ = m.GetCounter("master.machines_down");
   elections_counter_ = m.GetCounter("master.elections");
   am_restarts_counter_ = m.GetCounter("master.am_restarts");
+  checkpoint_skips_counter_ =
+      m.GetCounter("master.checkpoint_records_skipped");
   apps_gauge_ = m.GetGauge("master.apps");
   blacklist_gauge_ = m.GetGauge("master.blacklist_size");
   request_backlog_gauge_ = m.GetGauge("master.request_backlog");
@@ -115,7 +132,7 @@ void FuxiMaster::Restart() {
 
 void FuxiMaster::TryBecomePrimary() {
   if (!alive_ || primary_) return;
-  Status acquired = locks_->TryAcquire(kMasterLock, self_,
+  Status acquired = locks_->TryAcquire(lock_name_, self_,
                                        options_.lock_lease);
   if (acquired.ok()) {
     BecomePrimary();
@@ -124,7 +141,7 @@ void FuxiMaster::TryBecomePrimary() {
   // Standby: watch for the primary's lease to lapse. The callback may
   // fire after this instance crashed, so guard with the life counter.
   uint64_t life = life_;
-  locks_->WatchRelease(kMasterLock, [this, life]() {
+  locks_->WatchRelease(lock_name_, [this, life]() {
     if (alive_ && life == life_) TryBecomePrimary();
   });
 }
@@ -132,11 +149,12 @@ void FuxiMaster::TryBecomePrimary() {
 void FuxiMaster::BecomePrimary() {
   primary_ = true;
   uint64_t previous_generation = 0;
-  if (auto gen = checkpoint_->Get(kGenerationKey); gen.ok()) {
+  if (auto gen = checkpoint_->Get(GenerationKeyFor()); gen.ok()) {
     previous_generation = static_cast<uint64_t>(gen->as_int());
   }
   generation_ = previous_generation + 1;
-  checkpoint_->Put(kGenerationKey, Json(static_cast<int64_t>(generation_)));
+  checkpoint_->Put(GenerationKeyFor(),
+                   Json(static_cast<int64_t>(generation_)));
   FUXI_LOG(kInfo) << "FuxiMaster node " << self_.value()
                   << " became primary, generation " << generation_;
   if (elections_counter_ != nullptr) elections_counter_->Add();
@@ -173,6 +191,10 @@ void FuxiMaster::BecomePrimary() {
   After(options_.rollup_interval, [this, life] {
     if (alive_ && life == life_ && primary_) RollupTick();
   });
+  // Federated mode: announce the new primary to the shard directory
+  // right away (the router is waiting out a failover) and then on the
+  // periodic status cadence.
+  if (!options_.directory_replicas.empty()) SendShardStatus();
 }
 
 void FuxiMaster::StepDown() {
@@ -200,7 +222,7 @@ void FuxiMaster::SyncStateGauges() {
 }
 
 void FuxiMaster::RenewLease() {
-  Status s = locks_->Renew(kMasterLock, self_, options_.lock_lease);
+  Status s = locks_->Renew(lock_name_, self_, options_.lock_lease);
   if (!s.ok()) {
     FUXI_LOG(kWarning) << "FuxiMaster node " << self_.value()
                        << " lost the master lock: " << s.ToString();
@@ -216,9 +238,22 @@ void FuxiMaster::RenewLease() {
 void FuxiMaster::RecoverHardState() {
   // Hard state (paper §4.3.1): only application configurations and the
   // cluster-level blacklist are checkpointed. Everything else is soft.
-  for (const std::string& key : checkpoint_->ListKeys(kAppKeyPrefix)) {
+  checkpoint_records_skipped_ = 0;
+  for (const std::string& key : checkpoint_->ListKeys(AppKeyPrefix())) {
     auto record_json = checkpoint_->Get(key);
-    FUXI_CHECK(record_json.ok());
+    if (!record_json.ok()) {
+      // Torn write: the process that crashed mid-Put left a partial
+      // record. Losing one app's hard state must not take down the
+      // whole recovery — skip it, count it, and let the client's
+      // idempotent re-submit repair the record.
+      FUXI_LOG(kWarning) << "skipping damaged checkpoint record " << key
+                         << ": " << record_json.status().ToString();
+      ++checkpoint_records_skipped_;
+      if (checkpoint_skips_counter_ != nullptr) {
+        checkpoint_skips_counter_->Add();
+      }
+      continue;
+    }
     AppRecord record;
     record.app = AppId(record_json->GetInt("app"));
     record.quota_group = record_json->GetString("quota_group");
@@ -232,7 +267,7 @@ void FuxiMaster::RecoverHardState() {
     FUXI_CHECK(s.ok()) << s.ToString();
     apps_.emplace(record.app, std::move(record));
   }
-  if (auto blacklist = checkpoint_->Get(kBlacklistKey); blacklist.ok()) {
+  if (auto blacklist = checkpoint_->Get(BlacklistKeyFor()); blacklist.ok()) {
     for (const Json& entry : blacklist->as_array()) {
       blacklist_.insert(MachineId(entry.as_int()));
     }
@@ -270,7 +305,7 @@ void FuxiMaster::OnSubmitApp(const net::Envelope& env,
   hard["description"] = rpc.description;
   hard["client"] = Json(rpc.client.value());
   hard["am_started"] = Json(true);
-  checkpoint_->Put(AppKey(rpc.app), hard);
+  checkpoint_->Put(AppKeyFor(rpc.app), hard);
 
   // Find a FuxiAgent with capacity for the application master and ask
   // it to start one (paper §2.2 workflow).
@@ -298,7 +333,7 @@ void FuxiMaster::OnStopApp(const net::Envelope& env, const StopAppRpc& rpc) {
   if (it->second.am_node.valid()) {
     network_->Send(self_, it->second.am_node, StopAppRpc{rpc.app});
   }
-  checkpoint_->Delete(AppKey(rpc.app));
+  checkpoint_->Delete(AppKeyFor(rpc.app));
   if (apps_gauge_ != nullptr) {
     apps_gauge_->Add(-1);
     request_backlog_gauge_->Add(
@@ -767,6 +802,31 @@ void FuxiMaster::RollupTick() {
   });
 }
 
+void FuxiMaster::SendShardStatus() {
+  if (!primary_ || scheduler_ == nullptr) return;
+  ShardStatusRpc rpc;
+  rpc.shard = options_.shard;
+  rpc.primary = self_;
+  rpc.generation = generation_;
+  // Only this shard's machines ever heartbeat here, so agents_ is the
+  // shard membership; scan it rather than the global topology.
+  cluster::ResourceVector total;
+  for (const auto& [machine, agent] : agents_) {
+    if (!agent.online) continue;
+    ++rpc.machines_online;
+    total += topology_->machine(machine).capacity;
+  }
+  rpc.total = total;
+  rpc.granted = scheduler_->TotalGranted();
+  for (NodeId replica : options_.directory_replicas) {
+    network_->Send(self_, replica, rpc);
+  }
+  uint64_t life = life_;
+  After(options_.shard_status_interval, [this, life] {
+    if (alive_ && life == life_ && primary_) SendShardStatus();
+  });
+}
+
 void FuxiMaster::AuditMachineEvent(MachineId machine,
                                    const std::string& note) {
   if (!obs::AuditLog::enabled() || obs_ == nullptr) return;
@@ -790,9 +850,12 @@ void FuxiMaster::MarkMachineDown(MachineId machine, const std::string& why) {
 
 void FuxiMaster::DisableMachine(MachineId machine, const std::string& why) {
   if (blacklist_.count(machine) > 0) return;
+  int64_t machine_count = options_.shard_machine_count > 0
+                              ? options_.shard_machine_count
+                              : static_cast<int64_t>(
+                                    topology_->machine_count());
   size_t cap = static_cast<size_t>(options_.blacklist_cap_fraction *
-                                   static_cast<double>(
-                                       topology_->machine_count()));
+                                   static_cast<double>(machine_count));
   if (blacklist_.size() >= std::max<size_t>(cap, 1)) {
     FUXI_LOG(kWarning) << "blacklist cap reached; not disabling machine "
                        << machine.value();
@@ -812,7 +875,7 @@ void FuxiMaster::DisableMachine(MachineId machine, const std::string& why) {
 void FuxiMaster::CheckpointBlacklist() {
   Json list = Json::MakeArray();
   for (MachineId machine : blacklist_) list.Append(Json(machine.value()));
-  checkpoint_->Put(kBlacklistKey, list);
+  checkpoint_->Put(BlacklistKeyFor(), list);
 }
 
 FuxiMaster::AppRecord* FuxiMaster::FindApp(AppId app) {

@@ -56,6 +56,26 @@ struct FuxiMasterOptions {
   /// Quota groups to create on election (cluster configuration).
   std::vector<std::pair<std::string, cluster::ResourceVector>> quota_groups;
   resource::SchedulerOptions scheduler;
+
+  // --- federation (fuxi::shard) -----------------------------------------
+  // All defaults preserve legacy single-master behaviour byte-for-byte.
+
+  /// Election lease this master contends for; empty = kMasterLock.
+  /// Sharded clusters give each shard its own lease so elections are
+  /// independent fault domains.
+  std::string lock_name;
+  /// Prefix for every checkpoint key, so shard masters sharing one
+  /// CheckpointStore keep disjoint app / blacklist / generation records.
+  std::string checkpoint_prefix;
+  /// This master's shard index (stamped into directory status reports).
+  int shard = 0;
+  /// Machines this shard owns; 0 = the whole topology. Feeds the
+  /// blacklist cap so per-shard caps stay proportional to shard size.
+  int64_t shard_machine_count = 0;
+  /// Shard-directory replicas to push ShardStatusRpc to (empty = none,
+  /// the single-master case).
+  std::vector<NodeId> directory_replicas;
+  double shard_status_interval = 1.0;
 };
 
 /// The central resource manager (paper §2.2, §3): matches application
@@ -102,6 +122,16 @@ class FuxiMaster : public sim::Actor {
 
   /// Number of successful primary elections across the cluster's life.
   uint64_t generation() const { return generation_; }
+
+  /// The lease this master contends for (options.lock_name or the
+  /// kMasterLock default).
+  const std::string& lock_name() const { return lock_name_; }
+
+  /// Checkpoint records found damaged (torn writes) and skipped during
+  /// the last hard-state recovery.
+  uint64_t checkpoint_records_skipped() const {
+    return checkpoint_records_skipped_;
+  }
 
   /// Scheduling-decision latency samples (real wall-clock microseconds
   /// per request-path invocation) — the Figure 9 measurement.
@@ -193,6 +223,15 @@ class FuxiMaster : public sim::Actor {
   void AuditMachineEvent(MachineId machine, const std::string& note);
   void CheckpointBlacklist();
   void SyncStateGauges();
+  /// Pushes this shard's load/primary status to the directory replicas
+  /// (no-op unless options.directory_replicas is set).
+  void SendShardStatus();
+
+  // Checkpoint keys, namespaced by options.checkpoint_prefix.
+  std::string AppKeyFor(AppId app) const;
+  std::string AppKeyPrefix() const;
+  std::string BlacklistKeyFor() const;
+  std::string GenerationKeyFor() const;
 
   AppRecord* FindApp(AppId app);
   resource::ScheduleUnitDef LookupDef(AppId app, uint32_t slot) const;
@@ -203,6 +242,7 @@ class FuxiMaster : public sim::Actor {
   const cluster::ClusterTopology* topology_;
   NodeId self_;
   FuxiMasterOptions options_;
+  std::string lock_name_;  ///< resolved lease name (options or default)
 
   bool alive_ = true;
   bool primary_ = false;
@@ -220,6 +260,7 @@ class FuxiMaster : public sim::Actor {
 
   bool time_decisions_ = false;
   std::vector<double> decision_micros_;
+  uint64_t checkpoint_records_skipped_ = 0;
 
   obs::Observability* obs_ = nullptr;
   obs::Counter* grant_units_counter_ = nullptr;
@@ -228,6 +269,7 @@ class FuxiMaster : public sim::Actor {
   obs::Counter* machines_down_counter_ = nullptr;
   obs::Counter* elections_counter_ = nullptr;
   obs::Counter* am_restarts_counter_ = nullptr;
+  obs::Counter* checkpoint_skips_counter_ = nullptr;
   obs::Gauge* apps_gauge_ = nullptr;
   obs::Gauge* blacklist_gauge_ = nullptr;
   obs::Gauge* request_backlog_gauge_ = nullptr;

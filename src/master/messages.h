@@ -115,6 +115,19 @@ struct MasterRecoveryAnnounceRpc {
   uint64_t master_generation = 0;
 };
 
+/// Shard primary → shard-directory replicas (src/shard): periodic load
+/// and leadership report. Replicas keep the entry with the highest
+/// generation, so a deposed primary's stale reports are fenced out the
+/// same way its grants are.
+struct ShardStatusRpc {
+  int32_t shard = 0;
+  NodeId primary;
+  uint64_t generation = 0;
+  int64_t machines_online = 0;
+  cluster::ResourceVector total;    ///< capacity of online machines
+  cluster::ResourceVector granted;  ///< currently promised to apps
+};
+
 // ---------------------------------------------------------------------
 // Client <-> FuxiMaster (application lifecycle)
 // ---------------------------------------------------------------------
@@ -230,6 +243,7 @@ FUXI_MASTER_DECLARE_WIRE(AgentHeartbeatRpc)
 FUXI_MASTER_DECLARE_WIRE(AgentCapacityRpc)
 FUXI_MASTER_DECLARE_WIRE(AgentHeartbeatAckRpc)
 FUXI_MASTER_DECLARE_WIRE(MasterRecoveryAnnounceRpc)
+FUXI_MASTER_DECLARE_WIRE(ShardStatusRpc)
 FUXI_MASTER_DECLARE_WIRE(SubmitAppRpc)
 FUXI_MASTER_DECLARE_WIRE(SubmitAppReplyRpc)
 FUXI_MASTER_DECLARE_WIRE(StartAppMasterRpc)

@@ -130,6 +130,24 @@ Status WireDecode(wire::Reader& r, MasterRecoveryAnnounceRpc& m) {
   return r.U64(&m.master_generation);
 }
 
+void WireEncode(wire::Writer& w, const ShardStatusRpc& m) {
+  w.I32(m.shard);
+  w.Id(m.primary);
+  w.U64(m.generation);
+  w.I64(m.machines_online);
+  WireEncode(w, m.total);
+  WireEncode(w, m.granted);
+}
+
+Status WireDecode(wire::Reader& r, ShardStatusRpc& m) {
+  FUXI_RETURN_IF_ERROR(r.I32(&m.shard));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.primary));
+  FUXI_RETURN_IF_ERROR(r.U64(&m.generation));
+  FUXI_RETURN_IF_ERROR(r.I64(&m.machines_online));
+  FUXI_RETURN_IF_ERROR(WireDecode(r, m.total));
+  return WireDecode(r, m.granted);
+}
+
 void WireEncode(wire::Writer& w, const SubmitAppRpc& m) {
   w.Id(m.app);
   w.Str(m.quota_group);

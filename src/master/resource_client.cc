@@ -33,8 +33,19 @@ ResourceClient::ResourceClient(sim::Simulator* simulator,
       locks_(locks),
       self_(self),
       app_(app),
-      options_(options),
-      incarnation_(incarnation) {}
+      options_(std::move(options)),
+      master_lock_(options_.master_lock.empty() ? FuxiMaster::kMasterLock
+                                                : options_.master_lock),
+      incarnation_(incarnation),
+      // Jitter seeds derived from stable identity so replays of the
+      // same (app, node) produce the same retry schedule.
+      resync_backoff_(options_.retry_backoff,
+                      (static_cast<uint64_t>(app.value()) << 20) ^
+                          static_cast<uint64_t>(self.value()) ^
+                          0x9E3779B97F4A7C15ull),
+      flush_backoff_(options_.retry_backoff,
+                     (static_cast<uint64_t>(app.value()) << 20) ^
+                         static_cast<uint64_t>(self.value())) {}
 
 void ResourceClient::Start(net::Endpoint* endpoint) {
   FUXI_CHECK(!running_);
@@ -65,6 +76,7 @@ void ResourceClient::StartRecovering(net::Endpoint* endpoint,
                                      std::function<void()> on_snapshot) {
   recovering_ = true;
   on_snapshot_ = std::move(on_snapshot);
+  resync_backoff_.Reset();
   Start(endpoint);
   // Ask the master for the authoritative grant snapshot; retry until a
   // primary is reachable and the snapshot arrives.
@@ -83,7 +95,9 @@ void ResourceClient::SendRecoveryResync() {
     network_->Send(self_, primary, rpc);
   }
   uint64_t life = life_;
-  sim_->Schedule(options_.retry_interval, [this, life] {
+  ++retries_scheduled_;
+  if (resync_retry_counter_ != nullptr) resync_retry_counter_->Add();
+  sim_->Schedule(resync_backoff_.NextDelay(), [this, life] {
     if (running_ && life == life_ && recovering_) SendRecoveryResync();
   });
 }
@@ -180,7 +194,7 @@ void ResourceClient::Release(uint32_t slot_id, MachineId machine,
 }
 
 NodeId ResourceClient::CurrentMaster() const {
-  return locks_->Holder(FuxiMaster::kMasterLock);
+  return locks_->Holder(master_lock_);
 }
 
 void ResourceClient::Flush() {
@@ -188,11 +202,15 @@ void ResourceClient::Flush() {
   if (!pending_dirty_ && !need_full_sync_) return;
   NodeId primary = CurrentMaster();
   if (!primary.valid()) {
-    // No elected master right now; retry shortly.
+    // No elected master right now; retry on the backoff schedule.
     if (!retry_scheduled_) {
       retry_scheduled_ = true;
       uint64_t life = life_;
-      sim_->Schedule(options_.retry_interval, [this, life] {
+      ++retries_scheduled_;
+      if (no_master_retry_counter_ != nullptr) {
+        no_master_retry_counter_->Add();
+      }
+      sim_->Schedule(flush_backoff_.NextDelay(), [this, life] {
         if (running_ && life == life_) {
           retry_scheduled_ = false;
           Flush();
@@ -201,6 +219,7 @@ void ResourceClient::Flush() {
     }
     return;
   }
+  flush_backoff_.Reset();
   if (primary != known_master_) {
     // New primary: our delta stream and its grant stream both restart.
     known_master_ = primary;
@@ -329,6 +348,7 @@ void ResourceClient::ApplyGrantMessage(const resource::GrantMessage& msg,
     }
     if (recovering_) {
       recovering_ = false;
+      resync_backoff_.Reset();
       if (on_snapshot_) on_snapshot_();
     }
     return;

@@ -7,10 +7,12 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/backoff.h"
 #include "common/ids.h"
 #include "coord/lock_service.h"
 #include "master/messages.h"
 #include "net/network.h"
+#include "obs/metrics_registry.h"
 #include "resource/delta_channel.h"
 #include "resource/protocol.h"
 #include "sim/simulator.h"
@@ -26,7 +28,17 @@ namespace fuxi::master {
 /// doubles as the application-master heartbeat.
 struct ResourceClientOptions {
   double full_sync_interval = 8.0;  ///< periodic reconcile/heartbeat
-  double retry_interval = 1.0;      ///< when no primary is electable
+  /// Retry schedule when no primary is electable (and for the recovery
+  /// resync loop). The default — fixed 1 s, multiplier 1, zero jitter —
+  /// reproduces the legacy fixed-interval loop exactly; the golden
+  /// chaos replays pin those retry event times, so do not change it for
+  /// single-master clusters. The submission router overrides it with a
+  /// genuinely exponential, jittered policy.
+  BackoffPolicy retry_backoff{1.0, 1.0, 30.0, 0.0};
+  /// Lease whose holder is "the master" for this client. Empty means
+  /// FuxiMaster::kMasterLock (single-master clusters); sharded clusters
+  /// bind each application to its shard's election lock.
+  std::string master_lock;
 };
 
 class ResourceClient {
@@ -100,6 +112,16 @@ class ResourceClient {
   NodeId master() const { return known_master_; }
   uint64_t full_syncs_sent() const { return full_syncs_sent_; }
   uint64_t deltas_sent() const { return deltas_sent_; }
+  uint64_t retries_scheduled() const { return retries_scheduled_; }
+
+  /// Optional: export retry/backoff counters ("client.resync_retries",
+  /// "client.no_master_retries") into the cluster registry.
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    if (metrics == nullptr) return;
+    resync_retry_counter_ = metrics->GetCounter("client.resync_retries");
+    no_master_retry_counter_ =
+        metrics->GetCounter("client.no_master_retries");
+  }
 
   /// Forces the next flush to carry full state (used by tests and by
   /// restarted application masters recovering their view).
@@ -133,6 +155,7 @@ class ResourceClient {
   NodeId self_;
   AppId app_;
   Options options_;
+  std::string master_lock_;  ///< resolved lease name (options or default)
 
   bool running_ = false;
   bool recovering_ = false;
@@ -152,6 +175,12 @@ class ResourceClient {
   GrantCallback grant_callback_;
   uint64_t full_syncs_sent_ = 0;
   uint64_t deltas_sent_ = 0;
+
+  Backoff resync_backoff_;
+  Backoff flush_backoff_;
+  uint64_t retries_scheduled_ = 0;
+  obs::Counter* resync_retry_counter_ = nullptr;
+  obs::Counter* no_master_retry_counter_ = nullptr;
 };
 
 }  // namespace fuxi::master

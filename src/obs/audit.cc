@@ -9,7 +9,8 @@ namespace fuxi::obs {
 namespace {
 
 constexpr std::string_view kKindNames[] = {
-    "place", "pass", "preempt", "revoke", "machine_event", "agent_kill",
+    "place",         "pass",       "preempt", "revoke",
+    "machine_event", "agent_kill", "route",
 };
 
 constexpr std::string_view kReasonNames[] = {
@@ -218,6 +219,7 @@ std::vector<CandidateOutcome> RejectionChain(
         break;
       case DecisionKind::kMachineEvent:
       case DecisionKind::kAgentKill:
+      case DecisionKind::kRoute:
         break;
     }
   }
@@ -244,6 +246,7 @@ std::vector<UnplacedDemand> UnplacedAtEnd(
         break;
       case DecisionKind::kMachineEvent:
       case DecisionKind::kAgentKill:
+      case DecisionKind::kRoute:
         break;
     }
   }

@@ -33,6 +33,7 @@ enum class DecisionKind : uint8_t {
   kRevoke,        ///< one grant takeback (any RevocationReason)
   kMachineEvent,  ///< master-side node event (down, blacklist)
   kAgentKill,     ///< agent killed a worker (capacity / overload)
+  kRoute,         ///< submission-router shard choice (incl. spillover)
 };
 
 std::string_view DecisionKindName(DecisionKind kind);

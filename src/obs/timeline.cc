@@ -74,6 +74,7 @@ std::vector<GrantEvent> ExtractGrantEvents(
         break;
       case DecisionKind::kMachineEvent:
       case DecisionKind::kAgentKill:
+      case DecisionKind::kRoute:
         break;
     }
   }

@@ -14,6 +14,8 @@
 #include "master/fuxi_master.h"
 #include "net/network.h"
 #include "obs/observability.h"
+#include "shard/router.h"
+#include "shard/shard_directory.h"
 #include "sim/simulator.h"
 
 namespace fuxi::runtime {
@@ -26,6 +28,21 @@ struct SimClusterOptions {
   obs::ObsOptions obs;
   int master_replicas = 2;  ///< hot-standby pair by default
   uint64_t seed = 42;
+
+  // --- federation (fuxi::shard) -----------------------------------------
+
+  /// Number of FuxiMaster fault domains. 1 = the legacy single-master
+  /// cluster: no shard directory, no router — construction and event
+  /// order are byte-identical to the pre-federation cluster. With
+  /// shards > 1 each shard gets `master_replicas` masters electing on
+  /// their own lease, machines join shard `machine.id % shards`, and a
+  /// replicated directory plus submission router come up.
+  int shards = 1;
+  /// Shard-directory replica count (only used when shards > 1).
+  int directory_replicas = 2;
+  /// Router tunables. `shards`, `directory` and `seed` are filled in by
+  /// SimCluster; set the rest (backoff, spill thresholds) here.
+  shard::RouterOptions router;
 };
 
 /// Assembles a complete simulated Fuxi cluster: the shared simulator,
@@ -63,8 +80,29 @@ class SimCluster {
 
   master::FuxiMaster* master(int index) { return masters_[index].get(); }
   int master_count() const { return static_cast<int>(masters_.size()); }
-  /// The currently elected primary, or nullptr mid-election.
+  /// The currently elected primary, or nullptr mid-election. In a
+  /// sharded cluster this is shard 0's primary (legacy call sites).
   master::FuxiMaster* primary();
+
+  // --- federation access (shards > 1; safe defaults otherwise) ----------
+
+  int shard_count() const { return options_.shards; }
+  int shard_of_machine(MachineId machine) const {
+    return static_cast<int>(machine.value() % options_.shards);
+  }
+  /// The election lease shard `shard` contends on (kMasterLock when the
+  /// cluster is unsharded).
+  std::string shard_lock(int shard) const;
+  /// Shard `shard`'s elected primary, or nullptr mid-election.
+  master::FuxiMaster* shard_primary(int shard);
+  /// Crashes shard `shard`'s current primary (no-op mid-election).
+  void KillShardPrimary(int shard);
+
+  shard::SubmissionRouter* router() { return router_.get(); }
+  shard::ShardDirectory* directory(int index) {
+    return directories_[static_cast<size_t>(index)].get();
+  }
+  int directory_count() const { return static_cast<int>(directories_.size()); }
 
   agent::FuxiAgent* agent(MachineId machine) {
     return agents_[static_cast<size_t>(machine.value())].get();
@@ -133,6 +171,8 @@ class SimCluster {
   coord::CheckpointStore checkpoint_;
   std::unique_ptr<dfs::FileSystem> dfs_;
   std::vector<std::unique_ptr<master::FuxiMaster>> masters_;
+  std::vector<std::unique_ptr<shard::ShardDirectory>> directories_;
+  std::unique_ptr<shard::SubmissionRouter> router_;
   std::vector<std::unique_ptr<agent::ProcessHost>> hosts_;
   std::vector<std::unique_ptr<agent::FuxiAgent>> agents_;
   std::vector<double> slowdown_;

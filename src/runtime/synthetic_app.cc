@@ -61,7 +61,7 @@ void SyntheticApp::StartMaster() {
   cluster_->network().Register(node_, &endpoint_);
   client_ = std::make_unique<master::ResourceClient>(
       &cluster_->sim(), &cluster_->network(), &cluster_->locks(), node_,
-      app_, master::ResourceClientOptions(), life_);
+      app_, client_options_, life_);
   client_->set_grant_callback(
       [this](uint32_t slot, MachineId machine, int64_t delta,
              resource::RevocationReason reason) {
@@ -95,7 +95,7 @@ void SyntheticApp::RestartMaster() {
   cluster_->network().Register(node_, &endpoint_);
   client_ = std::make_unique<master::ResourceClient>(
       &cluster_->sim(), &cluster_->network(), &cluster_->locks(), node_,
-      app_, master::ResourceClientOptions(), life_);
+      app_, client_options_, life_);
   client_->set_grant_callback(
       [this](uint32_t slot, MachineId machine, int64_t delta,
              resource::RevocationReason reason) {

@@ -74,6 +74,16 @@ class SyntheticApp {
   /// The protocol client (benchmarks read message counters off it).
   const master::ResourceClient* client() const { return client_.get(); }
 
+  /// Options for the protocol client (applied at the next (re)start).
+  /// Sharded clusters set `master_lock` here so the app follows its
+  /// assigned shard's primary instead of the default election lease.
+  void set_client_options(master::ResourceClientOptions options) {
+    client_options_ = std::move(options);
+  }
+  void set_master_lock(const std::string& lock) {
+    client_options_.master_lock = lock;
+  }
+
   /// Resources this application currently believes it holds
   /// (AM_obtained in Figure 10).
   cluster::ResourceVector GrantedResources() const {
@@ -129,6 +139,7 @@ class SyntheticApp {
   Rng rng_;
 
   net::Endpoint endpoint_;
+  master::ResourceClientOptions client_options_;
   std::unique_ptr<master::ResourceClient> client_;
   bool running_ = false;
   bool finished_ = false;

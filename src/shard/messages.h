@@ -1,0 +1,95 @@
+#ifndef FUXI_SHARD_MESSAGES_H_
+#define FUXI_SHARD_MESSAGES_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/resource_vector.h"
+#include "common/ids.h"
+#include "common/json.h"
+#include "wire/wire.h"
+
+namespace fuxi::shard {
+
+// ---------------------------------------------------------------------
+// Shard directory (replicated lookup service).
+//
+// Shard primaries push master::ShardStatusRpc reports at the directory
+// replicas (see master/messages.h — the push is master behaviour). The
+// router reads the resulting table with the lookup RPCs below, failing
+// over between replicas when one stops answering.
+// ---------------------------------------------------------------------
+
+/// One shard's row in the directory table.
+struct ShardEntry {
+  int32_t shard = 0;
+  NodeId primary;            ///< invalid when no report was ever seen
+  uint64_t generation = 0;   ///< fences deposed primaries' stale reports
+  int64_t machines_online = 0;
+  cluster::ResourceVector total;
+  cluster::ResourceVector granted;
+  double updated_at = -1;    ///< virtual time the replica stored the report
+};
+
+/// Router → directory replica: "send me the whole table".
+struct ShardLookupRpc {
+  NodeId reply_to;
+  uint64_t request_id = 0;
+};
+
+/// Directory replica → router: the table snapshot.
+struct ShardDirectoryReplyRpc {
+  uint64_t request_id = 0;
+  std::vector<ShardEntry> entries;
+};
+
+// ---------------------------------------------------------------------
+// Submission routing. Clients submit through the router instead of a
+// single master; the router picks the app's home shard, spills to a
+// healthy shard when the home is saturated or mid-failover, and retries
+// with jittered exponential backoff until some shard accepts.
+// ---------------------------------------------------------------------
+
+/// Client → router: application submission (the federated analogue of
+/// master::SubmitAppRpc).
+struct RouteSubmitRpc {
+  AppId app;
+  std::string quota_group;
+  Json description;
+  NodeId client;  ///< where the RouteReplyRpc goes
+};
+
+/// Router → client: which shard accepted the app. The client binds its
+/// application master to that shard's election lock.
+struct RouteReplyRpc {
+  AppId app;
+  int32_t shard = -1;
+  bool accepted = false;
+  std::string error;
+};
+
+// ---------------------------------------------------------------------
+// Wire codecs (fuxi::wire, DESIGN.md §10).
+// ---------------------------------------------------------------------
+
+#define FUXI_SHARD_DECLARE_WIRE(TYPE)                  \
+  void WireEncode(wire::Writer& w, const TYPE& m);     \
+  Status WireDecode(wire::Reader& r, TYPE& m);         \
+  constexpr wire::TypeInfo WireTypeInfo(const TYPE*) { \
+    return {wire::MsgTag::k##TYPE, 1};                 \
+  }
+
+FUXI_SHARD_DECLARE_WIRE(ShardLookupRpc)
+FUXI_SHARD_DECLARE_WIRE(ShardDirectoryReplyRpc)
+FUXI_SHARD_DECLARE_WIRE(RouteSubmitRpc)
+FUXI_SHARD_DECLARE_WIRE(RouteReplyRpc)
+
+#undef FUXI_SHARD_DECLARE_WIRE
+
+// ShardEntry is nested (unframed).
+void WireEncode(wire::Writer& w, const ShardEntry& m);
+Status WireDecode(wire::Reader& r, ShardEntry& m);
+
+}  // namespace fuxi::shard
+
+#endif  // FUXI_SHARD_MESSAGES_H_

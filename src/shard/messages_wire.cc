@@ -1,0 +1,73 @@
+#include "shard/messages.h"
+
+namespace fuxi::shard {
+
+void WireEncode(wire::Writer& w, const ShardEntry& m) {
+  w.I32(m.shard);
+  w.Id(m.primary);
+  w.U64(m.generation);
+  w.I64(m.machines_online);
+  WireEncode(w, m.total);
+  WireEncode(w, m.granted);
+  w.F64(m.updated_at);
+}
+
+Status WireDecode(wire::Reader& r, ShardEntry& m) {
+  FUXI_RETURN_IF_ERROR(r.I32(&m.shard));
+  FUXI_RETURN_IF_ERROR(r.Id(&m.primary));
+  FUXI_RETURN_IF_ERROR(r.U64(&m.generation));
+  FUXI_RETURN_IF_ERROR(r.I64(&m.machines_online));
+  FUXI_RETURN_IF_ERROR(WireDecode(r, m.total));
+  FUXI_RETURN_IF_ERROR(WireDecode(r, m.granted));
+  return r.F64(&m.updated_at);
+}
+
+void WireEncode(wire::Writer& w, const ShardLookupRpc& m) {
+  w.Id(m.reply_to);
+  w.U64(m.request_id);
+}
+
+Status WireDecode(wire::Reader& r, ShardLookupRpc& m) {
+  FUXI_RETURN_IF_ERROR(r.Id(&m.reply_to));
+  return r.U64(&m.request_id);
+}
+
+void WireEncode(wire::Writer& w, const ShardDirectoryReplyRpc& m) {
+  w.U64(m.request_id);
+  w.Vec(m.entries);
+}
+
+Status WireDecode(wire::Reader& r, ShardDirectoryReplyRpc& m) {
+  FUXI_RETURN_IF_ERROR(r.U64(&m.request_id));
+  return r.Vec(&m.entries);
+}
+
+void WireEncode(wire::Writer& w, const RouteSubmitRpc& m) {
+  w.Id(m.app);
+  w.Str(m.quota_group);
+  WireEncode(w, m.description);
+  w.Id(m.client);
+}
+
+Status WireDecode(wire::Reader& r, RouteSubmitRpc& m) {
+  FUXI_RETURN_IF_ERROR(r.Id(&m.app));
+  FUXI_RETURN_IF_ERROR(r.Str(&m.quota_group));
+  FUXI_RETURN_IF_ERROR(WireDecode(r, m.description));
+  return r.Id(&m.client);
+}
+
+void WireEncode(wire::Writer& w, const RouteReplyRpc& m) {
+  w.Id(m.app);
+  w.I32(m.shard);
+  w.Bool(m.accepted);
+  w.Str(m.error);
+}
+
+Status WireDecode(wire::Reader& r, RouteReplyRpc& m) {
+  FUXI_RETURN_IF_ERROR(r.Id(&m.app));
+  FUXI_RETURN_IF_ERROR(r.I32(&m.shard));
+  FUXI_RETURN_IF_ERROR(r.Bool(&m.accepted));
+  return r.Str(&m.error);
+}
+
+}  // namespace fuxi::shard

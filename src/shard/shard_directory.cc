@@ -1,0 +1,50 @@
+#include "shard/shard_directory.h"
+
+namespace fuxi::shard {
+
+ShardDirectory::ShardDirectory(sim::Simulator* simulator,
+                               net::Network* network, NodeId self)
+    : sim::Actor(simulator), network_(network), self_(self) {
+  endpoint_.Handle<master::ShardStatusRpc>(
+      [this](const net::Envelope&, const master::ShardStatusRpc& rpc) {
+        OnStatus(rpc);
+      });
+  endpoint_.Handle<ShardLookupRpc>(
+      [this](const net::Envelope&, const ShardLookupRpc& rpc) {
+        OnLookup(rpc);
+      });
+}
+
+void ShardDirectory::Start() { network_->Register(self_, &endpoint_); }
+
+ShardEntry ShardDirectory::entry(int32_t shard) const {
+  auto it = table_.find(shard);
+  return it == table_.end() ? ShardEntry{} : it->second;
+}
+
+void ShardDirectory::OnStatus(const master::ShardStatusRpc& rpc) {
+  auto it = table_.find(rpc.shard);
+  if (it != table_.end() && rpc.generation < it->second.generation) {
+    // A deposed primary's stale push: fence it out.
+    ++fenced_reports_;
+    return;
+  }
+  ShardEntry& e = table_[rpc.shard];
+  e.shard = rpc.shard;
+  e.primary = rpc.primary;
+  e.generation = rpc.generation;
+  e.machines_online = rpc.machines_online;
+  e.total = rpc.total;
+  e.granted = rpc.granted;
+  e.updated_at = Now();
+}
+
+void ShardDirectory::OnLookup(const ShardLookupRpc& rpc) {
+  ShardDirectoryReplyRpc reply;
+  reply.request_id = rpc.request_id;
+  reply.entries.reserve(table_.size());
+  for (const auto& [shard, entry] : table_) reply.entries.push_back(entry);
+  network_->Send(self_, rpc.reply_to, reply);
+}
+
+}  // namespace fuxi::shard

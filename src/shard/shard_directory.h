@@ -1,0 +1,55 @@
+#ifndef FUXI_SHARD_SHARD_DIRECTORY_H_
+#define FUXI_SHARD_SHARD_DIRECTORY_H_
+
+#include <map>
+
+#include "master/messages.h"
+#include "net/network.h"
+#include "shard/messages.h"
+#include "sim/simulator.h"
+
+namespace fuxi::shard {
+
+/// One replica of the shard directory: a passive table of per-shard
+/// status rows, fed by shard primaries pushing master::ShardStatusRpc
+/// and read by the router with ShardLookupRpc.
+///
+/// Replicas are independent — there is no replication protocol between
+/// them; each primary pushes to every replica, so the table converges
+/// as long as any replica is reachable. Fencing rides on the election
+/// generation: a row is only replaced by a report with generation >=
+/// the stored one, so a deposed primary that keeps pushing stale status
+/// (it has not yet noticed losing its lease) can never shadow the new
+/// primary's row.
+class ShardDirectory : public sim::Actor {
+ public:
+  ShardDirectory(sim::Simulator* simulator, net::Network* network,
+                 NodeId self);
+
+  /// Registers the endpoint with the network.
+  void Start();
+
+  NodeId node() const { return self_; }
+  size_t known_shards() const { return table_.size(); }
+
+  /// Test hook: the stored row for `shard` (default-constructed entry
+  /// when no report was ever accepted).
+  ShardEntry entry(int32_t shard) const;
+
+  /// Status reports rejected by generation fencing.
+  uint64_t fenced_reports() const { return fenced_reports_; }
+
+ private:
+  void OnStatus(const master::ShardStatusRpc& rpc);
+  void OnLookup(const ShardLookupRpc& rpc);
+
+  net::Network* network_;
+  NodeId self_;
+  net::Endpoint endpoint_;
+  std::map<int32_t, ShardEntry> table_;
+  uint64_t fenced_reports_ = 0;
+};
+
+}  // namespace fuxi::shard
+
+#endif  // FUXI_SHARD_SHARD_DIRECTORY_H_

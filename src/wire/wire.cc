@@ -66,6 +66,16 @@ std::string_view MsgTagName(MsgTag tag) {
       return "coord.LeaseReleaseRpc";
     case MsgTag::kLeaseReplyRpc:
       return "coord.LeaseReplyRpc";
+    case MsgTag::kShardStatusRpc:
+      return "shard.ShardStatusRpc";
+    case MsgTag::kShardLookupRpc:
+      return "shard.ShardLookupRpc";
+    case MsgTag::kShardDirectoryReplyRpc:
+      return "shard.ShardDirectoryReplyRpc";
+    case MsgTag::kRouteSubmitRpc:
+      return "shard.RouteSubmitRpc";
+    case MsgTag::kRouteReplyRpc:
+      return "shard.RouteReplyRpc";
     case MsgTag::kTestPing:
       return "test.Ping";
     case MsgTag::kTestPong:

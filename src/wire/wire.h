@@ -85,6 +85,13 @@ enum class MsgTag : uint16_t {
   kLeaseReleaseRpc = 66,
   kLeaseReplyRpc = 67,
 
+  // shard federation (src/shard; ShardStatusRpc is sent by src/master)
+  kShardStatusRpc = 80,
+  kShardLookupRpc = 81,
+  kShardDirectoryReplyRpc = 82,
+  kRouteSubmitRpc = 83,
+  kRouteReplyRpc = 84,
+
   // reserved for tests (tests/net_test.cc etc.)
   kTestPing = 240,
   kTestPong = 241,

@@ -83,6 +83,51 @@ TEST(ChaosCampaign, DistinctSeedsProduceDistinctSchedules) {
   EXPECT_NE(a.state_hash, b.state_hash);
 }
 
+// ---------------------------------------------------------------------
+// Federated (sharded) campaigns: the acceptance sweep for fuxi::shard.
+// Shard crash-loops, directory-replica outages and the mid-window
+// spillover wave all draw from the same seeded schedule; every seed
+// must hold the per-shard AND global invariants and finish every app —
+// including the two submitted through the router while shards burned.
+// ---------------------------------------------------------------------
+
+TEST(ShardedChaosCampaign, FiftySeedSweepHoldsAllInvariants) {
+  CampaignConfig config = ShardedCampaignConfig(4);
+  SweepResult sweep = RunSeedSweep(kFirstSeed, kSweepSeeds, config);
+  EXPECT_EQ(sweep.passed, kSweepSeeds);
+  if (sweep.failed > 0) {
+    ADD_FAILURE() << FormatCampaignFailure(sweep.failures.front());
+  }
+}
+
+TEST(ShardedChaosCampaign, FiftySeedSweepHoldsSerializeOnSend) {
+  // Same sweep with every message — including the five shard.* types —
+  // round-tripping through its wire codec at Send.
+  CampaignConfig config = ShardedCampaignConfig(4);
+  config.cluster.network.serialize_on_send = true;
+  SweepResult sweep = RunSeedSweep(kFirstSeed, kSweepSeeds, config);
+  EXPECT_EQ(sweep.passed, kSweepSeeds);
+  if (sweep.failed > 0) {
+    ADD_FAILURE() << FormatCampaignFailure(sweep.failures.front());
+  }
+}
+
+TEST(ShardedChaosCampaign, ReplayFromSeedIsByteIdentical) {
+  CampaignConfig config = ShardedCampaignConfig(4);
+  CampaignResult first = RunCampaign(7, config);
+  CampaignResult second = RunCampaign(7, config);
+  EXPECT_EQ(first.fault_log, second.fault_log);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.state_hash, second.state_hash);
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.completed_at, second.completed_at);
+  EXPECT_TRUE(first.ok()) << FormatCampaignFailure(first);
+  // The spillover wave is part of the workload: all six apps (four
+  // first-wave + two mid-window) must account for every instance.
+  EXPECT_EQ(first.instances_done,
+            (config.apps + config.spillover_apps) * config.instances_per_app);
+}
+
 /// Harness for scripted (non-random) chaos scenarios: a tiny cluster
 /// whose machines a single app fills completely, so a failover that
 /// skips the Figure 7 grant restore must double-book them.

@@ -97,6 +97,75 @@ TEST_F(LockServiceTest, HolderReacquireRefreshesLease) {
   EXPECT_EQ(locks_.Holder("master"), NodeId(1));
 }
 
+TEST_F(LockServiceTest, ExpireNowRacingRenewDeposesTheHolder) {
+  // The lock server declares node 1 dead at the same instant node 1
+  // tries to renew. ExpireNow bumped the generation, so the renew must
+  // lose: the old holder learns it was deposed, and a new owner's
+  // acquisition cannot be shadowed by the stale holder.
+  ASSERT_TRUE(locks_.TryAcquire("master", NodeId(1), 10).ok());
+  locks_.ExpireNow("master");
+  EXPECT_EQ(locks_.Renew("master", NodeId(1), 10).code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(locks_.TryAcquire("master", NodeId(2), 10).ok());
+  EXPECT_EQ(locks_.Renew("master", NodeId(1), 10).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(locks_.Holder("master"), NodeId(2));
+}
+
+TEST_F(LockServiceTest, RenewExactlyAtTheDeadlineFails) {
+  // Leases are half-open: at exactly t = deadline the lease is gone.
+  // A renew arriving just before the deadline succeeds; one arriving
+  // exactly at it must fail — Renew checks the deadline itself, so
+  // this holds whether or not the expiry event has run yet, and two
+  // masters can never both believe they hold the lock.
+  ASSERT_TRUE(locks_.TryAcquire("master", NodeId(1), 5).ok());
+  sim_.RunUntil(4.0);
+  EXPECT_TRUE(locks_.Renew("master", NodeId(1), 4.0).ok());  // deadline 8.0
+  sim_.RunUntil(8.0);
+  EXPECT_EQ(locks_.Renew("master", NodeId(1), 5).code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(locks_.Holder("master").valid());
+  // The lease is free: a standby acquires immediately.
+  EXPECT_TRUE(locks_.TryAcquire("master", NodeId(2), 5).ok());
+}
+
+TEST_F(LockServiceTest, WatchReleaseReacquireStormElectsExactlyOne) {
+  // Ten standbys all watch the lease and storm TryAcquire from inside
+  // the release callback — the shard-failover thundering herd. Exactly
+  // one must win; the rest see AlreadyExists and re-register their
+  // watch for the next failover.
+  ASSERT_TRUE(locks_.TryAcquire("master", NodeId(1), 5).ok());
+  int winners = 0;
+  int losers = 0;
+  std::function<void(NodeId)> watch = [&](NodeId standby) {
+    locks_.WatchRelease("master", [&, standby] {
+      Status s = locks_.TryAcquire("master", standby, 5);
+      if (s.ok()) {
+        ++winners;
+      } else {
+        EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+        ++losers;
+        watch(standby);  // re-arm for the next release
+      }
+    });
+  };
+  for (int i = 2; i <= 11; ++i) watch(NodeId(i));
+
+  sim_.RunUntil(6.0);  // lease lapses, storm fires
+  EXPECT_EQ(winners, 1);
+  EXPECT_EQ(losers, 9);
+  NodeId first_winner = locks_.Holder("master");
+  EXPECT_TRUE(first_winner.valid());
+
+  // Depose the winner: the nine re-armed watchers storm again and
+  // again exactly one succeeds.
+  locks_.ExpireNow("master");
+  EXPECT_EQ(winners, 2);
+  EXPECT_EQ(losers, 17);
+  EXPECT_TRUE(locks_.Holder("master").valid());
+  EXPECT_NE(locks_.Holder("master"), first_winner);
+}
+
 TEST(CheckpointStoreTest, PutGetRoundTrip) {
   CheckpointStore store;
   Json value = Json::MakeObject();
