@@ -39,6 +39,20 @@ cmake --build build-noaudit -j"$(nproc)" --target fuxi_tests
  ./tests/fuxi_tests \
    --gtest_filter='*Obs*:*Trace*:*Audit*:*Timeline*:*ChaosCampaign.*:ScriptedChaosTest.*:*Differential*:*Golden*')
 
+echo "== tier-1: planner compiled out (FUXI_PLANNER=OFF) =="
+# The whole time-aware placement layer compiles down to the no-op
+# planner: planning hints are dropped at the scheduler boundary, legacy
+# traffic never constructs a planner, and every golden replay hash,
+# grant-log digest and differential-oracle seed must stay byte-
+# identical to the ON build. The planner chaos sweeps still run — the
+# gang apps degrade to ordinary apps and the two planner invariants are
+# trivially true.
+cmake -B build-noplanner -S . -DFUXI_PLANNER=OFF >/dev/null
+cmake --build build-noplanner -j"$(nproc)" --target fuxi_tests
+(cd build-noplanner &&
+ ./tests/fuxi_tests \
+   --gtest_filter='*Golden*:*Differential*:PlannerTimelineTest.*:PlannerChaosCampaign.*:*ChaosCampaign.*:ScriptedChaosTest.*')
+
 echo "== tier-1: federated chaos sweep (shard crash-loops + spillover) =="
 # Four shard masters on their own election leases, a replicated shard
 # directory, and the submission router in the loop: shard crash-loops,
@@ -64,6 +78,6 @@ cmake -B build-asan -S . -DFUXI_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$(nproc)" --target fuxi_tests
 (cd build-asan &&
  ./tests/fuxi_tests \
-   --gtest_filter='*ChaosCampaign.*:Shard*:ScriptedChaosTest.*:Wire*:NetworkTest.*')
+   --gtest_filter='*ChaosCampaign.*:Shard*:ScriptedChaosTest.*:Wire*:NetworkTest.*:Planner*')
 
 echo "tier-1 OK"

@@ -61,9 +61,19 @@ CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
   auto await_and_start = [&](runtime::SyntheticApp* app,
                              InvariantMonitor* mon) {
     double wait_deadline = cluster.sim().Now() + 60.0;
+    double next_resubmit = cluster.sim().Now() + 10.0;
     while (cluster.sim().Now() < wait_deadline &&
            assigned_shard.count(app->app()) == 0) {
       cluster.RunFor(0.2);
+      // The submit and the route reply are one-shot RPCs; a drop burst
+      // can eat either. Resubmitting is safe: the router dedups
+      // in-flight routing, and a duplicate acceptance on another shard
+      // is benign (the app binds to whichever reply reaches us first).
+      if (cluster.sim().Now() >= next_resubmit &&
+          assigned_shard.count(app->app()) == 0) {
+        submit_via_router(app->app());
+        next_resubmit = cluster.sim().Now() + 10.0;
+      }
     }
     auto it = assigned_shard.find(app->app());
     if (it == assigned_shard.end()) {
@@ -89,6 +99,42 @@ CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
     apps.push_back(std::make_unique<runtime::SyntheticApp>(
         &cluster, app_id, std::vector<runtime::SyntheticStage>{stage},
         seed * 1315423911ull + static_cast<uint64_t>(i)));
+    if (sharded) {
+      submit_via_router(app_id);
+      await_and_start(apps.back().get(), &monitor);
+      continue;
+    }
+    master::SubmitAppRpc submit;
+    submit.app = app_id;
+    submit.client = cluster.AllocateNodeId();
+    master::FuxiMaster* primary = cluster.primary();
+    FUXI_CHECK(primary != nullptr);
+    cluster.network().Send(submit.client, primary->node(), submit);
+    cluster.RunFor(0.2);
+    apps.back()->MarkSubmitted(cluster.sim().Now());
+    apps.back()->StartMaster();
+  }
+  // fuxi::planner workload: gang apps whose single stage is an
+  // all-or-nothing worker set with a lifetime estimate. Under
+  // FUXI_PLANNER=0 builds the hints are dropped at the scheduler
+  // boundary and these run as ordinary apps.
+  for (int i = 0; i < config.planner_apps; ++i) {
+    AppId app_id(2000 + i);
+    runtime::SyntheticStage stage;
+    stage.slot_id = 0;
+    stage.workers = config.workers_per_app;
+    stage.instances = config.instances_per_app;
+    stage.instance_duration = config.instance_duration;
+    int64_t waves =
+        (config.instances_per_app + config.workers_per_app - 1) /
+        std::max<int64_t>(config.workers_per_app, 1);
+    stage.plan.estimated_seconds =
+        config.instance_duration * static_cast<double>(waves);
+    stage.plan.gang_id = 9000 + static_cast<uint64_t>(i);
+    stage.plan.gang_size = 1;
+    apps.push_back(std::make_unique<runtime::SyntheticApp>(
+        &cluster, app_id, std::vector<runtime::SyntheticStage>{stage},
+        seed * 2246822519ull + static_cast<uint64_t>(i)));
     if (sharded) {
       submit_via_router(app_id);
       await_and_start(apps.back().get(), &monitor);

@@ -28,6 +28,13 @@ struct CampaignConfig {
   int64_t workers_per_app = 4;
   int64_t instances_per_app = 48;
   double instance_duration = 1.0;
+  /// fuxi::planner workload: this many EXTRA apps whose single stage is
+  /// a gang (all-or-nothing worker set with a lifetime estimate).
+  /// Default 0 — the legacy campaigns and their golden digests never
+  /// see a planner. Pair with plan.planner_faults for the planner
+  /// chaos scenario. Under FUXI_PLANNER=0 builds the hints are dropped
+  /// at the scheduler boundary and these apps run as legacy apps.
+  int planner_apps = 0;
   /// Election + first heartbeats settle before submission.
   double warmup = 3.0;
   CampaignPlanOptions plan;

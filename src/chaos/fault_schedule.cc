@@ -245,6 +245,70 @@ Fault ChaosEngine::HealDirectoryReplica(int replica) {
           }};
 }
 
+namespace {
+
+/// First booked machine of the lowest-id reservation matching `pred`
+/// across every live primary's planner, or -1. Deterministic: masters
+/// in index order, reservations in id order, bookings in key order.
+template <typename Pred>
+int64_t FindReservedMachine(runtime::SimCluster* cluster, Pred pred) {
+  for (int i = 0; i < cluster->master_count(); ++i) {
+    master::FuxiMaster* m = cluster->master(i);
+    if (!m->is_alive() || !m->is_primary() || m->scheduler() == nullptr) {
+      continue;
+    }
+    const planner::ClusterPlanner* planner = m->scheduler()->planner();
+    if (planner == nullptr) continue;
+    for (const auto& [id, res] : planner->reservations()) {
+      (void)id;
+      if (!pred(res)) continue;
+      for (const auto& [key, bookings] : res.bookings) {
+        (void)key;
+        for (const planner::Reservation::Booking& booking : bookings) {
+          if (booking.machine >= 0) return booking.machine;
+        }
+      }
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+Fault ChaosEngine::ReservationChurn(double outage) {
+  std::ostringstream name;
+  name << "ReservationChurn(outage=" << outage << ")";
+  return {name.str(), [this, outage] {
+            int64_t target = FindReservedMachine(
+                cluster_, [](const planner::Reservation&) { return true; });
+            if (target < 0) {
+              Note("ReservationChurn: no booked reservation to target");
+              return;
+            }
+            MachineId machine(target);
+            Inject(HaltMachine(machine));
+            At(cluster_->sim().Now() + outage, ReviveMachine(machine));
+          }};
+}
+
+Fault ChaosEngine::GangMemberLoss(double outage) {
+  std::ostringstream name;
+  name << "GangMemberLoss(outage=" << outage << ")";
+  return {name.str(), [this, outage] {
+            int64_t target =
+                FindReservedMachine(cluster_, [](const planner::Reservation& r) {
+                  return r.gang_id != 0;
+                });
+            if (target < 0) {
+              Note("GangMemberLoss: no gang reservation to target");
+              return;
+            }
+            MachineId machine(target);
+            Inject(HaltMachine(machine));
+            At(cluster_->sim().Now() + outage, ReviveMachine(machine));
+          }};
+}
+
 Fault ChaosEngine::TornCheckpointWrite() {
   return {"TornCheckpointWrite", [this] {
             coord::CheckpointStore& store = cluster_->checkpoint();
@@ -288,6 +352,8 @@ void ChaosEngine::ScheduleRandomCampaign(uint64_t seed,
     kDuplicateBurst,
     kShardCrashLoop,
     kDirectoryOutage,
+    kReservationChurn,
+    kGangMemberLoss,
   };
   std::vector<Kind> kinds;
   if (plan.machine_faults) {
@@ -312,6 +378,11 @@ void ChaosEngine::ScheduleRandomCampaign(uint64_t seed,
   if (cluster_->shard_count() > 1 && cluster_->directory_count() > 0 &&
       plan.link_faults) {
     kinds.push_back(kDirectoryOutage);
+  }
+  // Planner faults are opt-in, so the legacy kind pool — and every rng
+  // draw of the legacy schedule — is untouched by default.
+  if (plan.planner_faults) {
+    kinds.insert(kinds.end(), {kReservationChurn, kGangMemberLoss});
   }
   if (kinds.empty()) return;
 
@@ -405,6 +476,12 @@ void ChaosEngine::ScheduleRandomCampaign(uint64_t seed,
         At(t0 + outage, HealDirectoryReplica(replica));
         break;
       }
+      case kReservationChurn:
+        At(t0, ReservationChurn(std::min(outage, 5.0)));
+        break;
+      case kGangMemberLoss:
+        At(t0, GangMemberLoss(std::min(outage, 5.0)));
+        break;
     }
   }
 }

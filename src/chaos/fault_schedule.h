@@ -45,6 +45,11 @@ struct CampaignPlanOptions {
   bool link_faults = true;      ///< asymmetric agent-uplink cuts
   bool flap_faults = true;      ///< periodic partition/heal cycles
   bool burst_faults = true;     ///< drop / duplicate probability bursts
+  /// fuxi::planner faults (reservation churn, gang-member machine
+  /// loss). Default OFF: the legacy kind pool — and with it every rng
+  /// draw of the seeded schedule — stays exactly the golden-pinned
+  /// stream. Enable together with a planner workload.
+  bool planner_faults = false;
 };
 
 /// Drives scripted and seeded-random fault campaigns over a SimCluster.
@@ -113,6 +118,15 @@ class ChaosEngine {
   /// submission router to fail over between replicas.
   Fault CutDirectoryReplica(int replica);
   Fault HealDirectoryReplica(int replica);
+  /// fuxi::planner: halts the machine carrying the lowest-id
+  /// reservation's first booking for `outage` seconds, forcing the
+  /// planner to drop the claims and re-book the reservation elsewhere.
+  /// No-op (logged) when no reservation is booked at fire time.
+  Fault ReservationChurn(double outage);
+  /// fuxi::planner: like ReservationChurn but targets a gang
+  /// reservation's booking — the all-or-nothing transaction must
+  /// dissolve and re-plan without ever leaking a partial placement.
+  Fault GangMemberLoss(double outage);
   /// Torn checkpoint write: corrupts the record most recently Put into
   /// the checkpoint store, as if the process died mid-write. The next
   /// recovering master must skip-and-count it, not crash. Not part of

@@ -198,6 +198,20 @@ void InvariantMonitor::HeavyChecks(double now) {
                "scheduler cross-structure audit failed (free+granted vs "
                "capacity, quota accounting, or locality-tree totals)");
       }
+      // fuxi::planner invariants. No Fold: the planner is absent in
+      // legacy runs and the golden replays pin the fold stream.
+      if (options_.check_planner_overcommit &&
+          !primary->scheduler()->PlannerOvercommitOk()) {
+        Record(now, "planner-overcommit" + suffix,
+               "a machine or rack timeline admits booked load above "
+               "free-now + expected releases at some scheduled point");
+      }
+      if (options_.check_gang_atomicity &&
+          !primary->scheduler()->PlannerGangAtomicityOk()) {
+        Record(now, "gang-atomicity" + suffix,
+               "an unstarted gang holds grants on at least one member "
+               "(all-or-nothing transaction leaked a partial placement)");
+      }
       if (options_.check_blacklist_cap) {
         size_t cap = static_cast<size_t>(
             cluster_->options().master.blacklist_cap_fraction *

@@ -51,6 +51,12 @@ struct InvariantMonitorOptions {
   /// foreign shard granting on the machine double-books it globally
   /// even when every per-shard conservation audit passes).
   bool check_shard_isolation = true;
+  /// fuxi::planner invariants (trivially true when no planner is live,
+  /// so legacy campaigns and their golden digests are untouched):
+  /// the scheduled-point timelines never admit overcommit at any future
+  /// point, and an unstarted gang holds zero grants on any member.
+  bool check_planner_overcommit = true;
+  bool check_gang_atomicity = true;
   /// Stop recording after this many violations (one bad invariant can
   /// otherwise flood the report every heavy sweep).
   size_t max_violations = 64;

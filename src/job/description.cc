@@ -103,6 +103,10 @@ Json JobDescription::ToJson() const {
     if (task.backup_normal_seconds > 0) {
       t["BackupNormalSeconds"] = Json(task.backup_normal_seconds);
     }
+    if (task.gang) t["Gang"] = Json(true);
+    if (task.estimated_seconds > 0) {
+      t["EstimatedSeconds"] = Json(task.estimated_seconds);
+    }
     tasks_json[task.name] = std::move(t);
   }
   root["Tasks"] = std::move(tasks_json);
@@ -153,6 +157,8 @@ Result<JobDescription> JobDescription::FromJson(const Json& json) {
     task.input_bytes_per_instance = t.GetInt("InputBytesPerInstance", 0);
     task.input_file = t.GetString("InputFile");
     task.backup_normal_seconds = t.GetNumber("BackupNormalSeconds", 0);
+    task.gang = t.GetBool("Gang", false);
+    task.estimated_seconds = t.GetNumber("EstimatedSeconds", 0);
     desc.tasks.push_back(std::move(task));
   }
   const Json* pipes = json.Find("Pipes");

@@ -31,6 +31,13 @@ struct TaskConfig {
   /// User-declared normal runtime for the backup-instance scheme
   /// (paper §4.3.2 third criterion); 0 disables backups for the task.
   double backup_normal_seconds = 0;
+  /// Gang scheduling (fuxi::planner): the task's full worker set is
+  /// granted all-or-nothing — no worker starts until every one fits.
+  bool gang = false;
+  /// Declared container lifetime fed to the planner as a backfill /
+  /// reservation estimate; 0 = unknown (derived from instance_seconds
+  /// when gang is set).
+  double estimated_seconds = 0;
 };
 
 /// A data shuffle edge between two tasks (Figure 6's "Pipes"). Only

@@ -160,6 +160,27 @@ void JobMaster::LaunchTask(TaskMaster* task) {
   def.priority = config.priority;
   def.resources = config.unit;
   client_->DefineUnit(def);
+  // Planner metadata (fuxi::planner): a gang task's worker set is
+  // requested all-or-nothing; a lifetime estimate (explicit, or derived
+  // from the instance plan for gangs) makes the task backfill-eligible.
+  if (config.gang || config.estimated_seconds > 0) {
+    resource::PlanningHints plan;
+    plan.estimated_seconds = config.estimated_seconds;
+    if (config.gang) {
+      if (plan.estimated_seconds <= 0 && config.max_workers > 0) {
+        int64_t waves =
+            (config.instances + config.max_workers - 1) / config.max_workers;
+        plan.estimated_seconds =
+            config.instance_seconds * static_cast<double>(waves);
+      }
+      // One gang per task: the single member is this slot's demand, so
+      // the whole worker set places atomically.
+      plan.gang_id = static_cast<uint64_t>(app_.value()) * 1000 +
+                     task->slot_id() + 1;
+      plan.gang_size = 1;
+    }
+    client_->SetPlan(task->slot_id(), plan);
+  }
   ComputeLocality(task);
   int64_t remaining = config.instances - task->done_count();
   int64_t wanted = std::min<int64_t>(config.max_workers, remaining);

@@ -516,6 +516,12 @@ void FuxiMaster::ApplyFullState(AppRecord* record,
            level_value.second, count});
     }
     delta.avoid_add = slot.avoid;
+    // Planner metadata rides the full sync too (NoteDemand is
+    // idempotent, so re-asserting it every reconcile is harmless).
+    if (slot.plan.Any()) {
+      delta.has_plan = true;
+      delta.plan = slot.plan;
+    }
     reconcile.units.push_back(std::move(delta));
   }
   // Slots the application no longer mentions: zero them out.
@@ -780,6 +786,15 @@ void FuxiMaster::RollupTick() {
          scheduler_->TakeAgedResults()) {
       Dispatch(result);
     }
+  }
+  // Planner pass (fuxi::planner, DESIGN.md §12): advance virtual time,
+  // convert due reservations into grants, plan new reservations/gangs.
+  // The planner is lazily built and stays null without planning-hinted
+  // demands, so legacy traffic never enters this branch.
+  if (scheduler_->planner_active()) {
+    resource::SchedulingResult result;
+    scheduler_->PlannerTick(Now(), &result);
+    Dispatch(result);
   }
   // Application-master liveness: restart silent AMs.
   for (auto& [app, record] : apps_) {

@@ -228,14 +228,16 @@ struct AdoptReplyRpc {
 // version byte in the matching WireTypeInfo when changing a layout.
 // ---------------------------------------------------------------------
 
-#define FUXI_MASTER_DECLARE_WIRE(TYPE)                     \
+#define FUXI_MASTER_DECLARE_WIRE_V(TYPE, VERSION)          \
   void WireEncode(wire::Writer& w, const TYPE& m);         \
   Status WireDecode(wire::Reader& r, TYPE& m);             \
   constexpr wire::TypeInfo WireTypeInfo(const TYPE*) {     \
-    return {wire::MsgTag::k##TYPE, 1};                     \
+    return {wire::MsgTag::k##TYPE, VERSION};               \
   }
+#define FUXI_MASTER_DECLARE_WIRE(TYPE) FUXI_MASTER_DECLARE_WIRE_V(TYPE, 1)
 
-FUXI_MASTER_DECLARE_WIRE(RequestRpc)
+// v2: the embedded StampedRequest carries PlanningHints (fuxi::planner).
+FUXI_MASTER_DECLARE_WIRE_V(RequestRpc, 2)
 FUXI_MASTER_DECLARE_WIRE(GrantRpc)
 FUXI_MASTER_DECLARE_WIRE(ResyncRpc)
 FUXI_MASTER_DECLARE_WIRE(BadMachineReportRpc)
@@ -256,6 +258,7 @@ FUXI_MASTER_DECLARE_WIRE(AdoptQueryRpc)
 FUXI_MASTER_DECLARE_WIRE(AdoptReplyRpc)
 
 #undef FUXI_MASTER_DECLARE_WIRE
+#undef FUXI_MASTER_DECLARE_WIRE_V
 
 // AgentAllocation and AgentCapacityRpc::Entry are nested (unframed).
 void WireEncode(wire::Writer& w, const AgentAllocation& m);

@@ -173,6 +173,18 @@ void ResourceClient::Avoid(uint32_t slot_id, const std::string& hostname) {
   Flush();
 }
 
+void ResourceClient::SetPlan(uint32_t slot_id,
+                             const resource::PlanningHints& plan) {
+  SlotState& slot = slots_[slot_id];
+  if (slot.plan == plan) return;
+  slot.plan = plan;
+  resource::UnitRequestDelta* unit = PendingUnit(&pending_, slot_id);
+  unit->has_plan = true;
+  unit->plan = plan;
+  pending_dirty_ = true;
+  Flush();
+}
+
 void ResourceClient::Release(uint32_t slot_id, MachineId machine,
                              int64_t count) {
   auto it = slots_.find(slot_id);
@@ -264,6 +276,7 @@ resource::RequestMessage ResourceClient::BuildFullState() const {
            count});
     }
     absolute.avoid.assign(slot.avoid.begin(), slot.avoid.end());
+    absolute.plan = slot.plan;
     full.full_slots.push_back(std::move(absolute));
     for (const auto& [machine, count] : slot.granted) {
       full.held_grants.push_back({slot_id, machine, count});

@@ -91,6 +91,11 @@ class ResourceClient {
   /// Adds a machine to the slot's avoid list (bad node).
   void Avoid(uint32_t slot, const std::string& hostname);
 
+  /// Attaches planner metadata (fuxi::planner) to the slot: lifetime
+  /// estimate, advance-reservation window, gang membership. Sent as an
+  /// absolute blob with the next delta and re-asserted on full syncs.
+  void SetPlan(uint32_t slot, const resource::PlanningHints& plan);
+
   /// Returns `count` granted units on `machine` (workers finished).
   /// Also lowers the desired total by `count`: a returned unit is work
   /// completed, not work to be rescheduled.
@@ -139,6 +144,7 @@ class ResourceClient {
     /// Absolute locality preferences, keyed by (level, name).
     std::map<std::pair<int, std::string>, int64_t> hints;
     std::set<std::string> avoid;
+    resource::PlanningHints plan;
   };
 
   void Flush();

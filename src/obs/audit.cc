@@ -10,7 +10,7 @@ namespace {
 
 constexpr std::string_view kKindNames[] = {
     "place",         "pass",       "preempt", "revoke",
-    "machine_event", "agent_kill", "route",
+    "machine_event", "agent_kill", "route",   "reserve",
 };
 
 constexpr std::string_view kReasonNames[] = {
@@ -18,6 +18,8 @@ constexpr std::string_view kReasonNames[] = {
     "no_free_capacity", "negative_fit_cache", "quota_headroom",
     "pass_epoch_skip", "no_live_demands",  "no_free_machines",
     "candidate_cap",  "grant_revoked",
+    "backfill_would_delay_reservation", "gang_partial_fit",
+    "reservation_expired",
 };
 
 constexpr std::string_view kTierNames[] = {"machine", "rack", "cluster"};
@@ -220,6 +222,7 @@ std::vector<CandidateOutcome> RejectionChain(
       case DecisionKind::kMachineEvent:
       case DecisionKind::kAgentKill:
       case DecisionKind::kRoute:
+      case DecisionKind::kReserve:
         break;
     }
   }
@@ -247,6 +250,7 @@ std::vector<UnplacedDemand> UnplacedAtEnd(
       case DecisionKind::kMachineEvent:
       case DecisionKind::kAgentKill:
       case DecisionKind::kRoute:
+      case DecisionKind::kReserve:
         break;
     }
   }

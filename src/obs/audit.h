@@ -34,6 +34,7 @@ enum class DecisionKind : uint8_t {
   kMachineEvent,  ///< master-side node event (down, blacklist)
   kAgentKill,     ///< agent killed a worker (capacity / overload)
   kRoute,         ///< submission-router shard choice (incl. spillover)
+  kReserve,       ///< planner action (reservation booked/converted/expired)
 };
 
 std::string_view DecisionKindName(DecisionKind kind);
@@ -53,6 +54,9 @@ enum class RejectReason : uint8_t {
   kNoFreeMachines,   ///< placement found no machine with free resources
   kCandidateCap,     ///< per-pass candidate cap truncated the walk
   kGrantRevoked,     ///< (chain synthesis) the demand lost a held grant
+  kBackfillWouldDelayReservation,  ///< fit clamped to protect a reservation
+  kGangPartialFit,   ///< gang member held back / aborted (all-or-nothing)
+  kReservationExpired,  ///< advance reservation missed its deadline
 };
 
 std::string_view RejectReasonName(RejectReason reason);

@@ -54,6 +54,9 @@ std::vector<GrantEvent> ExtractGrantEvents(
     switch (r.kind) {
       case DecisionKind::kPlace:
       case DecisionKind::kPreempt:
+      // Planner conversions carry their committed bookings as
+      // candidates, one per (machine, count) — same shape as a place.
+      case DecisionKind::kReserve:
         for (const CandidateOutcome& c : r.candidates) {
           if (c.granted > 0) {
             out.push_back({r.time, r.app, r.slot, c.machine, c.granted});

@@ -1,0 +1,125 @@
+#ifndef FUXI_PLANNER_TIMELINE_H_
+#define FUXI_PLANNER_TIMELINE_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "cluster/resource_vector.h"
+
+namespace fuxi::planner {
+
+/// "Never ends" sentinel for claim windows (a grant with no lifetime
+/// estimate holds its resources forever as far as planning is
+/// concerned).
+inline constexpr double kForever = std::numeric_limits<double>::infinity();
+
+/// One booked slice of future capacity: `amount` resources held over
+/// the half-open window [start, end). Two kinds share the structure:
+///   * running claims (owner == 0): resources a live grant holds now
+///     and is expected to release at `end` (its lifetime estimate);
+///   * reservation claims (owner != 0): resources promised to a future
+///     start, owned by the reservation id in `owner`.
+struct Claim {
+  double start = 0;
+  double end = kForever;
+  cluster::ResourceVector amount;
+  uint64_t owner = 0;  ///< reservation id, 0 for running claims
+};
+
+/// A scheduled-point timeline over one capacity pool (one machine, or a
+/// rack aggregate): future load as a piecewise-constant function of
+/// virtual time, changing only at claim starts/ends (the "scheduled
+/// points" of flux-sched-style planners). All queries are O(points ×
+/// claims) — planner workloads book tens of claims per machine, so the
+/// simple representation beats a segment tree here.
+///
+/// The planner evaluates availability at time p as
+///     A(p) = free_now + R0 - L(p)
+/// where free_now is the host's live free vector, R0 = RunningLoadAt(now)
+/// (resources held by claims that will release), and L(p) = LoadAt(p)
+/// (claims still active at p plus reservations active at p). Callers
+/// pass `budget = free_now + R0`; the timeline never sees free pools.
+class Timeline {
+ public:
+  Timeline() = default;
+  explicit Timeline(const cluster::ResourceVector& capacity)
+      : capacity_(capacity) {}
+
+  const cluster::ResourceVector& capacity() const { return capacity_; }
+  void set_capacity(const cluster::ResourceVector& capacity) {
+    capacity_ = capacity;
+  }
+
+  /// Books a claim under the caller-assigned id (ids are planner-global
+  /// so rack mirrors reuse them). Overwrites nothing: the id must be
+  /// fresh.
+  void ReserveAt(uint64_t id, double start, double end,
+                 const cluster::ResourceVector& amount, uint64_t owner = 0);
+
+  /// Releases a claim; returns false when the id is unknown.
+  bool Release(uint64_t id);
+
+  bool Has(uint64_t id) const { return claims_.count(id) > 0; }
+  const std::map<uint64_t, Claim>& claims() const { return claims_; }
+  size_t claim_count() const { return claims_.size(); }
+
+  /// Distinct event times (claim starts and finite ends) — the
+  /// scheduled-point count the metrics gauge reports.
+  size_t point_count() const;
+
+  /// Total load from claims active at `t` (start <= t < end).
+  cluster::ResourceVector LoadAt(double t) const;
+
+  /// Load from running claims (owner == 0) only — the R0 term.
+  cluster::ResourceVector RunningLoadAt(double t) const;
+
+  /// Componentwise minimum of (budget - L(p)) over every evaluation
+  /// point p in [start, end): `start` itself plus each claim boundary
+  /// inside the window. Claims owned by `skip_owner` (when nonzero) are
+  /// ignored, so a reservation never blocks its own demand. The result
+  /// may be negative.
+  cluster::ResourceVector MinAvailable(double start, double end,
+                                       const cluster::ResourceVector& budget,
+                                       uint64_t skip_owner = 0) const;
+
+  /// True when `amount` fits the window under `budget`.
+  bool CanPlaceAt(double start, double end,
+                  const cluster::ResourceVector& amount,
+                  const cluster::ResourceVector& budget,
+                  uint64_t skip_owner = 0) const;
+
+  /// Earliest t >= from with CanPlaceAt(t, t + duration, amount,
+  /// budget); kForever when no point (including the steady tail after
+  /// the last event) admits it. Candidate starts are `from` and each
+  /// scheduled point after it — load is piecewise constant, so nothing
+  /// between points can succeed where both neighbours fail.
+  double EarliestFit(double from, double duration,
+                     const cluster::ResourceVector& amount,
+                     const cluster::ResourceVector& budget,
+                     uint64_t skip_owner = 0) const;
+
+  /// Drops claims whose window ended at or before `now` (their
+  /// resources are free again, or the estimate expired — either way
+  /// they no longer constrain the future). Returns ids dropped.
+  std::vector<uint64_t> PruneEndedBefore(double now);
+
+  /// Event times strictly greater than `t`, ascending, at most `cap`.
+  std::vector<double> PointsAfter(double t, size_t cap) const;
+
+  /// The no-overcommit property: at every scheduled point p >= from,
+  /// L(p) <= budget componentwise. With budget = free_now + R0 this is
+  /// exactly "the future book never promises resources the machine
+  /// cannot deliver".
+  bool CheckNoOvercommit(const cluster::ResourceVector& budget,
+                         double from) const;
+
+ private:
+  cluster::ResourceVector capacity_;
+  std::map<uint64_t, Claim> claims_;
+};
+
+}  // namespace fuxi::planner
+
+#endif  // FUXI_PLANNER_TIMELINE_H_

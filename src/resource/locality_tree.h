@@ -77,6 +77,10 @@ struct PendingDemand {
   /// Machines this application refuses (its bad-node list).
   std::unordered_set<MachineId> avoid;
 
+  /// Planner metadata (fuxi::planner): lifetime estimate, reservation /
+  /// gang flags. Defaulted (Any() == false) for legacy demands.
+  PlanningHints plan;
+
   bool Avoids(MachineId machine) const { return avoid.count(machine) > 0; }
 };
 

@@ -32,6 +32,24 @@ Status WireDecode(wire::Reader& r, ScheduleUnitDef& m) {
   return WireDecode(r, m.resources);
 }
 
+void WireEncode(wire::Writer& w, const PlanningHints& m) {
+  w.F64(m.estimated_seconds);
+  w.Bool(m.reservation);
+  w.F64(m.reserve_start);
+  w.F64(m.deadline);
+  w.U64(m.gang_id);
+  w.U32(m.gang_size);
+}
+
+Status WireDecode(wire::Reader& r, PlanningHints& m) {
+  FUXI_RETURN_IF_ERROR(r.F64(&m.estimated_seconds));
+  FUXI_RETURN_IF_ERROR(r.Bool(&m.reservation));
+  FUXI_RETURN_IF_ERROR(r.F64(&m.reserve_start));
+  FUXI_RETURN_IF_ERROR(r.F64(&m.deadline));
+  FUXI_RETURN_IF_ERROR(r.U64(&m.gang_id));
+  return r.U32(&m.gang_size);
+}
+
 void WireEncode(wire::Writer& w, const UnitRequestDelta& m) {
   w.U32(m.slot_id);
   w.Bool(m.has_def);
@@ -40,6 +58,8 @@ void WireEncode(wire::Writer& w, const UnitRequestDelta& m) {
   w.Vec(m.hints);
   w.Vec(m.avoid_add);
   w.Vec(m.avoid_remove);
+  w.Bool(m.has_plan);
+  if (m.has_plan) WireEncode(w, m.plan);
 }
 
 Status WireDecode(wire::Reader& r, UnitRequestDelta& m) {
@@ -49,7 +69,11 @@ Status WireDecode(wire::Reader& r, UnitRequestDelta& m) {
   FUXI_RETURN_IF_ERROR(r.I64(&m.total_count_delta));
   FUXI_RETURN_IF_ERROR(r.Vec(&m.hints));
   FUXI_RETURN_IF_ERROR(r.Vec(&m.avoid_add));
-  return r.Vec(&m.avoid_remove);
+  FUXI_RETURN_IF_ERROR(r.Vec(&m.avoid_remove));
+  FUXI_RETURN_IF_ERROR(r.Bool(&m.has_plan));
+  if (m.has_plan) return WireDecode(r, m.plan);
+  m.plan = PlanningHints{};
+  return Status::Ok();
 }
 
 void WireEncode(wire::Writer& w, const ResourceRequest& m) {
@@ -67,13 +91,15 @@ void WireEncode(wire::Writer& w, const SlotAbsoluteState& m) {
   w.I64(m.total_count);
   w.Vec(m.hints);
   w.Vec(m.avoid);
+  WireEncode(w, m.plan);
 }
 
 Status WireDecode(wire::Reader& r, SlotAbsoluteState& m) {
   FUXI_RETURN_IF_ERROR(WireDecode(r, m.def));
   FUXI_RETURN_IF_ERROR(r.I64(&m.total_count));
   FUXI_RETURN_IF_ERROR(r.Vec(&m.hints));
-  return r.Vec(&m.avoid);
+  FUXI_RETURN_IF_ERROR(r.Vec(&m.avoid));
+  return WireDecode(r, m.plan);
 }
 
 void WireEncode(wire::Writer& w, const ReleaseDelta& m) {

@@ -17,6 +17,7 @@ struct SlotAbsoluteState {
   int64_t total_count = 0;                ///< absolute outstanding ask
   std::vector<LocalityHint> hints;        ///< absolute preferred counts
   std::vector<std::string> avoid;         ///< absolute avoid list
+  PlanningHints plan;                     ///< absolute planner metadata
 };
 
 /// Application master returns `count` granted units (paper: "only the
@@ -92,8 +93,10 @@ Status WireDecode(wire::Reader& r, GrantMessage& m);
 
 void WireEncode(wire::Writer& w, const StampedRequest& m);
 Status WireDecode(wire::Reader& r, StampedRequest& m);
+// v2: UnitRequestDelta grew has_plan + PlanningHints and
+// SlotAbsoluteState grew a trailing PlanningHints (fuxi::planner).
 constexpr wire::TypeInfo WireTypeInfo(const StampedRequest*) {
-  return {wire::MsgTag::kStampedRequest, 1};
+  return {wire::MsgTag::kStampedRequest, 2};
 }
 void WireEncode(wire::Writer& w, const StampedGrant& m);
 Status WireDecode(wire::Reader& r, StampedGrant& m);

@@ -44,6 +44,40 @@ struct ScheduleUnitDef {
   static Result<ScheduleUnitDef> FromJson(const Json& json);
 };
 
+/// Time-aware placement metadata for a slot (fuxi::planner, DESIGN.md
+/// §12). All fields optional; a demand with none set is scheduled by
+/// the instantaneous pass exactly as before. Travels on the wire in
+/// every build — FUXI_PLANNER=OFF ignores it rather than forking the
+/// format.
+struct PlanningHints {
+  /// Expected lifetime of one granted unit in virtual seconds; 0 =
+  /// unknown (the planner then treats grants as never releasing).
+  double estimated_seconds = 0;
+  /// Ask for an advance reservation: hold the demand until a window of
+  /// `estimated_seconds` starting at or after `reserve_start` is
+  /// booked, then start all units at once.
+  bool reservation = false;
+  double reserve_start = 0;
+  /// Latest acceptable finish (0 = none). A reservation whose earliest
+  /// window would end past the deadline is expired, not queued forever.
+  double deadline = 0;
+  /// Nonzero: this slot is one member of an all-or-nothing gang; the
+  /// planner starts all `gang_size` member slots atomically or none.
+  uint64_t gang_id = 0;
+  uint32_t gang_size = 0;
+
+  bool Any() const {
+    return estimated_seconds != 0 || reservation || reserve_start != 0 ||
+           deadline != 0 || gang_id != 0 || gang_size != 0;
+  }
+  friend bool operator==(const PlanningHints& a, const PlanningHints& b) {
+    return a.estimated_seconds == b.estimated_seconds &&
+           a.reservation == b.reservation &&
+           a.reserve_start == b.reserve_start && a.deadline == b.deadline &&
+           a.gang_id == b.gang_id && a.gang_size == b.gang_size;
+  }
+};
+
 /// An incremental change to one ScheduleUnit's demand. All counts are
 /// signed deltas; negative values shrink the outstanding ask. The first
 /// update for a slot must carry `def`.
@@ -64,6 +98,10 @@ struct UnitRequestDelta {
   /// application has blacklisted).
   std::vector<std::string> avoid_add;
   std::vector<std::string> avoid_remove;
+
+  /// Planner metadata (absolute, not a delta); carried when has_plan.
+  bool has_plan = false;
+  PlanningHints plan;
 };
 
 /// A full resource-request message from an application master. In
@@ -126,6 +164,8 @@ void WireEncode(wire::Writer& w, const LocalityHint& m);
 Status WireDecode(wire::Reader& r, LocalityHint& m);
 void WireEncode(wire::Writer& w, const ScheduleUnitDef& m);
 Status WireDecode(wire::Reader& r, ScheduleUnitDef& m);
+void WireEncode(wire::Writer& w, const PlanningHints& m);
+Status WireDecode(wire::Reader& r, PlanningHints& m);
 void WireEncode(wire::Writer& w, const UnitRequestDelta& m);
 Status WireDecode(wire::Reader& r, UnitRequestDelta& m);
 void WireEncode(wire::Writer& w, const ResourceRequest& m);

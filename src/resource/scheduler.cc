@@ -106,6 +106,11 @@ Status Scheduler::UnregisterApp(AppId app, SchedulingResult* result) {
       }
     }
   }
+  if (planner_ != nullptr) {
+    for (uint32_t slot : it->second.slots) {
+      planner_->OnDemandGone(PlanKeyOf(SlotKey{app, slot}));
+    }
+  }
   tree_.RemoveApp(app);
   if (quota_.HasApp(app)) {
     Status s = quota_.RemoveApp(app);
@@ -135,6 +140,19 @@ Status Scheduler::ApplyRequest(const ResourceRequest& request,
     for (PendingDemand* demand : touched) {
       if (demand->total_remaining > 0) TryPreempt(demand, result);
     }
+  }
+  // A request that carried planning hints gets an immediate planning
+  // pass: gangs that fit start now, reservations are booked without
+  // waiting for the next roll-up tick.
+  if (planner_ != nullptr) {
+    bool any_plan = false;
+    for (PendingDemand* demand : touched) {
+      if (demand->plan.Any()) {
+        any_plan = true;
+        break;
+      }
+    }
+    if (any_plan) PlannerTick(now_hint_, result);
   }
   return Status::Ok();
 }
@@ -191,6 +209,27 @@ Status Scheduler::ApplyUnitDelta(AppId app, const UnitRequestDelta& delta,
           break;
       }
     }
+  }
+
+  // Planning hints (fuxi::planner). Under FUXI_PLANNER=0 they are
+  // ignored exactly like locality hints under the flat-queue ablation:
+  // the demand schedules greedily and the wire format is unchanged.
+  if (delta.has_plan && planner::ClusterPlanner::enabled()) {
+    if (delta.plan.reservation && delta.plan.estimated_seconds <= 0) {
+      return Status::InvalidArgument(
+          "advance reservation requires a lifetime estimate");
+    }
+    if (delta.plan.gang_id != 0 && delta.plan.gang_size == 0) {
+      return Status::InvalidArgument(
+          "gang member must declare the gang size");
+    }
+    demand->plan = delta.plan;
+    EnsurePlanner();
+    auto sites = grant_sites_.find(demand->key);
+    bool already_granted =
+        sites != grant_sites_.end() && !sites->second.empty();
+    planner_->NoteDemand(PlanKeyOf(demand->key),
+                         PlannerDemandInfo(demand->key), already_granted);
   }
 
   if (delta.total_count_delta != 0) {
@@ -251,6 +290,24 @@ int64_t Scheduler::FitCount(const PendingDemand& demand, MachineState& state,
     }
   }
   count = std::max<int64_t>(count, 0);
+  // EASY backfill guard: on a machine carrying reservation claims, a
+  // grant may only start now if it provably finishes (its lifetime
+  // estimate; forever when unknown) before the booked windows need
+  // their resources. Never binds on unreserved machines.
+  if (planner_ != nullptr && count > 0) {
+    int64_t mid = &state - machines_.data();
+    if (planner_->HasReservationWindow(mid)) {
+      count = planner_->ClampForBackfill(
+          mid, state.free, unit, demand.plan.estimated_seconds, count,
+          PlanKeyOf(demand.key));
+      if (count == 0) {
+        if (why != nullptr) {
+          *why = obs::RejectReason::kBackfillWouldDelayReservation;
+        }
+        return 0;
+      }
+    }
+  }
   if (why != nullptr) {
     *why = count > 0 ? obs::RejectReason::kNone
                      : obs::RejectReason::kQuotaHeadroom;
@@ -259,6 +316,27 @@ int64_t Scheduler::FitCount(const PendingDemand& demand, MachineState& state,
 }
 
 void Scheduler::PlaceDemand(PendingDemand* demand, SchedulingResult* result) {
+  // Planner-held demands never place instantaneously: gang members
+  // wait for the all-or-nothing transaction, reservation demands for
+  // their booked window.
+  if (PlannerHolds(*demand)) {
+    if (auditing()) {
+      obs::DecisionRecord rec;
+      rec.kind = obs::DecisionKind::kPlace;
+      rec.app = demand->key.app.value();
+      rec.slot = demand->key.slot_id;
+      rec.remaining_before = demand->total_remaining;
+      rec.remaining_after = demand->total_remaining;
+      rec.reason = demand->plan.gang_id != 0
+                       ? obs::RejectReason::kGangPartialFit
+                       : obs::RejectReason::kBackfillWouldDelayReservation;
+      rec.note = demand->plan.gang_id != 0
+                     ? "held: gang not started"
+                     : "held: waiting for reservation window";
+      audit_->Commit(std::move(rec));
+    }
+    return;
+  }
   if (!auditing()) {
     PlaceDemandWalk(demand, result, nullptr);
     return;
@@ -457,6 +535,15 @@ void Scheduler::SchedulePass(MachineId machine, SchedulingResult* result) {
           }
           return -1;
         }
+        if (PlannerHolds(*demand)) {
+          if (record) {
+            rec.AddCandidate({demand->key.app.value(), demand->key.slot_id,
+                              -1, static_cast<uint8_t>(level),
+                              obs::RejectReason::kGangPartialFit, 0,
+                              demand->total_remaining});
+          }
+          return 0;
+        }
         int64_t limit = demand->total_remaining;
         if (level == LocalityLevel::kMachine) {
           auto it = demand->machine_remaining.find(machine);
@@ -527,6 +614,13 @@ void Scheduler::CommitGrant(PendingDemand* demand, MachineId machine,
                          demand->def.resources * (-count));
   result->assignments.push_back(
       Assignment{demand->key.app, demand->key.slot_id, machine, count});
+  // Estimated grants become running claims on the machine's timeline:
+  // the planner can then promise their release point to backfill math.
+  if (planner_ != nullptr && demand->plan.estimated_seconds > 0) {
+    planner_->OnGrantCommitted(PlanKeyOf(demand->key), machine.value(),
+                               count, demand->def.resources,
+                               demand->plan.estimated_seconds);
+  }
 }
 
 int64_t Scheduler::RevokeGrant(const SlotKey& key, MachineId machine,
@@ -571,6 +665,9 @@ int64_t Scheduler::RevokeGrant(const SlotKey& key, MachineId machine,
   }
   result->revocations.push_back(
       Revocation{key.app, key.slot_id, machine, revoked, reason});
+  if (planner_ != nullptr) {
+    planner_->OnGrantReleased(PlanKeyOf(key), machine.value(), revoked);
+  }
   if (auditing()) {
     obs::DecisionRecord rec;
     rec.kind = obs::DecisionKind::kRevoke;
@@ -614,6 +711,10 @@ Status Scheduler::RestoreGrant(AppId app, const ScheduleUnitDef& def,
   grant_sites_[key].insert(machine);
   total_granted_ += amount;
   quota_.OnGrant(app, amount);
+  // Failover ordering: when the plan arrived before this agent report,
+  // the planner is already tracking the key — the restored grant proves
+  // its gang started / reservation converted under the old primary.
+  if (planner_ != nullptr) planner_->OnGrantRestored(PlanKeyOf(key));
   return Status::Ok();
 }
 
@@ -651,6 +752,9 @@ void Scheduler::SetMachineOffline(MachineId machine,
   state.free = cluster::ResourceVector();
   SyncFreeIndex(machine, state);
   dirty_machines_.erase(machine);
+  // Reservations booked on this machine must not survive its loss; the
+  // planner drops its claims and re-plans the displaced reservations.
+  if (planner_ != nullptr) planner_->OnMachineOffline(machine.value());
   // Demands displaced from this machine re-entered the waiting queues;
   // try to place them elsewhere right away.
   std::vector<SlotKey> displaced;
@@ -703,11 +807,18 @@ void Scheduler::SetMachineCapacity(MachineId machine,
   }
   state.free = new_free.ClampNonNegative();
   SyncFreeIndex(machine, state);
+  // A shrink can strand future bookings above the new ceiling; the
+  // planner reconciles eagerly so the overcommit invariant holds at
+  // every instant, not just at the next tick.
+  if (planner_ != nullptr) {
+    planner_->SetMachineCapacity(machine.value(), capacity);
+  }
   if (state.online) SchedulePass(machine, result);
 }
 
 void Scheduler::TryPreempt(PendingDemand* demand, SchedulingResult* result) {
   if (demand->total_remaining <= 0) return;
+  if (PlannerHolds(*demand)) return;
   const QuotaManager::Group* my_group = quota_.GroupOf(demand->key.app);
   // Without a quota group the demand can neither priority-preempt
   // (same-group only) nor quota-preempt — no victim can exist, so skip
@@ -758,6 +869,14 @@ void Scheduler::TryPreempt(PendingDemand* demand, SchedulingResult* result) {
       }
       for (MachineId machine : it->second) {
         if (demand->Avoids(machine)) continue;
+        // Machines carrying reservation claims are off-limits to
+        // preemption: the revoke-then-grant shuffle is not covered by
+        // the backfill clamp's commit-consistency argument, so keeping
+        // the book safe means leaving those machines alone.
+        if (planner_ != nullptr &&
+            planner_->HasReservationWindow(machine.value())) {
+          continue;
+        }
         victims.push_back(
             {level, victim_demand->def.priority, machine, it->first});
       }
@@ -974,6 +1093,8 @@ void Scheduler::SyncFreeIndex(MachineId machine, MachineState& state) {
 }
 
 void Scheduler::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_registry_ = metrics;
+  if (planner_ != nullptr) planner_->set_metrics(metrics);
   if (metrics == nullptr) {
     tier_machine_counter_ = tier_rack_counter_ = tier_cluster_counter_ =
         preempt_units_counter_ = passes_counter_ = passes_skipped_counter_ =
@@ -996,6 +1117,135 @@ void Scheduler::set_metrics(obs::MetricsRegistry* metrics) {
   dirty_drain_hist_ = metrics->GetHistogram("sched.dirty_drain_size");
   grant_sites_gauge_ = metrics->GetGauge("sched.grant_sites");
   grant_sites_gauge_->Set(static_cast<double>(grant_sites_.size()));
+}
+
+// ---------------------------------------------------------------------
+// fuxi::planner integration (DESIGN.md §12). Everything below is dead
+// code under FUXI_PLANNER=0: EnsurePlanner never constructs, so the
+// planner_ != nullptr guards sprinkled through the hot paths fold away.
+// ---------------------------------------------------------------------
+
+void Scheduler::EnsurePlanner() {
+  if (!planner::ClusterPlanner::enabled() || planner_ != nullptr) return;
+  const std::vector<cluster::Machine>& machines = topology_->machines();
+  std::vector<cluster::ResourceVector> capacities;
+  std::vector<int64_t> rack_of;
+  capacities.reserve(machines.size());
+  rack_of.reserve(machines.size());
+  for (const cluster::Machine& m : machines) {
+    capacities.push_back(m.capacity);
+    rack_of.push_back(m.rack.value());
+  }
+  planner::HostHooks hooks;
+  hooks.machine = [this](int64_t machine) {
+    const MachineState& state = machines_[static_cast<size_t>(machine)];
+    return planner::MachineView{state.online, state.free};
+  };
+  hooks.commit = [this](const planner::PlanKey& key, int64_t machine,
+                        int64_t count) {
+    return PlannerCommit(key, machine, count);
+  };
+  hooks.expire = [this](const planner::PlanKey& key) { PlannerExpire(key); };
+  hooks.demand = [this](const planner::PlanKey& key) {
+    return PlannerDemandInfo(SlotKey{AppId(key.app), key.slot});
+  };
+  hooks.all_demands = [this]() {
+    std::vector<std::pair<planner::PlanKey, planner::DemandInfo>> out;
+    for (const PendingDemand* demand : tree_.AllDemands()) {
+      if (!demand->plan.Any()) continue;
+      out.emplace_back(PlanKeyOf(demand->key),
+                       PlannerDemandInfo(demand->key));
+    }
+    // AllDemands is already key-ordered; PlanKey order matches SlotKey
+    // order, so no re-sort is needed for determinism.
+    return out;
+  };
+  planner_ = std::make_unique<planner::ClusterPlanner>(
+      std::move(capacities), std::move(rack_of),
+      static_cast<int64_t>(topology_->rack_count()), std::move(hooks));
+  planner_->set_audit(audit_);
+  if (metrics_registry_ != nullptr) planner_->set_metrics(metrics_registry_);
+}
+
+int64_t Scheduler::PlannerCommit(const planner::PlanKey& pkey,
+                                 int64_t machine_raw, int64_t count) {
+  SlotKey key{AppId(pkey.app), pkey.slot};
+  PendingDemand* demand = tree_.Find(key);
+  if (demand == nullptr || count <= 0) return 0;
+  MachineState& state = machines_[static_cast<size_t>(machine_raw)];
+  if (!state.online) return 0;
+  int64_t n = std::min(count, demand->total_remaining);
+  n = std::min(n, state.free.DivideBy(demand->def.resources));
+  if (n <= 0) return 0;
+  // A planner commit deliberately bypasses the quota headroom clamp:
+  // the reservation was promised when it was booked, and capping here
+  // would strand the booked window. Quota *accounting* still flows
+  // through CommitGrant (OnGrant / OnWaitingChange), so usage totals
+  // stay truthful and later quota preemption can claw back excess.
+  MachineId machine(machine_raw);
+  FUXI_CHECK(planner_result_ != nullptr)
+      << "planner commit outside PlannerTick";
+  CommitGrant(demand, machine, n, planner_result_);
+  tree_.ConsumeGrant(demand, machine, n);
+  NoteGrantTier(LocalityLevel::kCluster, n);
+  return n;
+}
+
+void Scheduler::PlannerExpire(const planner::PlanKey& pkey) {
+  SlotKey key{AppId(pkey.app), pkey.slot};
+  PendingDemand* demand = tree_.Find(key);
+  if (demand == nullptr || demand->total_remaining <= 0) return;
+  NoteMutation();
+  int64_t remaining = demand->total_remaining;
+  quota_.OnWaitingChange(key.app, demand->def.resources * (-remaining));
+  tree_.AddTotal(demand, -remaining);
+}
+
+planner::DemandInfo Scheduler::PlannerDemandInfo(const SlotKey& key) const {
+  planner::DemandInfo info;
+  const PendingDemand* demand = tree_.Find(key);
+  if (demand == nullptr) return info;
+  info.exists = true;
+  info.unit = demand->def.resources;
+  info.remaining = demand->total_remaining;
+  info.priority = static_cast<int32_t>(demand->effective_priority);
+  info.seq = demand->enqueue_seq;
+  info.estimate = demand->plan.estimated_seconds;
+  info.reserve_start = demand->plan.reserve_start;
+  info.deadline = demand->plan.deadline;
+  info.gang_id = demand->plan.gang_id;
+  info.gang_size = demand->plan.gang_size;
+  info.reservation = demand->plan.reservation;
+  return info;
+}
+
+void Scheduler::PlannerTick(double now, SchedulingResult* result) {
+  if (planner_ == nullptr) return;
+  now_hint_ = std::max(now_hint_, now);
+  planner_result_ = result;
+  planner_->Tick(now_hint_);
+  planner_result_ = nullptr;
+}
+
+bool Scheduler::PlannerOvercommitOk() const {
+  return planner_ == nullptr || planner_->CheckNoOvercommit();
+}
+
+bool Scheduler::PlannerGangAtomicityOk() const {
+  if (planner_ == nullptr) return true;
+  return planner_->CheckGangAtomicity([this](const planner::PlanKey& pkey) {
+    SlotKey key{AppId(pkey.app), pkey.slot};
+    auto site = grant_sites_.find(key);
+    if (site == grant_sites_.end()) return int64_t{0};
+    int64_t total = 0;
+    for (MachineId machine : site->second) {
+      const MachineState& state =
+          machines_[static_cast<size_t>(machine.value())];
+      auto it = state.grants.find(key);
+      if (it != state.grants.end()) total += it->second;
+    }
+    return total;
+  });
 }
 
 }  // namespace fuxi::resource

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -13,6 +14,7 @@
 #include "common/status.h"
 #include "obs/audit.h"
 #include "obs/metrics_registry.h"
+#include "planner/planner.h"
 #include "resource/locality_tree.h"
 #include "resource/quota.h"
 #include "resource/request.h"
@@ -224,7 +226,30 @@ class Scheduler {
   /// compiled out via FUXI_OBS_AUDIT=0) the scheduler emits byte-for-
   /// byte identical SchedulingResult sequences — the decision-
   /// neutrality contract, enforced by the differential suite.
-  void set_audit(obs::AuditLog* audit) { audit_ = audit; }
+  void set_audit(obs::AuditLog* audit) {
+    audit_ = audit;
+    if (planner_ != nullptr) planner_->set_audit(audit);
+  }
+
+  // --- time-aware placement (fuxi::planner, DESIGN.md §12) --------------
+
+  /// Runs one planning pass at virtual time `now`: converts due
+  /// reservations into grants (appended to `result`), expires missed
+  /// deadlines, plans new reservations/gangs, maintains the EASY
+  /// backfill-head reservation. No-op until some demand has carried
+  /// planning hints — legacy traffic never constructs the planner, so
+  /// default-build behaviour is bit-for-bit the pre-planner scheduler.
+  void PlannerTick(double now, SchedulingResult* result);
+
+  /// True once the planner has been (lazily) constructed.
+  bool planner_active() const { return planner_ != nullptr; }
+  const planner::ClusterPlanner* planner() const { return planner_.get(); }
+
+  /// Chaos invariants (InvariantMonitor): the future-capacity book
+  /// never promises what a machine cannot deliver, and an unstarted
+  /// gang holds zero grants. Both trivially true without a planner.
+  bool PlannerOvercommitOk() const;
+  bool PlannerGangAtomicityOk() const;
 
  private:
   struct AppState {
@@ -282,6 +307,30 @@ class Scheduler {
   bool auditing() const {
     return obs::AuditLog::enabled() && audit_ != nullptr;
   }
+
+  // --- planner plumbing (all dead code when FUXI_PLANNER=0:
+  // ClusterPlanner::enabled() is constexpr false, so the planner is
+  // never constructed and every planner_ != nullptr guard folds) ------
+
+  static planner::PlanKey PlanKeyOf(const SlotKey& key) {
+    return planner::PlanKey{key.app.value(), key.slot_id};
+  }
+
+  /// Constructs the planner on first planning-hinted demand.
+  void EnsurePlanner();
+
+  /// True while the planner forbids instantaneous placement of this
+  /// demand (unstarted gang member / unconverted reservation).
+  bool PlannerHolds(const PendingDemand& demand) const {
+    return planner_ != nullptr && demand.plan.Any() &&
+           planner_->Holds(PlanKeyOf(demand.key));
+  }
+
+  /// HostHooks bodies: the planner's only write path into grant state.
+  int64_t PlannerCommit(const planner::PlanKey& key, int64_t machine,
+                        int64_t count);
+  void PlannerExpire(const planner::PlanKey& key);
+  planner::DemandInfo PlannerDemandInfo(const SlotKey& key) const;
 
   /// Re-derives `machine`'s membership in the free indexes from its
   /// state and bumps the fit/pass epochs. Must be called after every
@@ -348,6 +397,14 @@ class Scheduler {
   obs::Gauge* grant_sites_gauge_ = nullptr;
 
   obs::AuditLog* audit_ = nullptr;
+
+  /// The time-aware placement layer; null until a demand carries
+  /// planning hints (and always null under FUXI_PLANNER=0).
+  std::unique_ptr<planner::ClusterPlanner> planner_;
+  /// Where planner-committed grants land while a Tick is running.
+  SchedulingResult* planner_result_ = nullptr;
+  /// Retained so a lazily-built planner can wire its instruments.
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
 };
 
 }  // namespace fuxi::resource

@@ -109,6 +109,9 @@ void SyntheticApp::RestartMaster() {
     for (StageState& stage : stages_) {
       if (!stage.launched || stage.complete) continue;
       client_->DefineUnit(MakeDefFor(stage));
+      if (stage.config.plan.Any()) {
+        client_->SetPlan(stage.config.slot_id, stage.config.plan);
+      }
       int64_t granted = client_->granted_total(stage.config.slot_id);
       int64_t wanted = std::min<int64_t>(
           stage.config.workers,
@@ -157,6 +160,9 @@ void SyntheticApp::LaunchStage(StageState* stage) {
     return;
   }
   client_->DefineUnit(MakeDefFor(*stage));
+  if (stage->config.plan.Any()) {
+    client_->SetPlan(stage->config.slot_id, stage->config.plan);
+  }
   int64_t wanted =
       std::min<int64_t>(stage->config.workers, stage->config.instances);
   client_->SetDesired(stage->config.slot_id, wanted);

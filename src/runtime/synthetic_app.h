@@ -24,6 +24,10 @@ struct SyntheticStage {
   /// Stage starts only when this slot finishes (-1 = start immediately);
   /// models map -> reduce dependencies.
   int depends_on = -1;
+  /// Planner metadata (fuxi::planner): lifetime estimate, reservation
+  /// window, gang membership. Any() == false leaves the stage on the
+  /// legacy instantaneous-only path.
+  resource::PlanningHints plan;
 };
 
 /// A synthetic application master: requests units via the incremental

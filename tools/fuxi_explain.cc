@@ -8,6 +8,8 @@
 //   fuxi_explain audit.json --unplaced          # rejection chains for
 //                                               # every unsatisfied demand
 //   fuxi_explain audit.json --timeline          # per-app utilization
+//   fuxi_explain audit.json --timeline M        # machine M's planner
+//                                               # reservation future
 //   fuxi_explain audit.json --gantt             # per-machine occupancy
 //   fuxi_explain audit.json --trace trace.json  # annotate records with
 //                                               # flight-recorder span names
@@ -80,6 +82,10 @@ void PrintCandidate(const CandidateOutcome& c, bool demand_fixed) {
     std::printf("  granted=%lld rem=%lld\n",
                 static_cast<long long>(c.granted),
                 static_cast<long long>(c.remaining));
+  } else if (c.reason == RejectReason::kNone) {
+    // A planner booking: units promised on this machine in the future,
+    // carried in `remaining` so grant extraction does not count them.
+    std::printf("  reserved=%lld\n", static_cast<long long>(c.remaining));
   } else {
     std::printf("  rejected: %s (rem=%lld)\n",
                 fuxi::obs::RejectReasonName(c.reason).data(),
@@ -201,6 +207,102 @@ void PrintUnplaced(const std::vector<DecisionRecord>& records) {
   }
 }
 
+/// Units a kReserve record books (provisionally) or commits on `machine`.
+struct ReserveTouch {
+  int64_t reserved = 0;
+  int64_t committed = 0;
+};
+
+ReserveTouch TouchOn(const DecisionRecord& r, int64_t machine) {
+  ReserveTouch touch;
+  for (const CandidateOutcome& c : r.candidates) {
+    if (c.machine != machine) continue;
+    if (c.granted > 0) {
+      touch.committed += c.granted;
+    } else if (c.reason == RejectReason::kNone) {
+      touch.reserved += c.remaining;
+    }
+  }
+  return touch;
+}
+
+/// The planner's view of one machine's future: every reservation event
+/// that touched it, in order, plus whatever is still booked at the end
+/// of the dump. Bookings name their window in the note
+/// ("reserve=<id> start=<s> end=<e>"); a later kReserve record for the
+/// same demand supersedes the booking (converted, aborted, expired, or
+/// re-booked elsewhere).
+void PrintMachineReservations(const std::vector<DecisionRecord>& records,
+                              int64_t machine) {
+  struct Open {
+    double time;
+    int64_t units;
+    std::string note;
+  };
+  std::map<std::pair<int64_t, uint32_t>, Open> open;
+  size_t events = 0;
+  std::printf("== planner reservation timeline for m%lld ==\n",
+              static_cast<long long>(machine));
+  for (const DecisionRecord& r : records) {
+    if (r.kind != DecisionKind::kReserve) {
+      // A backfill-head fence is released without an audit record when
+      // its demand starts via the instantaneous pass — retire the
+      // booking when we see that demand granted anywhere.
+      if (r.kind == DecisionKind::kPlace) {
+        for (const CandidateOutcome& c : r.candidates) {
+          if (c.granted > 0) open.erase({r.app, r.slot});
+        }
+      } else if (r.kind == DecisionKind::kPass) {
+        for (const CandidateOutcome& c : r.candidates) {
+          if (c.granted > 0) open.erase({c.app, c.slot});
+        }
+      }
+      continue;
+    }
+    ReserveTouch touch = TouchOn(r, machine);
+    std::pair<int64_t, uint32_t> key{r.app, r.slot};
+    if (touch.reserved > 0) {
+      open[key] = Open{r.time, touch.reserved, r.note};
+    } else {
+      // Any later planner decision about this demand retires its
+      // booking here: it converted, aborted, expired, or moved.
+      open.erase(key);
+    }
+    if (touch.reserved == 0 && touch.committed == 0 &&
+        r.machine != machine) {
+      continue;
+    }
+    ++events;
+    std::printf("t=%.3f app%lld/s%u", r.time,
+                static_cast<long long>(r.app), r.slot);
+    if (touch.reserved > 0) {
+      std::printf(" reserved %lld units",
+                  static_cast<long long>(touch.reserved));
+    }
+    if (touch.committed > 0) {
+      std::printf(" committed %lld units",
+                  static_cast<long long>(touch.committed));
+    }
+    if (r.reason != RejectReason::kNone) {
+      std::printf(" [%s]", fuxi::obs::RejectReasonName(r.reason).data());
+    }
+    if (!r.note.empty()) std::printf(" (%s)", r.note.c_str());
+    std::printf("\n");
+  }
+  if (events == 0) {
+    std::printf("no planner reservations touched this machine\n");
+    return;
+  }
+  if (!open.empty()) {
+    std::printf("still booked at end of dump:\n");
+    for (const auto& [key, o] : open) {
+      std::printf("  app%lld/s%u: %lld units, booked at t=%.3f (%s)\n",
+                  static_cast<long long>(key.first), key.second,
+                  static_cast<long long>(o.units), o.time, o.note.c_str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,7 +310,9 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: %s <audit.json> [--demand APP [SLOT] | --machine M | "
-        "--unplaced | --timeline | --gantt] [--trace trace.json]\n",
+        "--unplaced | --timeline [M] | --gantt] [--trace trace.json]\n"
+        "  --timeline       per-app utilization over time\n"
+        "  --timeline M     machine M's planner reservation timeline\n",
         argv[0]);
     return 2;
   }
@@ -236,7 +340,7 @@ int main(int argc, char** argv) {
   enum class Mode { kSummary, kDemand, kMachine, kUnplaced, kTimeline,
                     kGantt };
   Mode mode = Mode::kSummary;
-  int64_t app = -1, machine = -1;
+  int64_t app = -1, machine = -1, timeline_machine = -1;
   uint32_t slot = 0;
   bool any_slot = true;
   std::map<uint64_t, std::string> span_names;
@@ -255,6 +359,9 @@ int main(int argc, char** argv) {
       mode = Mode::kUnplaced;
     } else if (std::strcmp(argv[i], "--timeline") == 0) {
       mode = Mode::kTimeline;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        timeline_machine = std::atoll(argv[++i]);
+      }
     } else if (std::strcmp(argv[i], "--gantt") == 0) {
       mode = Mode::kGantt;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -305,6 +412,10 @@ int main(int argc, char** argv) {
       PrintUnplaced(records);
       break;
     case Mode::kTimeline: {
+      if (timeline_machine >= 0) {
+        PrintMachineReservations(records, timeline_machine);
+        break;
+      }
       std::vector<fuxi::obs::GrantEvent> events =
           fuxi::obs::ExtractGrantEvents(records);
       std::fputs(
