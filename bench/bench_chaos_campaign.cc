@@ -6,6 +6,11 @@
 //   bench_chaos_campaign --seeds 200     # wider sweep
 //   bench_chaos_campaign --first 1000    # different seed range
 //   bench_chaos_campaign --seed 50       # replay one seed, full dump
+//   bench_chaos_campaign --jobs max      # fan seeds across all cores
+//   bench_chaos_campaign --jobs 4        # ... or a fixed worker count
+//                        # (per-seed output lines, digests and exit
+//                        # status are byte-identical to --jobs 1; the
+//                        # wall-clock summary goes to stderr)
 //   bench_chaos_campaign --seed 1 --seed-restore-bug
 //                        # seed the Figure 7 double-grant regression;
 //                        # the run must FAIL and dump its causal trace
@@ -25,15 +30,71 @@
 // seed. When a campaign fails, the flight-recorder snapshot taken at
 // the first violation is written to fuxi_trace_seed<N>.json — load it
 // in Perfetto or run tools/trace_stats on it to walk the message chain
-// that led to the violation.
+// that led to the violation. All per-seed artifact files are written
+// from the main thread after the sweep joined, so parallel runs never
+// interleave dumps.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "chaos/campaign.h"
+#include "sweep/sweep_runner.h"
+
+namespace {
+
+/// Prints one campaign's result line and, for failures or single-seed
+/// replays, the full dump plus per-seed artifact files. Called from the
+/// main thread only, in seed order.
+bool Report(const fuxi::chaos::CampaignResult& result, bool single) {
+  std::printf(
+      "seed=%llu %s events=%llu heavy_checks=%llu instances=%lld "
+      "done_at=%.1f hash=%016llx digest=%016llx violations=%zu\n",
+      static_cast<unsigned long long>(result.seed),
+      result.ok() ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(result.events),
+      static_cast<unsigned long long>(result.heavy_checks),
+      static_cast<long long>(result.instances_done), result.completed_at,
+      static_cast<unsigned long long>(result.state_hash),
+      static_cast<unsigned long long>(result.replay_digest),
+      result.violations.size());
+  if (!result.ok() || single) {
+    std::string dump = fuxi::chaos::FormatCampaignFailure(result);
+    std::fputs(dump.c_str(), result.ok() ? stdout : stderr);
+    uint64_t seed = result.seed;
+    if (!result.chrome_trace.empty()) {
+      std::string path = "fuxi_trace_seed" + std::to_string(seed) + ".json";
+      std::ofstream out(path, std::ios::binary);
+      out << result.chrome_trace;
+      std::fprintf(stderr, "flight-recorder trace written to %s\n",
+                   path.c_str());
+    }
+    if (single && !result.metrics_csv.empty()) {
+      std::string path = "fuxi_metrics_seed" + std::to_string(seed) + ".csv";
+      std::ofstream out(path, std::ios::binary);
+      out << result.metrics_csv;
+      std::fprintf(stderr,
+                   "metrics dump written to %s (per-type wire bytes: "
+                   "trace_stats --metrics %s)\n",
+                   path.c_str(), path.c_str());
+    }
+    if (!result.audit_json.empty()) {
+      std::string path = "fuxi_audit_seed" + std::to_string(seed) + ".json";
+      std::ofstream out(path, std::ios::binary);
+      out << result.audit_json;
+      std::fprintf(stderr,
+                   "decision-audit dump written to %s (query with "
+                   "fuxi_explain)\n",
+                   path.c_str());
+    }
+  }
+  return result.ok();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   uint64_t first_seed = 1;
@@ -42,6 +103,7 @@ int main(int argc, char** argv) {
   bool seed_restore_bug = false;
   bool serialize_on_send = false;
   int shards = 1;
+  int jobs = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       count = std::atoi(argv[++i]);
@@ -51,6 +113,8 @@ int main(int argc, char** argv) {
       first_seed = std::strtoull(argv[++i], nullptr, 10);
       count = 1;
       single = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = fuxi::sweep::ParseJobs(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed-restore-bug") == 0) {
       seed_restore_bug = true;
     } else if (std::strcmp(argv[i], "--serialize-on-send") == 0) {
@@ -60,8 +124,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds N] [--first S] [--seed S] "
-                   "[--seed-restore-bug] [--serialize-on-send] "
-                   "[--shards N]\n",
+                   "[--jobs N|max] [--seed-restore-bug] "
+                   "[--serialize-on-send] [--shards N]\n",
                    argv[0]);
       return 2;
     }
@@ -77,50 +141,37 @@ int main(int argc, char** argv) {
     // seeded regression disables it, like the scripted chaos tests.
     config.cluster.agent.allocation_report_every = 0;
   }
+
   int failed = 0;
-  for (int i = 0; i < count; ++i) {
-    uint64_t seed = first_seed + static_cast<uint64_t>(i);
-    fuxi::chaos::CampaignResult result = fuxi::chaos::RunCampaign(seed, config);
-    std::printf(
-        "seed=%llu %s events=%llu heavy_checks=%llu instances=%lld "
-        "done_at=%.1f hash=%016llx violations=%zu\n",
-        static_cast<unsigned long long>(seed), result.ok() ? "PASS" : "FAIL",
-        static_cast<unsigned long long>(result.events),
-        static_cast<unsigned long long>(result.heavy_checks),
-        static_cast<long long>(result.instances_done), result.completed_at,
-        static_cast<unsigned long long>(result.state_hash),
-        result.violations.size());
-    if (!result.ok() || single) {
-      if (!result.ok()) ++failed;
-      std::string dump = fuxi::chaos::FormatCampaignFailure(result);
-      std::fputs(dump.c_str(), result.ok() ? stdout : stderr);
-      if (!result.chrome_trace.empty()) {
-        std::string path = "fuxi_trace_seed" + std::to_string(seed) + ".json";
-        std::ofstream out(path, std::ios::binary);
-        out << result.chrome_trace;
-        std::fprintf(stderr, "flight-recorder trace written to %s\n",
-                     path.c_str());
-      }
-      if (single && !result.metrics_csv.empty()) {
-        std::string path = "fuxi_metrics_seed" + std::to_string(seed) + ".csv";
-        std::ofstream out(path, std::ios::binary);
-        out << result.metrics_csv;
-        std::fprintf(stderr,
-                     "metrics dump written to %s (per-type wire bytes: "
-                     "trace_stats --metrics %s)\n",
-                     path.c_str(), path.c_str());
-      }
-      if (!result.audit_json.empty()) {
-        std::string path = "fuxi_audit_seed" + std::to_string(seed) + ".json";
-        std::ofstream out(path, std::ios::binary);
-        out << result.audit_json;
-        std::fprintf(stderr,
-                     "decision-audit dump written to %s (query with "
-                     "fuxi_explain)\n",
-                     path.c_str());
-      }
+  if (jobs == 1) {
+    // Serial mode streams each line as its campaign finishes.
+    for (int i = 0; i < count; ++i) {
+      uint64_t seed = first_seed + static_cast<uint64_t>(i);
+      if (!Report(fuxi::chaos::RunCampaign(seed, config), single)) ++failed;
     }
+    std::printf("chaos sweep: %d/%d campaigns passed\n", count - failed,
+                count);
+    return failed == 0 ? 0 : 1;
+  }
+
+  // Parallel mode: fan the seeds across the work-stealing pool, then
+  // report in seed order from the main thread — stdout is byte-
+  // identical to --jobs 1.
+  fuxi::sweep::SweepRunner runner({jobs});
+  std::vector<fuxi::chaos::CampaignResult> results(
+      static_cast<size_t>(count > 0 ? count : 0));
+  runner.Run(results.size(), [&results, first_seed, &config](size_t i) {
+    results[i] =
+        fuxi::chaos::RunCampaign(first_seed + static_cast<uint64_t>(i),
+                                 config);
+  });
+  for (const fuxi::chaos::CampaignResult& result : results) {
+    if (!Report(result, single)) ++failed;
   }
   std::printf("chaos sweep: %d/%d campaigns passed\n", count - failed, count);
+  // Wall-clock goes to stderr: CI legs diff stdout across wire modes.
+  std::fprintf(stderr, "sweep wall-clock: %.3fs (jobs=%d, steals=%zu)\n",
+               runner.stats().wall_seconds, runner.jobs(),
+               runner.stats().steals);
   return failed == 0 ? 0 : 1;
 }

@@ -4,14 +4,28 @@
 # (every FUXI_OBS_TRACING / FUXI_OBS_AUDIT configuration must stay
 # green), then the chaos campaign sweep again under ASan/UBSan (memory
 # errors in failover and fault-recovery paths are exactly what the
-# campaigns shake out).
+# campaigns shake out) and the parallel sweep engine under TSan (data
+# races between concurrent SimClusters are exactly what --jobs N adds).
 #
-# Usage: scripts/tier1.sh [--skip-asan]
+# The campaign legs run with --jobs 4: the sweep fans seeds across the
+# work-stealing pool and each leg's stdout stays byte-identical to a
+# serial run (the determinism battery in tests/sweep_test.cc asserts
+# this; these legs exercise it end to end). The per-leg sweep wall-clock
+# is printed to stderr so CI logs record the speedup.
+#
+# Usage: scripts/tier1.sh [--skip-asan] [--skip-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 skip_asan=0
-[[ "${1:-}" == "--skip-asan" ]] && skip_asan=1
+skip_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-asan) skip_asan=1 ;;
+    --skip-tsan) skip_tsan=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: build + full test suite =="
 cmake -B build -S . >/dev/null
@@ -58,26 +72,41 @@ echo "== tier-1: federated chaos sweep (shard crash-loops + spillover) =="
 # directory, and the submission router in the loop: shard crash-loops,
 # directory-replica outages and the mid-window spillover wave must hold
 # every per-shard AND global invariant on each seed.
-./build/bench/bench_chaos_campaign --shards 4 --seeds 10
-./build/bench/bench_chaos_campaign --shards 4 --serialize-on-send --seeds 10
+./build/bench/bench_chaos_campaign --shards 4 --seeds 10 --jobs 4
+./build/bench/bench_chaos_campaign --shards 4 --serialize-on-send --seeds 10 --jobs 4
 
 echo "== tier-1: serialize-on-send campaign leg (wire codecs live) =="
 # Every control-plane message round-trips through its fuxi::wire codec
 # at Send; hashes must match the default in-memory-delivery mode (the
 # SerializeOnSendIsInvisibleToTheSimulation test checks the equality,
 # this leg sweeps more seeds in the ON configuration).
-./build/bench/bench_chaos_campaign --serialize-on-send --seeds 10
+./build/bench/bench_chaos_campaign --serialize-on-send --seeds 10 --jobs 4
 
 if [[ "$skip_asan" == 1 ]]; then
   echo "== tier-1: ASan/UBSan pass skipped =="
-  exit 0
+else
+  echo "== tier-1: chaos campaign + wire fuzz under ASan/UBSan =="
+  cmake -B build-asan -S . -DFUXI_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j"$(nproc)" --target fuxi_tests
+  (cd build-asan &&
+   ./tests/fuxi_tests \
+     --gtest_filter='*ChaosCampaign.*:Shard*:ScriptedChaosTest.*:Wire*:NetworkTest.*:Planner*')
 fi
 
-echo "== tier-1: chaos campaign + wire fuzz under ASan/UBSan =="
-cmake -B build-asan -S . -DFUXI_SANITIZE=address,undefined >/dev/null
-cmake --build build-asan -j"$(nproc)" --target fuxi_tests
-(cd build-asan &&
- ./tests/fuxi_tests \
-   --gtest_filter='*ChaosCampaign.*:Shard*:ScriptedChaosTest.*:Wire*:NetworkTest.*:Planner*')
+if [[ "$skip_tsan" == 1 ]]; then
+  echo "== tier-1: TSan pass skipped =="
+else
+  echo "== tier-1: parallel sweep engine under TSan =="
+  # The work-stealing pool, the concurrent SimClusters and the parallel
+  # differential suite — every place campaign threads touch shared
+  # memory — under the race detector.
+  cmake -B build-tsan -S . -DFUXI_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j"$(nproc)" --target fuxi_tests bench_chaos_campaign
+  (cd build-tsan &&
+   ./tests/fuxi_tests \
+     --gtest_filter='SweepRunnerTest.*:SweepDeterminism.*:SweepViolation.*:ConcurrentClusters.*:*DifferentialSweep*')
+  ./build-tsan/bench/bench_chaos_campaign --seeds 10 --jobs 4
+  ./build-tsan/bench/bench_chaos_campaign --shards 4 --seeds 10 --jobs 4
+fi
 
 echo "tier-1 OK"

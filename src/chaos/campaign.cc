@@ -4,13 +4,48 @@
 #include <map>
 #include <memory>
 #include <sstream>
+#include <string_view>
 
 #include "common/logging.h"
 #include "obs/exporters.h"
 #include "runtime/synthetic_app.h"
 #include "shard/messages.h"
+#include "sweep/sweep_runner.h"
 
 namespace fuxi::chaos {
+
+namespace {
+
+uint64_t Fnv1a(uint64_t digest, std::string_view bytes) {
+  for (char c : bytes) {
+    digest ^= static_cast<unsigned char>(c);
+    digest *= 1099511628211ull;
+  }
+  return digest;
+}
+
+/// Folds the campaign's replay artifacts into the determinism
+/// fingerprint compared across --jobs values. Everything folded here is
+/// virtual-time-stamped and seed-determined; wall-clock-bearing
+/// artifacts (chrome_trace) and the separately-compared metrics CSV
+/// stay out.
+uint64_t ReplayDigest(const CampaignResult& result) {
+  uint64_t digest = 1469598103934665603ull;  // FNV-1a offset basis
+  digest = Fnv1a(digest, result.fault_log);
+  digest = Fnv1a(digest, result.trace);
+  for (const Violation& v : result.violations) {
+    std::ostringstream line;
+    line << v.time << '|' << v.invariant << '|' << v.detail << '\n';
+    digest = Fnv1a(digest, line.str());
+  }
+  std::ostringstream scalars;
+  scalars << result.completed << '|' << result.completed_at << '|'
+          << result.ended_at << '|' << result.events << '|'
+          << result.instances_done << '|' << std::hex << result.state_hash;
+  return Fnv1a(digest, scalars.str());
+}
+
+}  // namespace
 
 CampaignConfig::CampaignConfig() {
   cluster.topology.racks = 2;
@@ -274,6 +309,7 @@ CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
     result.audit_json = monitor.audit_dump();
   }
   monitor.Stop();
+  result.replay_digest = ReplayDigest(result);
   return result;
 }
 
@@ -346,16 +382,30 @@ std::string FormatCampaignFailure(const CampaignResult& result) {
 }
 
 SweepResult RunSeedSweep(uint64_t first_seed, int count,
-                         const CampaignConfig& config) {
+                         const CampaignConfig& config, int jobs) {
   SweepResult sweep;
-  for (int i = 0; i < count; ++i) {
-    uint64_t seed = first_seed + static_cast<uint64_t>(i);
-    CampaignResult result = RunCampaign(seed, config);
+  if (count <= 0) return sweep;
+  // Fan the seeds out; every campaign owns its own SimCluster, so the
+  // only cross-worker state is the index-addressed results vector each
+  // worker writes exactly one slot of.
+  ::fuxi::sweep::SweepRunner runner({jobs});
+  std::vector<CampaignResult> results(static_cast<size_t>(count));
+  runner.Run(static_cast<size_t>(count),
+             [&results, first_seed, &config](size_t i) {
+               results[i] =
+                   RunCampaign(first_seed + static_cast<uint64_t>(i), config);
+             });
+  sweep.jobs = runner.jobs();
+  sweep.wall_seconds = runner.stats().wall_seconds;
+  // Deterministic seed-ordered reduction: identical for every jobs
+  // value, including the order of failing seeds and retained failures.
+  for (CampaignResult& result : results) {
+    sweep.digests.push_back(result.replay_digest);
     if (result.ok()) {
       ++sweep.passed;
     } else {
       ++sweep.failed;
-      sweep.failing_seeds.push_back(seed);
+      sweep.failing_seeds.push_back(result.seed);
       sweep.failures.push_back(std::move(result));
     }
   }

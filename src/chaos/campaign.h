@@ -82,6 +82,17 @@ struct CampaignResult {
   /// (net.msgs.<type> / net.bytes.<type>) — feed it to
   /// `trace_stats --metrics` for the byte-volume table.
   std::string metrics_csv;
+  /// FNV-1a fold of the campaign's replay artifacts: the fault log, the
+  /// digest trace (every line of which embeds the monitor's rolling
+  /// grant-log/state digest), every violation, and the scalar outcomes
+  /// (completion, events, instances, state hash). This is the
+  /// fingerprint the parallel sweep engine compares between --jobs 1
+  /// and --jobs N: any divergence means a campaign observed state it
+  /// does not own. metrics_csv is deliberately NOT folded in — it is
+  /// compared separately by the determinism battery, so the digest
+  /// stays invariant across wire-mode ablations whose CI legs diff
+  /// sweep output line-for-line.
+  uint64_t replay_digest = 0;
 
   bool ok() const { return completed && violations.empty(); }
 };
@@ -107,11 +118,26 @@ struct SweepResult {
   int failed = 0;
   std::vector<uint64_t> failing_seeds;
   std::vector<CampaignResult> failures;
+  /// Seed-ordered replay digests, one per swept seed (digests[i] is
+  /// seed first_seed + i). The --jobs 1 and --jobs N vectors must be
+  /// identical element for element.
+  std::vector<uint64_t> digests;
+  /// Workers the sweep actually fanned out over (1 = serial).
+  int jobs = 1;
+  /// Wall-clock of the whole sweep, for the CI regression record.
+  double wall_seconds = 0;
 };
 
 /// Runs `count` campaigns with seeds first_seed .. first_seed+count-1.
+/// `jobs` fans the seeds out across a work-stealing worker pool (see
+/// fuxi::sweep::SweepRunner): 1 runs serially on the calling thread,
+/// 0 uses one worker per hardware core. Each seed gets its own
+/// SimCluster on whichever worker picks it up; the reduction into
+/// SweepResult is always performed in seed order after every campaign
+/// finished, so the result — including the order of `failures` — is
+/// byte-identical for every jobs value.
 SweepResult RunSeedSweep(uint64_t first_seed, int count,
-                         const CampaignConfig& config);
+                         const CampaignConfig& config, int jobs = 1);
 
 }  // namespace fuxi::chaos
 

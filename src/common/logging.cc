@@ -1,11 +1,20 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <mutex>
 
 namespace fuxi {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// The only mutable process-global in the whole stack (everything else —
+// metrics, trace and audit rings, RNGs, node-id counters — is owned by
+// a SimCluster or a smaller object). Parallel seed sweeps run one
+// cluster per worker thread; serializing emission keeps each log line
+// atomic on stderr. Level filtering stays lock-free: the mutex is only
+// taken for lines that actually print.
+std::mutex g_emit_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -42,11 +51,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
-  if (level_ == LogLevel::kFatal) {
-    std::cerr.flush();
-    std::abort();
+  {
+    std::lock_guard<std::mutex> lock(g_emit_mu);
+    std::cerr << stream_.str();
+    if (level_ == LogLevel::kFatal) std::cerr.flush();
   }
+  if (level_ == LogLevel::kFatal) std::abort();
 }
 
 }  // namespace internal_logging

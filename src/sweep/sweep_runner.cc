@@ -1,0 +1,136 @@
+#include "sweep/sweep_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace fuxi::sweep {
+
+namespace {
+
+int HardwareJobs() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+/// One worker's queue. Owner pops from the front, thieves steal from
+/// the back, so an owner working through its own stripe and a thief
+/// raiding it never contend for the same end's cache line for long —
+/// and a stolen task is always the one the owner would have reached
+/// last.
+struct WorkQueue {
+  std::mutex mu;
+  std::deque<size_t> tasks;
+};
+
+}  // namespace
+
+SweepRunner::SweepRunner(SweepRunnerOptions options)
+    : jobs_(options.jobs == 0 ? HardwareJobs() : std::max(options.jobs, 1)) {}
+
+void SweepRunner::Run(size_t count, const std::function<void(size_t)>& fn) {
+  stats_ = SweepRunnerStats{};
+  stats_.tasks = count;
+  auto start = std::chrono::steady_clock::now();
+  auto stamp_wall = [this, start] {
+    stats_.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  };
+  if (count == 0) {
+    stamp_wall();
+    return;
+  }
+
+  int workers = std::min<size_t>(static_cast<size_t>(jobs_), count);
+  if (workers <= 1) {
+    // Serial reference mode: no threads, no queues — the exact loop the
+    // parallel path must be indistinguishable from.
+    for (size_t i = 0; i < count; ++i) fn(i);
+    stamp_wall();
+    return;
+  }
+
+  // Stripe the index space round-robin across the workers' deques:
+  // heterogeneous seed costs (a violating campaign dumps artifacts, a
+  // clean one does not) spread across all queues instead of loading one.
+  std::vector<WorkQueue> queues(static_cast<size_t>(workers));
+  for (size_t i = 0; i < count; ++i) {
+    queues[i % static_cast<size_t>(workers)].tasks.push_back(i);
+  }
+
+  // First thrown exception per index; the lowest index wins the rethrow
+  // so a failure report is deterministic regardless of interleaving.
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<bool> abort{false};
+  std::atomic<size_t> steals{0};
+
+  auto worker_loop = [&](size_t me) {
+    while (!abort.load(std::memory_order_relaxed)) {
+      size_t task = count;  // sentinel: nothing found
+      {
+        std::lock_guard<std::mutex> lock(queues[me].mu);
+        if (!queues[me].tasks.empty()) {
+          task = queues[me].tasks.front();
+          queues[me].tasks.pop_front();
+        }
+      }
+      if (task == count) {
+        for (size_t k = 1; k < queues.size() && task == count; ++k) {
+          WorkQueue& victim = queues[(me + k) % queues.size()];
+          std::lock_guard<std::mutex> lock(victim.mu);
+          if (!victim.tasks.empty()) {
+            task = victim.tasks.back();
+            victim.tasks.pop_back();
+          }
+        }
+        if (task == count) return;  // every queue drained
+        steals.fetch_add(1, std::memory_order_relaxed);
+      }
+      try {
+        fn(task);
+      } catch (...) {
+        errors[task] = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back(worker_loop, static_cast<size_t>(w));
+  }
+  for (std::thread& t : threads) t.join();
+
+  stats_.workers = workers;
+  stats_.steals = steals.load();
+  stamp_wall();
+
+  for (size_t i = 0; i < count; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+}
+
+int ParseJobs(const char* text) {
+  if (text == nullptr) return 1;
+  if (std::strcmp(text, "max") == 0) return 0;
+  int jobs = std::atoi(text);
+  return jobs < 0 ? 1 : jobs;
+}
+
+int DefaultSweepJobs() {
+  const char* env = std::getenv("FUXI_SWEEP_JOBS");
+  int jobs = env != nullptr && *env != '\0' ? ParseJobs(env) : 0;
+  if (jobs == 0) jobs = HardwareJobs();
+  return std::max(jobs, 2);
+}
+
+}  // namespace fuxi::sweep

@@ -9,19 +9,26 @@
 #include "chaos/invariant_monitor.h"
 #include "runtime/sim_cluster.h"
 #include "runtime/synthetic_app.h"
+#include "sweep/sweep_runner.h"
 
 namespace fuxi::chaos {
 namespace {
 
 /// Seeds swept by the acceptance campaign. Every seed expands into a
 /// different random fault schedule; all of them must hold every
-/// invariant and finish their jobs once faults cease.
+/// invariant and finish their jobs once faults cease. The sweeps fan
+/// out across the work-stealing runner (tests/sweep_test.cc proves the
+/// fan-out is invisible to every digest); FUXI_SWEEP_JOBS pins the
+/// worker count when debugging.
 constexpr uint64_t kFirstSeed = 1;
 constexpr int kSweepSeeds = 50;
 
+int SweepJobs() { return ::fuxi::sweep::DefaultSweepJobs(); }
+
 TEST(ChaosCampaign, FiftySeedSweepHoldsAllInvariants) {
   CampaignConfig config;
-  SweepResult sweep = RunSeedSweep(kFirstSeed, kSweepSeeds, config);
+  SweepResult sweep =
+      RunSeedSweep(kFirstSeed, kSweepSeeds, config, SweepJobs());
   EXPECT_EQ(sweep.passed, kSweepSeeds);
   if (sweep.failed > 0) {
     ADD_FAILURE() << FormatCampaignFailure(sweep.failures.front());
@@ -35,7 +42,8 @@ TEST(ChaosCampaign, FiftySeedSweepHoldsAllInvariantsSerializeOnSend) {
   // invariant violation or a hung campaign.
   CampaignConfig config;
   config.cluster.network.serialize_on_send = true;
-  SweepResult sweep = RunSeedSweep(kFirstSeed, kSweepSeeds, config);
+  SweepResult sweep =
+      RunSeedSweep(kFirstSeed, kSweepSeeds, config, SweepJobs());
   EXPECT_EQ(sweep.passed, kSweepSeeds);
   if (sweep.failed > 0) {
     ADD_FAILURE() << FormatCampaignFailure(sweep.failures.front());
@@ -61,9 +69,16 @@ TEST(ChaosCampaign, SerializeOnSendIsInvisibleToTheSimulation) {
 }
 
 TEST(ChaosCampaign, ReplayFromSeedIsByteIdentical) {
+  // The two replays run CONCURRENTLY on the sweep runner: same-seed
+  // determinism must survive a sibling campaign executing next to it.
   CampaignConfig config;
-  CampaignResult first = RunCampaign(7, config);
-  CampaignResult second = RunCampaign(7, config);
+  std::vector<CampaignResult> replays(2);
+  ::fuxi::sweep::SweepRunner runner({2});
+  runner.Run(2, [&replays, &config](size_t i) {
+    replays[i] = RunCampaign(7, config);
+  });
+  const CampaignResult& first = replays[0];
+  const CampaignResult& second = replays[1];
   // Byte-identical replay: the fault schedule, the periodic digest
   // trace, the folded state hash and the event count all match.
   EXPECT_EQ(first.fault_log, second.fault_log);
@@ -72,6 +87,7 @@ TEST(ChaosCampaign, ReplayFromSeedIsByteIdentical) {
   EXPECT_EQ(first.events, second.events);
   EXPECT_EQ(first.completed_at, second.completed_at);
   EXPECT_EQ(first.violations.size(), second.violations.size());
+  EXPECT_EQ(first.replay_digest, second.replay_digest);
 }
 
 TEST(ChaosCampaign, DistinctSeedsProduceDistinctSchedules) {
@@ -93,7 +109,8 @@ TEST(ChaosCampaign, DistinctSeedsProduceDistinctSchedules) {
 
 TEST(ShardedChaosCampaign, FiftySeedSweepHoldsAllInvariants) {
   CampaignConfig config = ShardedCampaignConfig(4);
-  SweepResult sweep = RunSeedSweep(kFirstSeed, kSweepSeeds, config);
+  SweepResult sweep =
+      RunSeedSweep(kFirstSeed, kSweepSeeds, config, SweepJobs());
   EXPECT_EQ(sweep.passed, kSweepSeeds);
   if (sweep.failed > 0) {
     ADD_FAILURE() << FormatCampaignFailure(sweep.failures.front());
@@ -105,7 +122,8 @@ TEST(ShardedChaosCampaign, FiftySeedSweepHoldsSerializeOnSend) {
   // round-tripping through its wire codec at Send.
   CampaignConfig config = ShardedCampaignConfig(4);
   config.cluster.network.serialize_on_send = true;
-  SweepResult sweep = RunSeedSweep(kFirstSeed, kSweepSeeds, config);
+  SweepResult sweep =
+      RunSeedSweep(kFirstSeed, kSweepSeeds, config, SweepJobs());
   EXPECT_EQ(sweep.passed, kSweepSeeds);
   if (sweep.failed > 0) {
     ADD_FAILURE() << FormatCampaignFailure(sweep.failures.front());

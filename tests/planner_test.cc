@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "planner/timeline.h"
 #include "resource/scheduler.h"
+#include "sweep/sweep_runner.h"
 
 namespace fuxi::planner {
 namespace {
@@ -78,7 +79,12 @@ TEST(PlannerTimelineTest, CheckNoOvercommitDetectsViolations) {
 /// time-advance sequences and across seeds. Runs under the ASan tier-1
 /// preset, so any container misuse in the timeline surfaces here too.
 TEST(PlannerTimelineTest, RandomizedAdmissionNeverOvercommits) {
-  for (uint64_t seed = 1; seed <= 20; ++seed) {
+  // The 20 seeds are independent; fan them over the sweep runner (each
+  // builds its own Timeline + Rng — the property itself is unchanged).
+  ::fuxi::sweep::SweepRunner sweep_runner(
+      {::fuxi::sweep::DefaultSweepJobs()});
+  sweep_runner.Run(20, [](size_t seed_index) {
+    const uint64_t seed = 1 + seed_index;
     Rng rng(seed * 0x9E3779B97F4A7C15ull);
     Timeline tl(ResourceVector(400, 8192));
     ResourceVector budget(400, 8192);
@@ -125,7 +131,7 @@ TEST(PlannerTimelineTest, RandomizedAdmissionNeverOvercommits) {
       }
       ASSERT_TRUE(brute == tl.LoadAt(now));
     }
-  }
+  });
 }
 
 #if FUXI_PLANNER
@@ -379,7 +385,8 @@ TEST(PlannerChaosCampaign, FiftySeedPlannerSweepHoldsAllInvariants) {
   chaos::CampaignConfig config;
   config.planner_apps = 1;
   config.plan.planner_faults = true;
-  chaos::SweepResult sweep = chaos::RunSeedSweep(1, 50, config);
+  chaos::SweepResult sweep =
+      chaos::RunSeedSweep(1, 50, config, ::fuxi::sweep::DefaultSweepJobs());
   EXPECT_EQ(sweep.passed, 50);
   if (sweep.failed > 0) {
     ADD_FAILURE() << chaos::FormatCampaignFailure(sweep.failures.front());
@@ -390,7 +397,8 @@ TEST(PlannerChaosCampaign, ShardedPlannerSweepHoldsAllInvariants) {
   chaos::CampaignConfig config = chaos::ShardedCampaignConfig(2);
   config.planner_apps = 1;
   config.plan.planner_faults = true;
-  chaos::SweepResult sweep = chaos::RunSeedSweep(1, 50, config);
+  chaos::SweepResult sweep =
+      chaos::RunSeedSweep(1, 50, config, ::fuxi::sweep::DefaultSweepJobs());
   EXPECT_EQ(sweep.passed, 50);
   if (sweep.failed > 0) {
     ADD_FAILURE() << chaos::FormatCampaignFailure(sweep.failures.front());

@@ -37,6 +37,7 @@
 #include "obs/audit.h"
 #include "resource/reference_scheduler.h"
 #include "resource/scheduler.h"
+#include "sweep/sweep_runner.h"
 #include "wire/wire.h"
 
 namespace fuxi::resource {
@@ -199,10 +200,12 @@ class DifferentialDriver {
   int step_ = 0;
 };
 
-class SchedulerDifferentialTest : public ::testing::TestWithParam<int> {};
-
-TEST_P(SchedulerDifferentialTest, FastPathMatchesOracleExactly) {
-  const uint64_t seed = static_cast<uint64_t>(GetParam());
+/// One full differential seed: the randomized stream, every step's
+/// oracle and audit-neutrality comparison, and the final explainability
+/// sweep. Runs on SweepRunner worker threads — everything it touches is
+/// local to the call, so seeds proceed concurrently without cross-talk.
+void RunDifferentialSeed(uint64_t seed) {
+  SCOPED_TRACE("differential seed " + std::to_string(seed));
   Rng setup_rng(seed * 7919 + 1);
 
   ClusterTopology::Options topo_options;
@@ -470,8 +473,16 @@ TEST_P(SchedulerDifferentialTest, FastPathMatchesOracleExactly) {
 
 // 56 seeds; option mixes (quota/preemption/flat-queue/pass cap/aging)
 // are derived from the seed so every ablation combination is covered.
-INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerDifferentialTest,
-                         ::testing::Range(1, 57));
+// The seeds are independent by construction, so they fan out across the
+// work-stealing pool; a fatal assertion inside a worker still fails the
+// test (gtest is thread-safe on pthreads), and the step/seed context in
+// each assertion message identifies the diverging stream.
+TEST(SchedulerDifferentialSweepTest, FiftySixSeedsMatchOracleInParallel) {
+  ::fuxi::sweep::SweepRunner runner({::fuxi::sweep::DefaultSweepJobs()});
+  runner.Run(56, [](size_t i) {
+    RunDifferentialSeed(static_cast<uint64_t>(i) + 1);
+  });
+}
 
 /// The latent re-sort regression: PlaceDemand used to rebuild and
 /// std::sort the hinted machine/rack id vectors on every call. The hint

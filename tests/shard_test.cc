@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "shard/messages.h"
 #include "shard/router.h"
 #include "shard/shard_directory.h"
+#include "sweep/sweep_runner.h"
 
 namespace fuxi::shard {
 namespace {
@@ -252,6 +254,85 @@ TEST(ShardIsolation, CrashLoopStallsOnlyItsOwnShard) {
   // Shard 0 recovered on its own lease.
   ASSERT_NE(cluster.shard_primary(0), nullptr);
   EXPECT_EQ(cluster.shard_primary(0)->lock_name(), cluster.shard_lock(0));
+}
+
+/// Boots a 2-shard federation, runs one seeded synthetic app on shard 1
+/// to completion, and folds everything externally observable — shard
+/// primaries and generations, every directory row, router counters and
+/// app progress — into one string. Byte-equality of these fingerprints
+/// is how the concurrency test below detects cross-talk between
+/// federations sharing a process.
+std::string ShardedClusterFingerprint(uint64_t seed) {
+  runtime::SimCluster cluster(ShardedOptions(2));
+  cluster.Start();
+  cluster.RunFor(3.0);
+
+  master::FuxiMaster* shard1 = cluster.shard_primary(1);
+  if (shard1 == nullptr) return "no-primary";
+  master::SubmitAppRpc submit;
+  submit.app = AppId(3);  // home shard = 3 % 2 = 1
+  submit.client = cluster.AllocateNodeId();
+  cluster.network().Send(submit.client, shard1->node(), submit);
+  cluster.RunFor(0.2);
+
+  runtime::SyntheticStage stage;
+  stage.workers = 4;
+  stage.instances = 12;
+  runtime::SyntheticApp app(&cluster, AppId(3), {stage}, seed);
+  app.set_master_lock(cluster.shard_lock(1));
+  app.MarkSubmitted(cluster.sim().Now());
+  app.StartMaster();
+  cluster.RunFor(60.0);
+
+  std::ostringstream out;
+  for (int k = 0; k < 2; ++k) {
+    master::FuxiMaster* primary = cluster.shard_primary(k);
+    out << "shard" << k << '='
+        << (primary != nullptr ? primary->node().value() : -1) << '@'
+        << (primary != nullptr ? primary->generation() : 0) << ';';
+  }
+  for (int j = 0; j < cluster.directory_count(); ++j) {
+    ShardDirectory* directory = cluster.directory(j);
+    out << "dir" << j << "={";
+    for (int k = 0; k < 2; ++k) {
+      ShardEntry entry = directory->entry(k);
+      out << entry.primary.value() << '@' << entry.generation << '/'
+          << entry.machines_online << ';';
+    }
+    out << "};";
+  }
+  out << "router=" << cluster.router()->submits() << '/'
+      << cluster.router()->spillovers() << ';'
+      << "done=" << app.stats().instances_done << ';'
+      << "finished=" << app.finished() << ';'
+      << "now=" << cluster.sim().Now();
+  return out.str();
+}
+
+TEST(ShardFederation, ConcurrentShardedClustersStayIsolatedDifferential) {
+  // Serial controls: each federation alone on the calling thread.
+  const uint64_t kSeeds[] = {7, 8, 9};
+  std::vector<std::string> control;
+  for (uint64_t seed : kSeeds)
+    control.push_back(ShardedClusterFingerprint(seed));
+
+  // Same seeds again, all three federations live at once on worker
+  // threads. Any shared mutable state between clusters — a process-wide
+  // id counter, a static metrics table, a leaked singleton — shows up
+  // as a fingerprint diff.
+  std::vector<std::string> concurrent =
+      ::fuxi::sweep::RunIndexed<std::string>(
+          std::size(kSeeds),
+          [&kSeeds](size_t i) {
+            return ShardedClusterFingerprint(kSeeds[i]);
+          },
+          {static_cast<int>(std::size(kSeeds))});
+
+  ASSERT_EQ(concurrent.size(), control.size());
+  for (size_t i = 0; i < control.size(); ++i) {
+    EXPECT_EQ(concurrent[i], control[i]) << "seed " << kSeeds[i];
+    EXPECT_NE(control[i], "no-primary") << "seed " << kSeeds[i];
+  }
 }
 
 // ---------------------------------------------------------------------
