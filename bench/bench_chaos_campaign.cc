@@ -30,10 +30,15 @@
 // seed. When a campaign fails, the flight-recorder snapshot taken at
 // the first violation is written to fuxi_trace_seed<N>.json — load it
 // in Perfetto or run tools/trace_stats on it to walk the message chain
-// that led to the violation. All per-seed artifact files are written
-// from the main thread after the sweep joined, so parallel runs never
+// that led to the violation — and the virtual-time telemetry dump to
+// fuxi_telemetry_seed<N>.json, the input for tools/fuxi_dash (single
+// -seed replays write both even on PASS). --sweep-metrics PATH writes
+// the sweep runner's own accounting (tasks/steals/workers/wall) as a
+// MetricsToCsv file. All per-seed artifact files are written from the
+// main thread after the sweep joined, so parallel runs never
 // interleave dumps.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +47,8 @@
 #include <vector>
 
 #include "chaos/campaign.h"
+#include "obs/exporters.h"
+#include "obs/metrics_registry.h"
 #include "sweep/sweep_runner.h"
 
 namespace {
@@ -90,8 +97,32 @@ bool Report(const fuxi::chaos::CampaignResult& result, bool single) {
                    "fuxi_explain)\n",
                    path.c_str());
     }
+    if (!result.telemetry_json.empty()) {
+      std::string path =
+          "fuxi_telemetry_seed" + std::to_string(seed) + ".json";
+      std::ofstream out(path, std::ios::binary);
+      out << result.telemetry_json;
+      std::fprintf(stderr,
+                   "telemetry dump written to %s (render with fuxi_dash)\n",
+                   path.c_str());
+    }
   }
   return result.ok();
+}
+
+/// Writes the sweep runner's accounting as a MetricsToCsv dump — the
+/// same shape `trace_stats --metrics` renders. stderr-noted, never on
+/// stdout: the realtime rows (steals/workers/wall) vary run to run.
+void WriteSweepMetrics(const fuxi::sweep::SweepRunnerStats& stats,
+                       const char* path) {
+  fuxi::obs::MetricsRegistry registry;
+  fuxi::sweep::ExportStats(stats, &registry);
+  std::ofstream out(path, std::ios::binary);
+  out << fuxi::obs::MetricsToCsv(registry);
+  std::fprintf(stderr,
+               "sweep metrics written to %s (render with "
+               "trace_stats --metrics %s)\n",
+               path, path);
 }
 
 }  // namespace
@@ -104,6 +135,7 @@ int main(int argc, char** argv) {
   bool serialize_on_send = false;
   int shards = 1;
   int jobs = 1;
+  const char* sweep_metrics_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       count = std::atoi(argv[++i]);
@@ -121,11 +153,14 @@ int main(int argc, char** argv) {
       serialize_on_send = true;
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--sweep-metrics") == 0 && i + 1 < argc) {
+      sweep_metrics_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds N] [--first S] [--seed S] "
                    "[--jobs N|max] [--seed-restore-bug] "
-                   "[--serialize-on-send] [--shards N]\n",
+                   "[--serialize-on-send] [--shards N] "
+                   "[--sweep-metrics PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -145,12 +180,21 @@ int main(int argc, char** argv) {
   int failed = 0;
   if (jobs == 1) {
     // Serial mode streams each line as its campaign finishes.
+    auto start = std::chrono::steady_clock::now();
     for (int i = 0; i < count; ++i) {
       uint64_t seed = first_seed + static_cast<uint64_t>(i);
       if (!Report(fuxi::chaos::RunCampaign(seed, config), single)) ++failed;
     }
     std::printf("chaos sweep: %d/%d campaigns passed\n", count - failed,
                 count);
+    if (sweep_metrics_path != nullptr) {
+      fuxi::sweep::SweepRunnerStats stats;
+      stats.tasks = static_cast<size_t>(count > 0 ? count : 0);
+      stats.wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      WriteSweepMetrics(stats, sweep_metrics_path);
+    }
     return failed == 0 ? 0 : 1;
   }
 
@@ -173,5 +217,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "sweep wall-clock: %.3fs (jobs=%d, steals=%zu)\n",
                runner.stats().wall_seconds, runner.jobs(),
                runner.stats().steals);
+  if (sweep_metrics_path != nullptr) {
+    WriteSweepMetrics(runner.stats(), sweep_metrics_path);
+  }
   return failed == 0 ? 0 : 1;
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full build + test suite, a build with causal
-# tracing compiled out, a build with the decision audit compiled out
-# (every FUXI_OBS_TRACING / FUXI_OBS_AUDIT configuration must stay
-# green), then the chaos campaign sweep again under ASan/UBSan (memory
+# Tier-1 verification: the full build + test suite, builds with causal
+# tracing, the decision audit and the virtual-time telemetry compiled
+# out (every FUXI_OBS_TRACING / FUXI_OBS_AUDIT / FUXI_OBS_TELEMETRY
+# configuration must stay green, and the telemetry leg diffs sweep
+# stdout ON vs OFF byte for byte), a fuxi_dash smoke against a
+# generated dump, then the chaos campaign sweep again under ASan/UBSan (memory
 # errors in failover and fault-recovery paths are exactly what the
 # campaigns shake out) and the parallel sweep engine under TSan (data
 # races between concurrent SimClusters are exactly what --jobs N adds).
@@ -52,6 +54,39 @@ cmake --build build-noaudit -j"$(nproc)" --target fuxi_tests
 (cd build-noaudit &&
  ./tests/fuxi_tests \
    --gtest_filter='*Obs*:*Trace*:*Audit*:*Timeline*:*ChaosCampaign.*:ScriptedChaosTest.*:*Differential*:*Golden*')
+
+echo "== tier-1: telemetry compiled out (FUXI_OBS_TELEMETRY=OFF) =="
+# The virtual-time sampler and SLO watchdog fold down to the no-op
+# classes: no series, no health events, and — the bar that matters —
+# every golden replay hash, grant-log digest and differential-oracle
+# seed byte-identical to the ON build. The 25-seed stdout diff below
+# proves the sampler never perturbed the event sequence end to end.
+cmake -B build-notelemetry -S . -DFUXI_OBS_TELEMETRY=OFF >/dev/null
+cmake --build build-notelemetry -j"$(nproc)" --target fuxi_tests bench_chaos_campaign
+(cd build-notelemetry &&
+ ./tests/fuxi_tests \
+   --gtest_filter='*Telemetry*:*SloWatchdog*:*Obs*:*ChaosCampaign.*:ScriptedChaosTest.*:*Differential*:*Golden*:SweepDeterminism.*')
+./build/bench/bench_chaos_campaign --seeds 25 --jobs 4 > build/SWEEP_telemetry_on.txt
+./build-notelemetry/bench/bench_chaos_campaign --seeds 25 --jobs 4 > build-notelemetry/SWEEP_telemetry_off.txt
+diff build/SWEEP_telemetry_on.txt build-notelemetry/SWEEP_telemetry_off.txt
+echo "telemetry ON/OFF sweep stdout byte-identical"
+
+echo "== tier-1: fuxi_dash smoke against a generated dump =="
+# A single-seed replay writes fuxi_telemetry_seed3.json; the dashboard,
+# the per-series table, the event timeline and both exports must all
+# render non-empty output from it.
+cmake --build build -j"$(nproc)" --target fuxi_dash >/dev/null
+# grep without -q so it drains the pipe fully: -q exits at first match
+# and the dashboard's remaining writes die of SIGPIPE under pipefail.
+(cd build &&
+ ../build/bench/bench_chaos_campaign --seed 3 >/dev/null 2>&1 &&
+ test -s fuxi_telemetry_seed3.json &&
+ ./tools/fuxi_dash fuxi_telemetry_seed3.json | grep "fuxi telemetry:" >/dev/null &&
+ ./tools/fuxi_dash fuxi_telemetry_seed3.json --list | grep "master.grant_units" >/dev/null &&
+ ./tools/fuxi_dash fuxi_telemetry_seed3.json --series master.grant_units | grep "tick" >/dev/null &&
+ ./tools/fuxi_dash fuxi_telemetry_seed3.json --csv | grep "^series,kind" >/dev/null &&
+ ./tools/fuxi_dash fuxi_telemetry_seed3.json --json | grep "fuxi_telemetry_decoded" >/dev/null &&
+ echo "fuxi_dash smoke OK")
 
 echo "== tier-1: planner compiled out (FUXI_PLANNER=OFF) =="
 # The whole time-aware placement layer compiles down to the no-op

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string_view>
 
@@ -45,6 +46,96 @@ uint64_t ReplayDigest(const CampaignResult& result) {
   return Fnv1a(digest, scalars.str());
 }
 
+/// The standard SLO rule set every campaign runs under: one rule per
+/// degradation mode the paper's operators watched for. Declarative
+/// policy over the telemetry series the cluster publishes; with
+/// telemetry compiled out AddRule is a no-op and the whole set folds
+/// away. Thresholds are deliberately conservative — a firing is a
+/// degradation signal, not a failure — and every series watched is
+/// virtual-time deterministic, so the event log replays byte-identically
+/// from a seed.
+template <typename Watchdog>
+void InstallStandardSloRules(Watchdog& watchdog) {
+  obs::SloRule starvation;
+  starvation.name = "demand-starvation";
+  starvation.series = "master.request_backlog";
+  starvation.kind = obs::SloRuleKind::kSustained;
+  starvation.threshold = 1;
+  starvation.window = 20;
+  starvation.cooldown = 60;
+  starvation.detail = "unsatisfied demand backlog sustained at the master";
+  watchdog.AddRule(starvation);
+
+  obs::SloRule growth;
+  growth.name = "pending-queue-growth";
+  growth.series = "master.request_backlog";
+  growth.kind = obs::SloRuleKind::kRate;
+  growth.threshold = 5;  // units per second, over the window
+  growth.window = 10;
+  growth.cooldown = 60;
+  growth.detail = "demand backlog growing faster than placements drain it";
+  watchdog.AddRule(growth);
+
+  obs::SloRule overcommit;
+  overcommit.name = "agent-overcommit";
+  overcommit.series = "derived.agent.overcommit_units";
+  overcommit.kind = obs::SloRuleKind::kThreshold;
+  overcommit.threshold = 1;
+  overcommit.cooldown = 30;
+  overcommit.detail =
+      "granted capacity above physical on some machine (double-grant "
+      "symptom; the invariant monitor fails the run only after its "
+      "sustained grace)";
+  watchdog.AddRule(overcommit);
+
+  obs::SloRule skew;
+  skew.name = "shard-skew";
+  skew.series = "derived.shard.imbalance";
+  skew.kind = obs::SloRuleKind::kSustained;
+  skew.threshold = 0.9;
+  skew.window = 30;
+  skew.cooldown = 60;
+  skew.detail = "one shard nearly idle while another is loaded";
+  watchdog.AddRule(skew);
+
+  obs::SloRule head_block;
+  head_block.name = "backfill-head-blocking";
+  head_block.series = "planner.head_fence_wait_seconds";
+  head_block.kind = obs::SloRuleKind::kThreshold;
+  head_block.threshold = 120;
+  head_block.cooldown = 120;
+  head_block.detail =
+      "the EASY head reservation has been fenced off for minutes";
+  watchdog.AddRule(head_block);
+
+  obs::SloRule decode_spike;
+  decode_spike.name = "decode-drop-spike";
+  decode_spike.series = "net.decode_drops";
+  decode_spike.kind = obs::SloRuleKind::kRate;
+  decode_spike.threshold = 10;  // drops per second, over the window
+  decode_spike.window = 5;
+  decode_spike.cooldown = 30;
+  decode_spike.detail = "wire frames failing to decode in a burst";
+  watchdog.AddRule(decode_spike);
+
+  // The Figure 7 restore-bug symptom: a worker of a finished app still
+  // holding a machine because failover dropped its grant record. The
+  // campaign feeds the probe (it owns app liveness); a clean run kills
+  // workers within a heartbeat of stage completion, so ten sustained
+  // seconds of strays is a leak, not cleanup lag. Fires well inside the
+  // invariant monitor's primary-gated orphan grace — the watchdog's
+  // whole point is pre-violation warning.
+  obs::SloRule strays;
+  strays.name = "stray-process-leak";
+  strays.series = "derived.cluster.stray_processes";
+  strays.kind = obs::SloRuleKind::kSustained;
+  strays.threshold = 1;
+  strays.window = 10;
+  strays.cooldown = 60;
+  strays.detail = "workers of finished apps still running (grant leak)";
+  watchdog.AddRule(strays);
+}
+
 }  // namespace
 
 CampaignConfig::CampaignConfig() {
@@ -63,6 +154,7 @@ CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
     options.master.failover_restore_grants = false;
   }
   runtime::SimCluster cluster(options);
+  InstallStandardSloRules(cluster.obs().watchdog);
   InvariantMonitor monitor(&cluster, config.monitor);
   ChaosEngine engine(&cluster);
 
@@ -211,6 +303,28 @@ CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
     }
     return false;
   });
+  // Campaign-scoped telemetry probe: only the campaign knows which apps
+  // are finished, so the stray-process series (workers of finished apps
+  // still alive — the restore-bug symptom) is fed from here rather than
+  // from SimCluster's built-in probes. Purely virtual-time state, so
+  // the series replays byte-identically from the seed.
+  cluster.obs().telemetry.AddProbe(
+      "derived.cluster.stray_processes", [&cluster, &apps] {
+        std::set<AppId> finished;
+        for (const auto& synthetic : apps) {
+          if (synthetic->finished()) finished.insert(synthetic->app());
+        }
+        double strays = 0;
+        if (finished.empty()) return strays;
+        for (const cluster::Machine& machine :
+             cluster.topology().machines()) {
+          for (const agent::Process* process :
+               cluster.host(machine.id)->Alive()) {
+            if (finished.count(process->app)) strays += 1;
+          }
+        }
+        return strays;
+      });
 
   auto all_finished = [&apps] {
     for (const auto& synthetic : apps) {
@@ -288,6 +402,12 @@ CampaignResult RunCampaign(uint64_t seed, const CampaignConfig& config) {
   result.fault_log = engine.LogDump();
   result.trace = trace.str();
   result.metrics_csv = obs::MetricsToCsv(cluster.obs().metrics);
+  if (cluster.obs().telemetry.active() &&
+      cluster.obs().telemetry.samples_taken() > 0) {
+    result.telemetry_json = obs::ExportTelemetryJson(
+        cluster.obs().telemetry, cluster.obs().watchdog);
+    result.health_events = cluster.obs().watchdog.events();
+  }
   if (!result.ok()) {
     std::ostringstream residual;
     for (size_t m = 0; m < cluster.topology().machine_count(); ++m) {
@@ -347,6 +467,17 @@ std::string FormatCampaignFailure(const CampaignResult& result) {
       << result.seed << ") --\n"
       << result.fault_log;
   out << "-- event trace --\n" << result.trace;
+  if (!result.health_events.empty()) {
+    // Virtual-time stamped and rule-deterministic, so this section
+    // replays byte-identically from the seed — the watchdog saw the
+    // degradation before the invariant monitor declared failure.
+    out << "-- watchdog health events (" << result.health_events.size()
+        << ") --\n";
+    for (const obs::HealthEvent& ev : result.health_events) {
+      out << "t=" << ev.time << " [" << ev.rule << "] " << ev.series << "="
+          << ev.value << " threshold=" << ev.threshold << "\n";
+    }
+  }
   if (!result.residual_state.empty()) {
     out << "-- residual state --\n" << result.residual_state;
   }
@@ -397,6 +528,9 @@ SweepResult RunSeedSweep(uint64_t first_seed, int count,
              });
   sweep.jobs = runner.jobs();
   sweep.wall_seconds = runner.stats().wall_seconds;
+  obs::MetricsRegistry sweep_metrics;
+  ::fuxi::sweep::ExportStats(runner.stats(), &sweep_metrics);
+  sweep.sweep_metrics_csv = obs::MetricsToCsv(sweep_metrics);
   // Deterministic seed-ordered reduction: identical for every jobs
   // value, including the order of failing seeds and retained failures.
   for (CampaignResult& result : results) {

@@ -7,6 +7,7 @@
 
 #include "chaos/fault_schedule.h"
 #include "chaos/invariant_monitor.h"
+#include "obs/telemetry.h"
 #include "runtime/sim_cluster.h"
 
 namespace fuxi::chaos {
@@ -82,6 +83,18 @@ struct CampaignResult {
   /// (net.msgs.<type> / net.bytes.<type>) — feed it to
   /// `trace_stats --metrics` for the byte-volume table.
   std::string metrics_csv;
+  /// Virtual-time telemetry dump (obs::ExportTelemetryJson): every
+  /// sampled series delta-encoded plus the watchdog event log — the
+  /// input for tools/fuxi_dash. Captured whenever the sampler ran;
+  /// empty when telemetry is compiled out or runtime-disabled. Like
+  /// metrics_csv it is NOT folded into replay_digest: deterministic
+  /// series are compared separately by the telemetry battery, and the
+  /// dump also carries realtime-tagged (wall-clock) series.
+  std::string telemetry_json;
+  /// SLO watchdog firings, in virtual-time order — degradation signals
+  /// raised while the campaign ran (demand starvation, overcommit,
+  /// decode-drop spikes, ...), available even when every invariant held.
+  std::vector<obs::HealthEvent> health_events;
   /// FNV-1a fold of the campaign's replay artifacts: the fault log, the
   /// digest trace (every line of which embeds the monitor's rolling
   /// grant-log/state digest), every violation, and the scalar outcomes
@@ -126,6 +139,11 @@ struct SweepResult {
   int jobs = 1;
   /// Wall-clock of the whole sweep, for the CI regression record.
   double wall_seconds = 0;
+  /// The runner's accounting exported through a MetricsRegistry
+  /// (sweep::ExportStats) as obs::MetricsToCsv — sweep.tasks is
+  /// deterministic, the steal/worker/wall rows carry realtime=1. Feed
+  /// it to `trace_stats --metrics` for the parallel-sweep health table.
+  std::string sweep_metrics_csv;
 };
 
 /// Runs `count` campaigns with seeds first_seed .. first_seed+count-1.

@@ -23,6 +23,30 @@ double Histogram::Percentile(double q) const {
   return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
 }
 
+std::vector<double> Histogram::PercentilesSnapshot(
+    const std::vector<double>& quantiles) const {
+  std::vector<double> out(quantiles.size(), 0.0);
+  if (samples_.empty()) return out;
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < quantiles.size(); ++i) {
+    double q = quantiles[i];
+    if (q <= 0) {
+      out[i] = sorted.front();
+    } else if (q >= 100) {
+      out[i] = sorted.back();
+    } else {
+      double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+      size_t lo = static_cast<size_t>(rank);
+      double frac = rank - static_cast<double>(lo);
+      out[i] = lo + 1 >= sorted.size()
+                   ? sorted.back()
+                   : sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+    }
+  }
+  return out;
+}
+
 std::string Histogram::Summary() const {
   return StrFormat(
       "count=%llu mean=%.4f p50=%.4f p95=%.4f p99=%.4f min=%.4f max=%.4f",

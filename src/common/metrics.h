@@ -69,6 +69,16 @@ class Histogram {
   /// Exact percentile (q in [0,100]) over all added samples.
   double Percentile(double q) const;
 
+  /// Percentiles computed over a *copy* of the sample buffer, leaving
+  /// the reservoir's element order untouched. Mid-run observers (the
+  /// telemetry sampler) must use this instead of Percentile(): the
+  /// in-place sort Percentile() performs changes which elements later
+  /// reservoir evictions replace, so an extra mid-run query would
+  /// perturb end-of-run percentiles and break sampler-on/off replay
+  /// identity. One copy + sort serves all requested quantiles.
+  std::vector<double> PercentilesSnapshot(
+      const std::vector<double>& quantiles) const;
+
   /// "count=N mean=X p50=... p99=... max=..." summary line.
   std::string Summary() const;
 

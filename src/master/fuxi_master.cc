@@ -96,6 +96,10 @@ void FuxiMaster::set_observability(obs::Observability* obs) {
   blacklist_gauge_ = m.GetGauge("master.blacklist_size");
   request_backlog_gauge_ = m.GetGauge("master.request_backlog");
   schedule_wall_us_ = m.GetHistogram("master.schedule_wall_us");
+  // Real wall-clock measurements: legitimately differ between
+  // byte-identical simulation runs, so determinism diffs filter on the
+  // attribute instead of stripping rows by name.
+  m.MarkRealtime("master.schedule_wall_us");
 }
 
 void FuxiMaster::Start() {

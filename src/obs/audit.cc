@@ -11,6 +11,7 @@ namespace {
 constexpr std::string_view kKindNames[] = {
     "place",         "pass",       "preempt", "revoke",
     "machine_event", "agent_kill", "route",   "reserve",
+    "health",
 };
 
 constexpr std::string_view kReasonNames[] = {
@@ -223,6 +224,7 @@ std::vector<CandidateOutcome> RejectionChain(
       case DecisionKind::kAgentKill:
       case DecisionKind::kRoute:
       case DecisionKind::kReserve:
+      case DecisionKind::kHealth:
         break;
     }
   }
@@ -251,6 +253,7 @@ std::vector<UnplacedDemand> UnplacedAtEnd(
       case DecisionKind::kAgentKill:
       case DecisionKind::kRoute:
       case DecisionKind::kReserve:
+      case DecisionKind::kHealth:
         break;
     }
   }

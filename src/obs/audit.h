@@ -35,6 +35,7 @@ enum class DecisionKind : uint8_t {
   kAgentKill,     ///< agent killed a worker (capacity / overload)
   kRoute,         ///< submission-router shard choice (incl. spillover)
   kReserve,       ///< planner action (reservation booked/converted/expired)
+  kHealth,        ///< SLO watchdog HealthEvent (telemetry rule fired)
 };
 
 std::string_view DecisionKindName(DecisionKind kind);

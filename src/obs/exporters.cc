@@ -103,23 +103,42 @@ Json MetricsToJson(const MetricsRegistry& registry) {
 }
 
 std::string MetricsToCsv(const MetricsRegistry& registry) {
-  std::string out = "kind,name,count,value,mean,p50,p95,p99,min,max\n";
+  std::string out = "kind,name,count,value,mean,p50,p95,p99,min,max,realtime\n";
   for (const auto& [name, counter] : registry.counters()) {
-    out += StrFormat("counter,%s,,%llu,,,,,,\n", CsvField(name).c_str(),
-                     static_cast<unsigned long long>(counter->value()));
+    out += StrFormat("counter,%s,,%llu,,,,,,,%d\n", CsvField(name).c_str(),
+                     static_cast<unsigned long long>(counter->value()),
+                     registry.is_realtime(name) ? 1 : 0);
   }
   for (const auto& [name, gauge] : registry.gauges()) {
-    out += StrFormat("gauge,%s,,%.6g,,,,,,\n", CsvField(name).c_str(),
-                     gauge->value());
+    out += StrFormat("gauge,%s,,%.6g,,,,,,,%d\n", CsvField(name).c_str(),
+                     gauge->value(), registry.is_realtime(name) ? 1 : 0);
   }
   for (const auto& [name, histogram] : registry.histograms()) {
     out += StrFormat(
-        "histogram,%s,%llu,,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+        "histogram,%s,%llu,,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%d\n",
         CsvField(name).c_str(),
         static_cast<unsigned long long>(histogram->count()),
         histogram->mean(), histogram->Percentile(50),
         histogram->Percentile(95), histogram->Percentile(99),
-        histogram->min(), histogram->max());
+        histogram->min(), histogram->max(),
+        registry.is_realtime(name) ? 1 : 0);
+  }
+  return out;
+}
+
+std::string StripRealtimeRows(const std::string& csv) {
+  std::string out;
+  out.reserve(csv.size());
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t end = csv.find('\n', pos);
+    if (end == std::string::npos) end = csv.size();
+    // The realtime flag is the last comma-separated field; quoted
+    // metric names never contain a bare ",1"/",0" suffix ambiguity
+    // because the flag is always the final two characters of the row.
+    bool realtime = end >= pos + 2 && csv.compare(end - 2, 2, ",1") == 0;
+    if (!realtime) out.append(csv, pos, end - pos + 1);
+    pos = end + 1;
   }
   return out;
 }

@@ -25,7 +25,16 @@ Json ChromeTraceJson(const std::vector<SpanRecord>& spans);
 Json MetricsToJson(const MetricsRegistry& registry);
 
 /// "kind,name,value,..." CSV — one row per instrument, sorted by name.
+/// The trailing `realtime` column is 1 for instruments tagged via
+/// MetricsRegistry::MarkRealtime (real wall-clock measurements that
+/// legitimately vary between byte-identical simulation runs).
 std::string MetricsToCsv(const MetricsRegistry& registry);
+
+/// Drops every row whose trailing `realtime` column is 1 (header and
+/// deterministic rows pass through untouched). Determinism batteries
+/// compare serial/parallel and replayed metric dumps through this
+/// filter instead of maintaining name lists of wall-clock instruments.
+std::string StripRealtimeRows(const std::string& csv);
 
 }  // namespace fuxi::obs
 

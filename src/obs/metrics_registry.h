@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "common/metrics.h"
@@ -52,6 +53,16 @@ class MetricsRegistry {
   /// virtual-time series (one point per instrument per call).
   void SnapshotAt(double now);
 
+  /// Tags an instrument as carrying *real* wall-clock measurements
+  /// (e.g. master.schedule_wall_us). Realtime instruments legitimately
+  /// differ between byte-identical simulation runs, so every replay /
+  /// determinism comparison filters on this attribute instead of
+  /// hand-maintained name lists; exports carry it as a column.
+  void MarkRealtime(const std::string& name) { realtime_.insert(name); }
+  bool is_realtime(const std::string& name) const {
+    return realtime_.count(name) != 0;
+  }
+
   const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
     return counters_;
   }
@@ -73,6 +84,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, TimeSeries> series_;
+  std::set<std::string> realtime_;
 };
 
 }  // namespace fuxi::obs

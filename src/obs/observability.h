@@ -5,6 +5,7 @@
 
 #include "obs/audit.h"
 #include "obs/metrics_registry.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace fuxi::obs {
@@ -14,21 +15,32 @@ struct ObsOptions {
   size_t trace_ring_capacity = TraceRecorderImpl::kDefaultRingCapacity;
   /// Decision records retained by the audit ring.
   size_t audit_ring_capacity = AuditLogImpl::kDefaultCapacity;
+  /// Virtual-time sampler + SLO watchdog configuration.
+  TelemetryOptions telemetry;
 };
 
 /// The per-cluster observability bundle: one trace recorder, one
-/// decision audit log, and one metrics registry shared by every
-/// component of a SimCluster. Owned by the cluster (constructed right
-/// after the Simulator, before the network) so instruments outlive
-/// everything that points at them.
+/// decision audit log, one metrics registry, one telemetry sampler and
+/// one SLO watchdog shared by every component of a SimCluster. Owned by
+/// the cluster (constructed right after the Simulator, before the
+/// network) so instruments outlive everything that points at them.
 struct Observability {
   explicit Observability(sim::Simulator* sim, const ObsOptions& options = {})
       : trace(sim, options.trace_ring_capacity),
-        audit(sim, &trace, options.audit_ring_capacity) {}
+        audit(sim, &trace, options.audit_ring_capacity),
+        telemetry(&metrics, options.telemetry),
+        watchdog(&trace, &audit, options.telemetry.max_events) {
+    // Every sample tick runs the watchdog's rules; with telemetry
+    // compiled out both sides are no-ops and the lambda never fires.
+    telemetry.SetOnSample(
+        [this](double now) { watchdog.Evaluate(telemetry, now); });
+  }
 
   TraceRecorder trace;
   AuditLog audit;
   MetricsRegistry metrics;
+  TelemetrySampler telemetry;
+  SloWatchdog watchdog;
 };
 
 }  // namespace fuxi::obs

@@ -78,6 +78,7 @@ std::vector<GrantEvent> ExtractGrantEvents(
       case DecisionKind::kMachineEvent:
       case DecisionKind::kAgentKill:
       case DecisionKind::kRoute:
+      case DecisionKind::kHealth:
         break;
     }
   }

@@ -45,6 +45,8 @@ ClusterPlannerImpl::ClusterPlannerImpl(
 void ClusterPlannerImpl::set_metrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) return;
   points_gauge_ = metrics->GetGauge("planner.scheduled_points");
+  head_fence_wait_gauge_ =
+      metrics->GetGauge("planner.head_fence_wait_seconds");
   backfill_hit_counter_ = metrics->GetCounter("planner.backfill_hits");
   backfill_miss_counter_ = metrics->GetCounter("planner.backfill_misses");
   gang_abort_counter_ = metrics->GetCounter("planner.gang_aborts");
@@ -811,6 +813,19 @@ bool ClusterPlannerImpl::GangStarted(uint64_t gang_id) const {
 void ClusterPlannerImpl::UpdatePointsGauge() {
   if (points_gauge_ != nullptr) {
     points_gauge_->Set(static_cast<double>(scheduled_points()));
+  }
+  if (head_fence_wait_gauge_ != nullptr) {
+    // How long the current EASY head has been fenced off waiting for
+    // its reservation to start — the telemetry series the watchdog's
+    // backfill-head-blocking rule watches. 0 when no head is booked.
+    double wait = 0;
+    for (const auto& [id, res] : reservations_) {
+      if (res.backfill_head) {
+        wait = now_ - res.requested_at;
+        break;
+      }
+    }
+    head_fence_wait_gauge_->Set(wait);
   }
 }
 

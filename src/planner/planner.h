@@ -339,6 +339,7 @@ class ClusterPlannerImpl {
   uint64_t gang_aborts_n_ = 0;
 
   obs::Gauge* points_gauge_ = nullptr;
+  obs::Gauge* head_fence_wait_gauge_ = nullptr;
   obs::Counter* backfill_hit_counter_ = nullptr;
   obs::Counter* backfill_miss_counter_ = nullptr;
   obs::Counter* gang_abort_counter_ = nullptr;

@@ -103,9 +103,60 @@ SimCluster::SimCluster(SimClusterOptions options)
     agents_.back()->set_metrics(&obs_.metrics);
     agents_.back()->set_audit(&obs_.audit);
   }
+
+  if (obs::TelemetrySampler::enabled() && options_.obs.telemetry.enabled) {
+    // Derived probes: the observable symptoms the SLO watchdog's
+    // standard rules watch (see chaos::RunCampaign). Probes are pure
+    // reads of simulation state — sampling can never perturb a replay.
+    obs_.telemetry.AddProbe("derived.agent.overcommit_units", [this] {
+      // Sum of per-dimension excess (centicores + MB) that live agents'
+      // capacity tables promise above physical capacity — the symptom
+      // of a double-grant, visible the moment it happens (the invariant
+      // monitor only *fails* the run after its sustained grace window).
+      double units = 0;
+      for (const cluster::Machine& machine : topology_.machines()) {
+        agent::FuxiAgent* a =
+            agents_[static_cast<size_t>(machine.id.value())].get();
+        if (!a->is_alive()) continue;
+        cluster::ResourceVector promised = a->TotalGrantedCapacity();
+        units += static_cast<double>(
+            std::max<int64_t>(0, promised.cpu() - machine.capacity.cpu()));
+        units += static_cast<double>(std::max<int64_t>(
+            0, promised.memory() - machine.capacity.memory()));
+      }
+      return units;
+    });
+    if (options_.shards > 1) {
+      obs_.telemetry.AddProbe("derived.shard.imbalance", [this] {
+        // Relative spread of granted CPU across shards: (max - min) /
+        // max over per-shard sums; 0 when balanced or nothing granted.
+        std::vector<int64_t> granted(
+            static_cast<size_t>(options_.shards), 0);
+        for (const cluster::Machine& machine : topology_.machines()) {
+          agent::FuxiAgent* a =
+              agents_[static_cast<size_t>(machine.id.value())].get();
+          if (!a->is_alive()) continue;
+          granted[static_cast<size_t>(shard_of_machine(machine.id))] +=
+              a->TotalGrantedCapacity().cpu();
+        }
+        int64_t lo = *std::min_element(granted.begin(), granted.end());
+        int64_t hi = *std::max_element(granted.begin(), granted.end());
+        return hi > 0 ? static_cast<double>(hi - lo) /
+                            static_cast<double>(hi)
+                      : 0.0;
+      });
+    }
+    obs_.telemetry.AddRate("net.decode_drops");
+    telemetry_observer_ = sim_.AddPostEventObserver(
+        [this](double now) { obs_.telemetry.Poll(now); });
+  }
 }
 
-SimCluster::~SimCluster() = default;
+SimCluster::~SimCluster() {
+  if (telemetry_observer_ != 0) {
+    sim_.RemovePostEventObserver(telemetry_observer_);
+  }
+}
 
 void SimCluster::Start() {
   for (auto& m : masters_) m->Start();

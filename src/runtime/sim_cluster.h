@@ -178,6 +178,9 @@ class SimCluster {
   std::vector<double> slowdown_;
   std::set<MachineId> halted_;
   int64_t next_node_id_ = 10000;
+  /// Post-event observer token driving the telemetry sampler (0 when
+  /// telemetry is compiled out or runtime-disabled).
+  uint64_t telemetry_observer_ = 0;
 };
 
 }  // namespace fuxi::runtime

@@ -27,6 +27,9 @@ bool Simulator::Step() {
     ++executed_;
     ev.fn();
     if (post_event_hook_) post_event_hook_(now_);
+    for (const auto& [token, observer] : post_event_observers_) {
+      observer(now_);
+    }
     return true;
   }
   return false;

@@ -76,14 +76,40 @@ class Simulator {
   size_t PendingEvents() const { return queue_.size(); }
   uint64_t ExecutedEvents() const { return executed_; }
 
-  /// Installs an observer invoked after every executed event, with the
-  /// event's virtual time. Observers see the state every transition
-  /// leaves behind — this is what lets an invariant monitor check the
-  /// cluster *continuously* instead of only at test end. The observer
-  /// must not schedule unbounded new work from inside itself (it runs
-  /// on the hot path) but may call Schedule(). Pass nullptr to remove.
+  /// Installs the primary observer invoked after every executed event,
+  /// with the event's virtual time. Observers see the state every
+  /// transition leaves behind — this is what lets an invariant monitor
+  /// check the cluster *continuously* instead of only at test end. The
+  /// observer must not schedule unbounded new work from inside itself
+  /// (it runs on the hot path) but may call Schedule(). Pass nullptr to
+  /// remove.
   void SetPostEventHook(std::function<void(SimTime)> hook) {
     post_event_hook_ = std::move(hook);
+  }
+
+  /// Registers an additional post-event observer and returns a token
+  /// for RemovePostEventObserver. Unlike the single primary hook,
+  /// observers are keyed, so independent owners (telemetry samplers,
+  /// monitors) attach and detach without coordinating. They run after
+  /// the primary hook, in registration order — deterministic, since
+  /// registration order is itself part of the replayed construction
+  /// sequence. Observing an event does not count as executing one:
+  /// ExecutedEvents() (folded into replay digests) is untouched.
+  uint64_t AddPostEventObserver(std::function<void(SimTime)> observer) {
+    uint64_t token = next_observer_token_++;
+    post_event_observers_.emplace_back(token, std::move(observer));
+    return token;
+  }
+
+  /// Removes a keyed observer; unknown tokens are ignored (idempotent).
+  void RemovePostEventObserver(uint64_t token) {
+    for (auto it = post_event_observers_.begin();
+         it != post_event_observers_.end(); ++it) {
+      if (it->first == token) {
+        post_event_observers_.erase(it);
+        return;
+      }
+    }
   }
 
  private:
@@ -105,6 +131,9 @@ class Simulator {
   uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::function<void(SimTime)> post_event_hook_;
+  uint64_t next_observer_token_ = 1;
+  std::vector<std::pair<uint64_t, std::function<void(SimTime)>>>
+      post_event_observers_;
 };
 
 /// Base class for simulated components (FuxiMaster, FuxiAgent, masters,

@@ -119,6 +119,19 @@ void SweepRunner::Run(size_t count, const std::function<void(size_t)>& fn) {
   }
 }
 
+void ExportStats(const SweepRunnerStats& stats,
+                 obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  registry->GetCounter("sweep.tasks")->Add(stats.tasks);
+  registry->GetCounter("sweep.steals")->Add(stats.steals);
+  registry->GetGauge("sweep.workers")
+      ->Set(static_cast<double>(stats.workers));
+  registry->GetGauge("sweep.wall_seconds")->Set(stats.wall_seconds);
+  registry->MarkRealtime("sweep.steals");
+  registry->MarkRealtime("sweep.workers");
+  registry->MarkRealtime("sweep.wall_seconds");
+}
+
 int ParseJobs(const char* text) {
   if (text == nullptr) return 1;
   if (std::strcmp(text, "max") == 0) return 0;

@@ -5,6 +5,8 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics_registry.h"
+
 namespace fuxi::sweep {
 
 /// How many workers a sweep fans out over.
@@ -81,6 +83,16 @@ std::vector<R> RunIndexed(size_t count, const std::function<R(size_t)>& fn,
   if (stats != nullptr) *stats = runner.stats();
   return results;
 }
+
+/// Publishes a Run()'s accounting through a MetricsRegistry so
+/// parallel-sweep health travels the same export paths as every other
+/// instrument (MetricsToCsv, telemetry dumps, `trace_stats --metrics`):
+/// counters sweep.tasks / sweep.steals, gauges sweep.workers /
+/// sweep.wall_seconds. Steals, worker count and wall-clock depend on
+/// the host and scheduling luck, so they are tagged realtime;
+/// sweep.tasks is deterministic.
+void ExportStats(const SweepRunnerStats& stats,
+                 obs::MetricsRegistry* registry);
 
 /// Parses a --jobs flag value: "max" or "0" → 0 (one per core), else
 /// the integer (minimum 1).

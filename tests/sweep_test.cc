@@ -55,19 +55,11 @@ chaos::CampaignConfig PlannerConfig() {
   return config;
 }
 
-/// master.schedule_wall_us samples REAL wall-clock microseconds per
-/// schedule pass, so it differs between any two runs — serial or not.
-/// Every other row in the snapshot is simulation-deterministic; the
-/// byte-for-byte comparisons strip only the wall-clock rows.
-std::string StripWallClockRows(const std::string& csv) {
-  std::istringstream in(csv);
-  std::string out;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.find("wall_us") == std::string::npos) out += line + '\n';
-  }
-  return out;
-}
+// Wall-clock instruments (master.schedule_wall_us, sweep.steals, ...)
+// differ between any two runs — serial or not. They carry realtime=1 in
+// the registry, so the byte-for-byte comparisons below drop exactly the
+// rows the producers tagged (obs::StripRealtimeRows) instead of
+// maintaining a name blacklist here.
 
 // ------------------------------------------------------ SweepRunner core
 
@@ -139,6 +131,27 @@ TEST(SweepRunnerTest, ParseJobsGrammar) {
   EXPECT_GE(sweep::DefaultSweepJobs(), 2);
 }
 
+TEST(SweepRunnerTest, ExportStatsPublishesAccountingWithRealtimeTags) {
+  sweep::SweepRunner runner({kParallelJobs});
+  runner.Run(12, [](size_t) {});
+  obs::MetricsRegistry registry;
+  sweep::ExportStats(runner.stats(), &registry);
+  EXPECT_EQ(registry.GetCounter("sweep.tasks")->value(), 12u);
+  EXPECT_EQ(registry.GetGauge("sweep.workers")->value(), kParallelJobs);
+  // Task count is deterministic; everything scheduling-dependent or
+  // wall-clock is tagged realtime so CI diffs drop it.
+  EXPECT_FALSE(registry.is_realtime("sweep.tasks"));
+  EXPECT_TRUE(registry.is_realtime("sweep.steals"));
+  EXPECT_TRUE(registry.is_realtime("sweep.workers"));
+  EXPECT_TRUE(registry.is_realtime("sweep.wall_seconds"));
+  std::string csv = obs::MetricsToCsv(registry);
+  EXPECT_NE(csv.find("sweep.tasks"), std::string::npos);
+  std::string stripped = obs::StripRealtimeRows(csv);
+  EXPECT_NE(stripped.find("sweep.tasks"), std::string::npos);
+  EXPECT_EQ(stripped.find("sweep.steals"), std::string::npos);
+  EXPECT_EQ(stripped.find("sweep.wall_seconds"), std::string::npos);
+}
+
 // ------------------------------------------------- determinism battery
 
 /// Runs `seeds` campaigns serially and in parallel and asserts the two
@@ -167,6 +180,15 @@ void AssertSweepDeterministic(const chaos::CampaignConfig& config,
         << label << ": invariant outcome diverged for failing seed "
         << serial.failures[i].seed;
   }
+  // Both sweeps publish their runner accounting; after dropping the
+  // realtime rows (steals, workers, wall) the residue — the task count
+  // — is identical regardless of fan-out.
+  EXPECT_NE(serial.sweep_metrics_csv.find("sweep.tasks"),
+            std::string::npos)
+      << label;
+  EXPECT_EQ(obs::StripRealtimeRows(serial.sweep_metrics_csv),
+            obs::StripRealtimeRows(parallel.sweep_metrics_csv))
+      << label;
 }
 
 TEST(SweepDeterminism, UnshardedTwentySeedsMatchSerialByteForByte) {
@@ -194,12 +216,12 @@ TEST(SweepDeterminism, MetricsSnapshotsMatchSerialByteForByte) {
   std::vector<std::string> serial_csv;
   for (uint64_t seed = 1; seed <= 4; ++seed) {
     serial_csv.push_back(
-        StripWallClockRows(chaos::RunCampaign(seed, config).metrics_csv));
+        obs::StripRealtimeRows(chaos::RunCampaign(seed, config).metrics_csv));
   }
   sweep::SweepRunner runner({kParallelJobs});
   std::vector<std::string> parallel_csv(4);
   runner.Run(4, [&parallel_csv, &config](size_t i) {
-    parallel_csv[i] = StripWallClockRows(
+    parallel_csv[i] = obs::StripRealtimeRows(
         chaos::RunCampaign(1 + static_cast<uint64_t>(i), config).metrics_csv);
   });
   for (size_t i = 0; i < serial_csv.size(); ++i) {
@@ -290,7 +312,7 @@ TEST(ConcurrentClusters, MetricSnapshotsShowNoCrossTalk) {
     cluster.RunFor(30.0);
 
     cluster.obs().metrics.SnapshotAt(cluster.sim().Now());
-    return StripWallClockRows(obs::MetricsToCsv(cluster.obs().metrics));
+    return obs::StripRealtimeRows(obs::MetricsToCsv(cluster.obs().metrics));
   };
   std::string alone_a = run_cluster(11);
   std::string alone_b = run_cluster(22);

@@ -57,17 +57,27 @@ int PrintWireVolume(const char* path) {
   uint64_t total_sent = 0;
   uint64_t total_bytes = 0;
   uint64_t decode_drops = 0;
+  // sweep.* rows from sweep::ExportStats — the parallel-sweep health
+  // table. Counter and gauge rows both carry their reading in the
+  // value column (the count column is only filled for histograms).
+  std::map<std::string, double> sweep_stats;
   std::string line;
   while (std::getline(in, line)) {
-    // MetricsToCsv rows: kind,name,count,value,mean,p50,...
+    // MetricsToCsv rows: kind,name,count,value,mean,p50,...,realtime
     size_t c1 = line.find(',');
-    if (c1 == std::string::npos || line.compare(0, c1, "counter") != 0) {
-      continue;
-    }
+    if (c1 == std::string::npos) continue;
+    bool is_counter = line.compare(0, c1, "counter") == 0;
+    bool is_gauge = line.compare(0, c1, "gauge") == 0;
+    if (!is_counter && !is_gauge) continue;
     size_t c2 = line.find(',', c1 + 1);
     size_t c3 = line.find(',', c2 + 1);
     if (c2 == std::string::npos || c3 == std::string::npos) continue;
     std::string name = line.substr(c1 + 1, c2 - c1 - 1);
+    if (name.rfind("sweep.", 0) == 0) {
+      sweep_stats[name] = std::strtod(line.c_str() + c3 + 1, nullptr);
+      continue;
+    }
+    if (!is_counter) continue;
     uint64_t value = std::strtoull(line.c_str() + c3 + 1, nullptr, 10);
     if (name.rfind("net.msgs.", 0) == 0) {
       by_type[name.substr(9)].msgs = value;
@@ -81,30 +91,40 @@ int PrintWireVolume(const char* path) {
       decode_drops = value;
     }
   }
-  if (by_type.empty()) {
+  if (by_type.empty() && sweep_stats.empty()) {
     std::fprintf(stderr,
-                 "trace_stats: %s has no net.msgs.*/net.bytes.* counters "
-                 "(not a metrics CSV, or a run that sent no messages)\n",
+                 "trace_stats: %s has no net.msgs.*/net.bytes.*/sweep.* "
+                 "counters (not a metrics CSV, or a run that sent no "
+                 "messages)\n",
                  path);
     return 1;
   }
-  std::printf("%-32s %10s %12s %10s\n", "message type", "msgs", "bytes",
-              "avg B/msg");
-  for (const auto& [type, volume] : by_type) {
-    std::printf("%-32.32s %10llu %12llu %10.1f\n", type.c_str(),
-                static_cast<unsigned long long>(volume.msgs),
-                static_cast<unsigned long long>(volume.bytes),
-                volume.msgs == 0
-                    ? 0.0
-                    : static_cast<double>(volume.bytes) /
-                          static_cast<double>(volume.msgs));
+  if (!by_type.empty()) {
+    std::printf("%-32s %10s %12s %10s\n", "message type", "msgs", "bytes",
+                "avg B/msg");
+    for (const auto& [type, volume] : by_type) {
+      std::printf("%-32.32s %10llu %12llu %10.1f\n", type.c_str(),
+                  static_cast<unsigned long long>(volume.msgs),
+                  static_cast<unsigned long long>(volume.bytes),
+                  volume.msgs == 0
+                      ? 0.0
+                      : static_cast<double>(volume.bytes) /
+                            static_cast<double>(volume.msgs));
+    }
+    std::printf(
+        "total: %llu messages, %llu bytes (exact encoded frame sizes); "
+        "%llu decode drops\n",
+        static_cast<unsigned long long>(total_sent),
+        static_cast<unsigned long long>(total_bytes),
+        static_cast<unsigned long long>(decode_drops));
   }
-  std::printf(
-      "total: %llu messages, %llu bytes (exact encoded frame sizes); "
-      "%llu decode drops\n",
-      static_cast<unsigned long long>(total_sent),
-      static_cast<unsigned long long>(total_bytes),
-      static_cast<unsigned long long>(decode_drops));
+  if (!sweep_stats.empty()) {
+    if (!by_type.empty()) std::printf("\n");
+    std::printf("%-32s %12s\n", "sweep stat", "value");
+    for (const auto& [name, value] : sweep_stats) {
+      std::printf("%-32.32s %12.3f\n", name.c_str(), value);
+    }
+  }
   return 0;
 }
 
